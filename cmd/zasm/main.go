@@ -1,0 +1,45 @@
+// Command zasm assembles ZVM-32 assembly source into a ZELF binary.
+//
+// Usage:
+//
+//	zasm input.s output.zelf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zipr/internal/asm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		return fmt.Errorf("usage: zasm input.s output.zelf")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	bin, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	data, err := bin.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(flag.Arg(1), data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes, entry %#x\n", flag.Arg(1), len(data), bin.Entry)
+	return nil
+}

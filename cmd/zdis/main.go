@@ -1,0 +1,94 @@
+// Command zdis disassembles a ZELF binary, printing the aggregated
+// two-disassembler view: relocatable code, fixed data ranges, ambiguous
+// bytes, and the pinned addresses the rewriter would plant references
+// at.
+//
+// Usage:
+//
+//	zdis [-pins] [-classes] prog.zelf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/cfg"
+	"zipr/internal/disasm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zdis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pins := flag.Bool("pins", false, "print pinned addresses instead of instructions")
+	classes := flag.Bool("classes", false, "print byte-classification summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: zdis [flags] prog.zelf")
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	bin, err := binfmt.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	agg, err := disasm.Disassemble(bin)
+	if err != nil {
+		return err
+	}
+
+	if *classes {
+		counts := map[disasm.Class]int{}
+		for _, c := range agg.Classes {
+			counts[c]++
+		}
+		fmt.Printf("code %d bytes, data %d bytes, ambiguous %d bytes, fixed ranges %d\n",
+			counts[disasm.Code], counts[disasm.Data], counts[disasm.Ambig], len(agg.Fixed))
+		for _, w := range agg.Warnings {
+			fmt.Println("warning:", w)
+		}
+		return nil
+	}
+	if *pins {
+		prog, err := cfg.Build(bin, agg)
+		if err != nil {
+			return err
+		}
+		for _, n := range prog.PinnedInsts() {
+			fmt.Printf("%#08x  %s\n", n.OrigAddr, n.Inst.String())
+		}
+		for _, a := range prog.FixedEntries {
+			fmt.Printf("%#08x  (fixed entry)\n", a)
+		}
+		return nil
+	}
+
+	addrs := make([]uint32, 0, len(agg.Insts))
+	for a := range agg.Insts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	prev := uint32(0)
+	for _, a := range addrs {
+		if prev != 0 && a != prev {
+			fmt.Printf("%#08x  ... %d non-code byte(s) ...\n", prev, a-prev)
+		}
+		in := agg.Insts[a]
+		extra := ""
+		if t, ok := in.TargetAddr(a); ok {
+			extra = fmt.Sprintf("\t; -> %#x", t)
+		}
+		fmt.Printf("%#08x  %s%s\n", a, in.String(), extra)
+		prev = a + uint32(in.Len())
+	}
+	return nil
+}

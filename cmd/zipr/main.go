@@ -1,0 +1,180 @@
+// Command zipr statically rewrites a ZELF binary or shared library.
+//
+// Usage:
+//
+//	zipr [-transforms null,cfi,stackpad,canary] [-layout optimized|diversity]
+//	     [-seed N] [-pad N] [-stats] [-sql "SELECT ..."] input.zelf output.zelf
+//
+// The -sql flag runs a query against the captured IR database after
+// construction (tables: instructions, functions, fixed_ranges,
+// warnings) and prints the rows, which is handy for inspecting what the
+// analysis concluded about a binary.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"zipr"
+	"zipr/internal/binfmt"
+	"zipr/internal/loader"
+	"zipr/internal/vm"
+)
+
+// verifyPair runs the original and rewritten images on the same input
+// and compares their transcripts — the paper's functionality oracle as a
+// command-line check.
+func verifyPair(origImage, newImage []byte, inputPath string) (string, error) {
+	input, err := os.ReadFile(inputPath)
+	if err != nil {
+		return "", err
+	}
+	runOne := func(image []byte) (vm.Result, error) {
+		bin, err := binfmt.Unmarshal(image)
+		if err != nil {
+			return vm.Result{}, err
+		}
+		m := vm.New(vm.WithStdin(bytes.NewReader(input)), vm.WithMaxSteps(500_000_000))
+		if err := loader.Load(m, bin, nil); err != nil {
+			return vm.Result{}, err
+		}
+		return m.Run()
+	}
+	want, err1 := runOne(origImage)
+	got, err2 := runOne(newImage)
+	switch {
+	case err1 != nil:
+		return "", fmt.Errorf("verify: original binary failed: %w", err1)
+	case err2 != nil:
+		return "", fmt.Errorf("verify: rewritten binary failed: %w", err2)
+	case want.ExitCode != got.ExitCode:
+		return "", fmt.Errorf("verify: exit codes differ: %d vs %d", want.ExitCode, got.ExitCode)
+	case !bytes.Equal(want.Output, got.Output):
+		return "", fmt.Errorf("verify: transcripts differ (%d vs %d bytes)", len(want.Output), len(got.Output))
+	}
+	return fmt.Sprintf("verify: transcripts identical (exit %d, %d output bytes, %d vs %d instructions)",
+		want.ExitCode, len(want.Output), want.Steps, got.Steps), nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zipr:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	transforms := flag.String("transforms", "null", "comma-separated: null,cfi,stackpad,canary")
+	layoutFlag := flag.String("layout", "optimized", "optimized | diversity")
+	seed := flag.Int64("seed", 1, "diversity layout seed")
+	pad := flag.Int("pad", 64, "stackpad padding bytes")
+	stats := flag.Bool("stats", false, "print reassembly statistics")
+	warns := flag.Bool("warnings", false, "print analysis warnings")
+	sql := flag.String("sql", "", "run an SQL query against the captured IR")
+	mapOut := flag.String("map", "", "write an original->rewritten address map to this file")
+	verify := flag.String("verify-input", "", "run original and rewritten binaries on this input file and compare transcripts")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		return fmt.Errorf("usage: zipr [flags] input.zelf output.zelf")
+	}
+	input, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	var tfs []zipr.Transform
+	for _, name := range strings.Split(*transforms, ",") {
+		switch strings.TrimSpace(name) {
+		case "", "null":
+			tfs = append(tfs, zipr.Null())
+		case "cfi":
+			tfs = append(tfs, zipr.CFI())
+		case "stackpad":
+			tfs = append(tfs, zipr.StackPad(int32(*pad)))
+		case "canary":
+			tfs = append(tfs, zipr.Canary(0))
+		case "pin-blocks":
+			tfs = append(tfs, zipr.PinBlocks())
+		default:
+			return fmt.Errorf("unknown transform %q", name)
+		}
+	}
+	cfg := zipr.Config{
+		Transforms: tfs,
+		Layout:     zipr.LayoutKind(*layoutFlag),
+		Seed:       *seed,
+		CaptureIR:  *sql != "",
+		EmitMap:    *mapOut != "",
+	}
+	out, report, err := zipr.Rewrite(input, cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(flag.Arg(1), out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes (%+.2f%%), layout %s\n",
+		flag.Arg(1), report.InputSize, report.OutputSize,
+		report.SizeOverhead()*100, report.Layout)
+	if *stats {
+		s := report.Stats
+		fmt.Printf("pins %d (inline %d, 5-byte %d, 2-byte %d, chains %d, sleds %d/%d entries)\n",
+			s.Pinned, s.InlinePins, s.Stubs5, s.Stubs2, s.Chains, s.Sleds, s.SledEntries)
+		fmt.Printf("dollops %d (splits %d), overflow %d bytes, text growth %d, free left %d\n",
+			s.Dollops, s.Splits, s.OverflowUsed, s.TextGrowth, s.FreeLeft)
+	}
+	if *warns {
+		for _, w := range report.Warnings {
+			fmt.Println("warning:", w)
+		}
+	}
+	if *verify != "" {
+		verdict, err := verifyPair(input, out, *verify)
+		if err != nil {
+			return err
+		}
+		fmt.Println(verdict)
+	}
+	if *mapOut != "" {
+		addrs := make([]uint32, 0, len(report.AddrMap))
+		for a := range report.AddrMap {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		var sb strings.Builder
+		for _, a := range addrs {
+			fmt.Fprintf(&sb, "%#08x %#08x\n", a, report.AddrMap[a])
+		}
+		if err := os.WriteFile(*mapOut, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d mappings\n", *mapOut, len(addrs))
+	}
+	if *sql != "" {
+		res, err := report.IRDB.Exec(*sql)
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			keys := make([]string, 0, len(row))
+			for k := range row {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%v", k, row[k]))
+			}
+			fmt.Println(strings.Join(parts, " "))
+		}
+		if res.Affected > 0 {
+			fmt.Printf("(%d rows affected)\n", res.Affected)
+		}
+	}
+	return nil
+}

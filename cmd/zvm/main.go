@@ -1,0 +1,108 @@
+// Command zvm executes a ZELF binary (plus shared libraries) in the
+// DECREE-like virtual machine, feeding stdin to the program and writing
+// its transmissions to stdout. Statistics mirror the CGC scoring
+// metrics.
+//
+// Usage:
+//
+//	zvm [-lib name=file.zelf ...] [-max-steps N] [-stats] prog.zelf < input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/isa"
+	"zipr/internal/loader"
+	"zipr/internal/vm"
+)
+
+// libFlags collects repeated -lib name=path pairs.
+type libFlags map[string]string
+
+func (l libFlags) String() string { return fmt.Sprint(map[string]string(l)) }
+
+func (l libFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	l[name] = path
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zvm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	libs := libFlags{}
+	flag.Var(libs, "lib", "shared library as name=file.zelf (repeatable)")
+	maxSteps := flag.Uint64("max-steps", 200_000_000, "instruction budget")
+	stats := flag.Bool("stats", false, "print CGC-style metrics to stderr")
+	seed := flag.Uint64("seed", 1, "random() syscall seed")
+	trace := flag.Int("trace", 0, "on abnormal exit, print the last N program counters with disassembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: zvm [flags] prog.zelf")
+	}
+
+	load := func(path string) (*binfmt.Binary, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return binfmt.Unmarshal(data)
+	}
+	prog, err := load(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	libBins := map[string]*binfmt.Binary{}
+	for name, path := range libs {
+		b, err := load(path)
+		if err != nil {
+			return fmt.Errorf("lib %s: %w", name, err)
+		}
+		libBins[name] = b
+	}
+
+	opts := []vm.Option{vm.WithStdin(os.Stdin), vm.WithMaxSteps(*maxSteps), vm.WithRandomSeed(*seed)}
+	if *trace > 0 {
+		opts = append(opts, vm.WithTrace(*trace))
+	}
+	m := vm.New(opts...)
+	if err := loader.Load(m, prog, libBins); err != nil {
+		return err
+	}
+	res, runErr := m.Run()
+	if _, err := os.Stdout.Write(res.Output); err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "exit=%d steps=%d maxrss=%d bytes (%d pages)\n",
+			res.ExitCode, res.Steps, res.MaxRSSBytes(), res.PagesTouched)
+	}
+	if runErr != nil {
+		if *trace > 0 {
+			for _, pc := range m.LastPCs() {
+				line := fmt.Sprintf("%#08x  ??", pc)
+				if raw, err := m.ReadMem(pc, isa.MaxLen); err == nil {
+					if in, derr := isa.Decode(raw); derr == nil {
+						line = fmt.Sprintf("%#08x  %s", pc, in.String())
+					}
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+		return runErr
+	}
+	os.Exit(int(res.ExitCode) & 0x7F)
+	return nil
+}

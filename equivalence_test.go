@@ -1,0 +1,163 @@
+package zipr
+
+// Property-based whole-pipeline testing: generate random programs,
+// rewrite them under random transform stacks and layouts, and require
+// transcript equivalence with the original on multiple inputs. This is
+// the strongest correctness statement the repository makes — the paper's
+// robustness argument ("any change to program behavior after it has been
+// rewritten is the result of our rewriting technique") run as a fuzzer.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/synth"
+)
+
+// randomProfile draws a program shape from the generator's full range.
+func randomProfile(r *rand.Rand, idx int) synth.Profile {
+	return synth.Profile{
+		Name:             fmt.Sprintf("fz%d", idx),
+		NumFuncs:         4 + r.Intn(60),
+		OpsMin:           2 + r.Intn(6),
+		OpsMax:           8 + r.Intn(30),
+		HandwrittenFrac:  r.Float64() * 0.6,
+		FuncPtrTableFrac: r.Float64() * 0.5,
+		DataWords:        16 + r.Intn(512),
+		InputLen:         8 + r.Intn(48),
+		LoopIters:        4 + r.Intn(24),
+		HeapPages:        r.Intn(8),
+		BigDollops:       r.Intn(4) == 0,
+	}
+}
+
+// randomStack draws a transform stack (possibly empty => Null).
+func randomStack(r *rand.Rand) ([]Transform, string) {
+	var tfs []Transform
+	var names string
+	maybe := func(name string, t Transform, p float64) {
+		if r.Float64() < p {
+			tfs = append(tfs, t)
+			names += name + "+"
+		}
+	}
+	maybe("stir", Stir(r.Int63()), 0.25)
+	maybe("nopelide", NopElide(), 0.25)
+	maybe("stackpad", StackPad(int32(16+16*r.Intn(8))), 0.3)
+	maybe("canary", Canary(uint32(r.Int63())|1), 0.3)
+	maybe("cfi", CFI(), 0.4)
+	if len(tfs) == 0 {
+		tfs = append(tfs, Null())
+		names = "null+"
+	}
+	return tfs, names[:len(names)-1]
+}
+
+func TestPipelineEquivalenceFuzz(t *testing.T) {
+	cases := 32
+	if testing.Short() {
+		cases = 6
+	}
+	rng := rand.New(rand.NewSource(0xF022))
+	for i := 0; i < cases; i++ {
+		profile := randomProfile(rng, i)
+		seed := rng.Int63()
+		orig, err := synth.Build(seed, profile)
+		if err != nil {
+			t.Fatalf("case %d: build: %v", i, err)
+		}
+		tfs, stackName := randomStack(rng)
+		layout := LayoutOptimized
+		if rng.Intn(2) == 1 {
+			layout = LayoutDiversity
+		}
+		label := fmt.Sprintf("case %d (%s, %s, funcs=%d hand=%.2f)",
+			i, stackName, layout, profile.NumFuncs, profile.HandwrittenFrac)
+
+		rw, report, err := RewriteBinary(orig.Clone(), Config{
+			Transforms: tfs,
+			Layout:     layout,
+			Seed:       rng.Int63(),
+		})
+		if err != nil {
+			t.Fatalf("%s: rewrite: %v", label, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			input := make([]byte, profile.InputLen)
+			rng.Read(input)
+			want, err1 := execute(t, orig, nil, string(input))
+			got, err2 := execute(t, rw, nil, string(input))
+			if err1 != nil {
+				t.Fatalf("%s: original faulted: %v", label, err1)
+			}
+			if err2 != nil {
+				t.Fatalf("%s: rewritten faulted: %v (stats %+v)", label, err2, report.Stats)
+			}
+			if want.ExitCode != got.ExitCode || !bytes.Equal(want.Output, got.Output) {
+				t.Fatalf("%s: diverged on input %x: exit %d/%d output %x/%x",
+					label, input, want.ExitCode, got.ExitCode, want.Output, got.Output)
+			}
+		}
+	}
+}
+
+// TestDoubleRewrite rewrites a rewritten binary: the output of the
+// pipeline must itself be a valid rewriting input (the paper rewrites
+// already-stripped, compiler-free binaries; ours must at minimum accept
+// its own output).
+func TestDoubleRewrite(t *testing.T) {
+	seed, profile := synth.CBProfile(5)
+	orig, err := synth.Build(seed, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte{3}, profile.InputLen)
+	want := mustRun(t, orig, nil, string(input))
+
+	once, _, err := RewriteBinary(orig.Clone(), Config{Transforms: []Transform{Null()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, _, err := RewriteBinary(once.Clone(), Config{Transforms: []Transform{Null()}})
+	if err != nil {
+		t.Fatalf("second rewrite: %v", err)
+	}
+	got := mustRun(t, twice, nil, string(input))
+	if got.ExitCode != want.ExitCode || !bytes.Equal(got.Output, want.Output) {
+		t.Fatalf("double rewrite diverged: exit %d vs %d", got.ExitCode, want.ExitCode)
+	}
+}
+
+// TestRewriteDeterministic: identical inputs and config must give
+// byte-identical outputs (needed for reproducible builds and the
+// evaluation's reproducibility claim).
+func TestRewriteDeterministic(t *testing.T) {
+	seed, profile := synth.CBProfile(9)
+	orig, err := synth.Build(seed, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() []byte {
+		rw, _, err := RewriteBinary(orig.Clone(), Config{
+			Transforms: []Transform{CFI()},
+			Layout:     LayoutDiversity,
+			Seed:       77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rw.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("rewriting is not deterministic")
+	}
+}
+
+var _ = binfmt.Exec // keep the import for helper signatures

@@ -1,0 +1,88 @@
+package zipr_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"zipr"
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+	"zipr/internal/loader"
+	"zipr/internal/vm"
+)
+
+// Example demonstrates the basic rewrite flow: assemble a program,
+// rewrite it with the Null transform, and run both versions.
+func Example() {
+	source := `
+.text 0x00100000
+main:
+    movi r1, 5
+    call double
+    movi r0, 1      ; terminate(r1)
+    syscall
+double:
+    add r1, r1
+    ret
+`
+	original := asm.MustAssemble(source)
+	image, err := original.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rewritten, report, err := zipr.Rewrite(image, zipr.Config{
+		Transforms: []zipr.Transform{zipr.Null()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewrote %d -> %d bytes with %d pinned address(es)\n",
+		report.InputSize, report.OutputSize, report.Stats.Pinned)
+
+	run := func(img []byte) int32 {
+		bin, err := binfmt.Unmarshal(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := vm.New(vm.WithStdin(strings.NewReader("")), vm.WithMaxSteps(10_000))
+		if err := loader.Load(m, bin, nil); err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.ExitCode
+	}
+	fmt.Printf("original exit=%d rewritten exit=%d\n", run(image), run(rewritten))
+	// Output:
+	// rewrote 54 -> 59 bytes with 1 pinned address(es)
+	// original exit=10 rewritten exit=10
+}
+
+// ExampleConfig_captureIR shows SQL inspection of the constructed IR.
+func ExampleConfig_captureIR() {
+	original := asm.MustAssemble(`
+.text 0x00100000
+main:
+    call fn
+    movi r0, 1
+    movi r1, 0
+    syscall
+fn:
+    ret
+`)
+	_, report, err := zipr.RewriteBinary(original, zipr.Config{CaptureIR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := report.IRDB.Exec("SELECT COUNT(*) FROM instructions WHERE pinned = TRUE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned instructions: %d\n", res.Rows[0]["count"])
+	// Output:
+	// pinned instructions: 1
+}

@@ -1,0 +1,105 @@
+// cfi-protect: demonstrates the security payoff of rewriting. The target
+// program dispatches through a function pointer stored in writable data
+// directly after an input buffer; nine attacker-controlled bytes
+// overflow the buffer and redirect the pointer into secret(), leaking a
+// flag. After rewriting with the CFI transform, the benign path still
+// works but the hijacked pointer — which names an address that is not a
+// legal indirect target — terminates the program with the violation
+// code, exactly the defense Xandra fielded in the CGC.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"zipr"
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+	"zipr/internal/loader"
+	"zipr/internal/vm"
+)
+
+const vulnerable = `
+.text 0x00100000
+main:
+    movi r0, 3          ; receive attacker input (up to 12 bytes)
+    movi r1, 0
+    movi r2, buf
+    movi r3, 12
+    syscall
+    movi r5, fptr
+    load r5, [r5]
+    callr r5            ; hijackable dispatch
+    movi r0, 1
+    syscall
+benign:
+    movi r1, 0
+    ret
+secret:
+    lea r2, flag        ; "flag disclosure"
+    movi r0, 2
+    movi r1, 1
+    mov r3, r1
+    movi r3, 10
+    syscall
+    movi r1, 42
+    ret
+flag: .asciz "FLAG{pwnd}"
+.data 0x00200000
+buf: .space 8
+fptr: .word benign
+`
+
+func run(bin *binfmt.Binary, input []byte) vm.Result {
+	m := vm.New(vm.WithStdin(bytes.NewReader(input)), vm.WithMaxSteps(1_000_000))
+	if err := loader.Load(m, bin, nil); err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		// Faults (e.g. wild jumps) count as crashes, not flag leaks.
+		fmt.Println("   (program crashed:", err, ")")
+	}
+	return res
+}
+
+func main() {
+	original, err := asm.Assemble(vulnerable)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the payload: 8 filler bytes, then one byte that rewrites the
+	// low byte of fptr so it points at secret instead of benign.
+	d := original.DataSeg()
+	origPtr := uint32(d.Data[8]) | uint32(d.Data[9])<<8 | uint32(d.Data[10])<<16 | uint32(d.Data[11])<<24
+	secretPtr := origPtr + 7 // benign is movi(6)+ret(1) = 7 bytes
+	payload := append(make([]byte, 8), byte(secretPtr))
+
+	fmt.Println("== unprotected binary ==")
+	res := run(original, nil)
+	fmt.Printf("benign run:  exit=%d output=%q\n", res.ExitCode, res.Output)
+	res = run(original, payload)
+	fmt.Printf("attack run:  exit=%d output=%q", res.ExitCode, res.Output)
+	if res.ExitCode == 42 {
+		fmt.Print("   <-- hijack succeeded, flag leaked")
+	}
+	fmt.Println()
+
+	protected, report, err := zipr.RewriteBinary(original.Clone(), zipr.Config{
+		Transforms: []zipr.Transform{zipr.CFI()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== zipr + CFI (file %+.1f%%) ==\n", report.SizeOverhead()*100)
+	res = run(protected, nil)
+	fmt.Printf("benign run:  exit=%d output=%q\n", res.ExitCode, res.Output)
+	res = run(protected, payload)
+	fmt.Printf("attack run:  exit=%d output=%q", res.ExitCode, res.Output)
+	if res.ExitCode == 139 {
+		fmt.Print("   <-- CFI violation, attack blocked")
+	}
+	fmt.Println()
+}

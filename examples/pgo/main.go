@@ -1,0 +1,119 @@
+// pgo: profile-guided layout — the paper's "well-suited for program
+// optimization" claim realized. A program whose error paths (cold
+// functions) interleave with its hot code is (1) instrumented with the
+// profiler transform, (2) run on training inputs to collect per-function
+// execution counts, and (3) rewritten under the profile-guided layout,
+// which packs the hot functions densely and pushes the cold code away.
+// The working set of a production-like run shrinks accordingly, while
+// an input that takes the error path still behaves identically.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"zipr"
+	"zipr/internal/binfmt"
+	"zipr/internal/loader"
+	"zipr/internal/synth"
+	"zipr/internal/vm"
+)
+
+func newMachine(bin *binfmt.Binary, input []byte) *vm.Machine {
+	m := vm.New(vm.WithStdin(bytes.NewReader(input)), vm.WithMaxSteps(50_000_000))
+	if err := loader.Load(m, bin, nil); err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func run(bin *binfmt.Binary, input []byte) vm.Result {
+	m := newMachine(bin, input)
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	profile := synth.Profile{
+		Name:          "pgodemo",
+		NumFuncs:      20,
+		OpsMin:        6,
+		OpsMax:        20,
+		LoopIters:     16,
+		ColdFuncs:     100, // most of the code is error paths
+		DirectCallAll: true,
+		HeapPages:     1,
+		InputLen:      32,
+	}
+	original, err := synth.Build(21, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	training := bytes.Repeat([]byte{0x42}, profile.InputLen) // no 0xFF: hot path
+	errorInput := append(bytes.Repeat([]byte{0x42}, profile.InputLen-1), 0xFF)
+
+	// Step 1+2: instrument, run training input, read the counters.
+	prof := zipr.NewProfiler()
+	instrumented, _, err := zipr.RewriteBinary(original.Clone(), zipr.Config{
+		Transforms: []zipr.Transform{prof},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := newMachine(instrumented, training)
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	var hot []uint32
+	cold := 0
+	for entry, ctr := range prof.Counters {
+		raw, err := m.ReadMem(ctr, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		count := uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24
+		if count > 0 {
+			hot = append(hot, entry)
+		} else {
+			cold++
+		}
+	}
+	fmt.Printf("profiled %d functions: %d hot, %d cold\n", len(prof.Counters), len(hot), cold)
+
+	// Step 3: rewrite under the profile-guided layout.
+	pgo, _, err := zipr.RewriteBinary(original.Clone(), zipr.Config{
+		Layout:   zipr.LayoutProfileGuided,
+		HotFuncs: hot,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baselineRW, _, err := zipr.RewriteBinary(original.Clone(), zipr.Config{
+		Transforms: []zipr.Transform{zipr.Null()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := run(original, training)
+	opt := run(baselineRW, training)
+	fast := run(pgo, training)
+	fmt.Printf("hot-path run:   original %3d pages | optimized layout %3d pages | profile-guided %3d pages\n",
+		base.PagesTouched, opt.PagesTouched, fast.PagesTouched)
+	fmt.Printf("hot-path MaxRSS vs original: %+.0f%% (the optimized layout's referent\n",
+		100*float64(fast.PagesTouched-base.PagesTouched)/float64(base.PagesTouched))
+	fmt.Println("locality already clusters this program's hot calls; profile-guided")
+	fmt.Println("placement guarantees the segregation instead of relying on call shape)")
+	same := base.ExitCode == fast.ExitCode && bytes.Equal(base.Output, fast.Output)
+	fmt.Printf("hot-path behavior identical: %v\n", same)
+
+	baseErr := run(original, errorInput)
+	fastErr := run(pgo, errorInput)
+	sameErr := baseErr.ExitCode == fastErr.ExitCode && bytes.Equal(baseErr.Output, fastErr.Output)
+	fmt.Printf("error-path run: original %3d pages | profile-guided %3d pages (cold code paged in), identical: %v\n",
+		baseErr.PagesTouched, fastErr.PagesTouched, sameErr)
+}

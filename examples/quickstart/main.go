@@ -1,0 +1,103 @@
+// Quickstart: assemble a small program, rewrite it with the Null
+// transform (the paper's robustness baseline), run both versions in the
+// DECREE-like VM on the same input, and show that behavior is identical
+// while the reassembly statistics reveal what the rewriter did.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"zipr"
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+	"zipr/internal/loader"
+	"zipr/internal/vm"
+)
+
+const program = `
+.text 0x00100000
+main:
+    movi r0, 3          ; receive(0, buf, 16)
+    movi r1, 0
+    movi r2, buf
+    movi r3, 16
+    syscall
+    mov r10, r0         ; bytes read
+    movi r9, 0          ; checksum
+    movi r8, 0
+loop:
+    cmp r8, r10
+    jae done
+    movi r2, buf
+    add r2, r8
+    loadb r1, [r2]
+    call mix            ; direct call
+    add r9, r1
+    inc r8
+    jmp loop
+done:
+    movi r2, out        ; transmit(1, out, 4)
+    store [r2], r9
+    movi r0, 2
+    movi r1, 1
+    movi r3, 4
+    syscall
+    mov r1, r9
+    andi r1, 0x3f
+    movi r0, 1          ; terminate(checksum & 0x3f)
+    syscall
+mix:
+    mov r2, r1
+    shli r2, 3
+    xor r1, r2
+    addi r1, 41
+    ret
+.data 0x00200000
+buf: .space 16
+out: .space 4
+`
+
+func run(bin *binfmt.Binary, input string) vm.Result {
+	m := vm.New(vm.WithStdin(strings.NewReader(input)), vm.WithMaxSteps(1_000_000))
+	if err := loader.Load(m, bin, nil); err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	original, err := asm.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rewritten, report, err := zipr.RewriteBinary(original.Clone(), zipr.Config{
+		Transforms: []zipr.Transform{zipr.Null()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const input = "hello, rewriter!"
+	before := run(original, input)
+	after := run(rewritten, input)
+
+	fmt.Printf("original:  exit=%d steps=%d output=%x\n", before.ExitCode, before.Steps, before.Output)
+	fmt.Printf("rewritten: exit=%d steps=%d output=%x\n", after.ExitCode, after.Steps, after.Output)
+	if before.ExitCode == after.ExitCode && bytes.Equal(before.Output, after.Output) {
+		fmt.Println("=> behavior identical")
+	} else {
+		fmt.Println("=> BEHAVIOR DIVERGED (bug!)")
+	}
+	fmt.Printf("file size %d -> %d bytes (%+.2f%%)\n",
+		report.InputSize, report.OutputSize, report.SizeOverhead()*100)
+	fmt.Printf("pins=%d inline=%d dollops=%d splits=%d overflow=%dB\n",
+		report.Stats.Pinned, report.Stats.InlinePins, report.Stats.Dollops,
+		report.Stats.Splits, report.Stats.OverflowUsed)
+}

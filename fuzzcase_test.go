@@ -1,0 +1,87 @@
+package zipr
+
+// Regression tests distilled from pipeline-fuzzer findings.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zipr/internal/synth"
+)
+
+// replayFuzzCase re-executes exactly one case of the equivalence fuzzer
+// (same RNG stream) and returns its ingredients.
+func replayFuzzCase(t *testing.T, target int) (synth.Profile, int64, []Transform, string, LayoutKind, int64, [][]byte) {
+	rng := rand.New(rand.NewSource(0xF022))
+	for i := 0; ; i++ {
+		profile := randomProfile(rng, i)
+		seed := rng.Int63()
+		tfs, stackName := randomStack(rng)
+		layout := LayoutOptimized
+		if rng.Intn(2) == 1 {
+			layout = LayoutDiversity
+		}
+		rewriteSeed := rng.Int63()
+		inputs := make([][]byte, 3)
+		for trial := range inputs {
+			inputs[trial] = make([]byte, profile.InputLen)
+			rng.Read(inputs[trial])
+		}
+		if i == target {
+			return profile, seed, tfs, stackName, layout, rewriteSeed, inputs
+		}
+		if i > 200 {
+			t.Fatal("target case never reached")
+		}
+	}
+}
+
+func TestFuzzCase13Regression(t *testing.T) {
+	profile, seed, tfs, stackName, layout, rewriteSeed, inputs := replayFuzzCase(t, 13)
+	t.Logf("stack=%s layout=%s funcs=%d", stackName, layout, profile.NumFuncs)
+	orig, err := synth.Build(seed, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, report, err := RewriteBinary(orig.Clone(), Config{
+		Transforms: tfs, Layout: layout, Seed: rewriteSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range inputs {
+		want, err1 := execute(t, orig, nil, string(input))
+		got, err2 := execute(t, rw, nil, string(input))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("fault: %v / %v (stats %+v)", err1, err2, report.Stats)
+		}
+		if want.ExitCode != got.ExitCode || !bytes.Equal(want.Output, got.Output) {
+			t.Fatalf("diverged: exit %d vs %d", want.ExitCode, got.ExitCode)
+		}
+	}
+}
+
+// TestNopElideCanaryCFIStack is the distilled shape of fuzz case 13:
+// padding deletion composed with canary and CFI instrumentation.
+func TestNopElideCanaryCFIStack(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		seed, profile := synth.CBProfile(i)
+		orig, err := synth.Build(seed, profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := bytes.Repeat([]byte{byte(i * 11)}, profile.InputLen)
+		want := mustRun(t, orig, nil, string(input))
+		rw, _, err := RewriteBinary(orig.Clone(), Config{
+			Transforms: []Transform{NopElide(), Canary(0x1235), CFI()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustRun(t, rw, nil, string(input))
+		if got.ExitCode != want.ExitCode || !bytes.Equal(got.Output, want.Output) {
+			t.Fatalf("cb%d diverged: exit %d vs %d", i, got.ExitCode, want.ExitCode)
+		}
+	}
+}

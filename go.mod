@@ -1,0 +1,3 @@
+module zipr
+
+go 1.22

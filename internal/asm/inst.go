@@ -1,0 +1,287 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"zipr/internal/isa"
+)
+
+// instShape describes how a mnemonic's operands are parsed.
+type instShape uint8
+
+const (
+	shNone   instShape = iota + 1 // nop
+	shReg                         // push r1
+	shImm8                        // push8 -3
+	shImm32                       // pushi 99 / pushi label
+	shRel                         // jmp label (rel8 or rel32 by mnemonic)
+	shRegReg                      // add r1, r2
+	shRegI8                       // addi8 r1, -4
+	shRegI32                      // movi r1, 99 / movi r1, label
+	shPCRel                       // lea r1, label
+	shLoad                        // load r1, [r2+4]
+	shStore                       // store [r1+4], r2
+)
+
+type mnemonic struct {
+	op    isa.Op
+	cc    isa.Cc
+	shape instShape
+}
+
+// mnemonics maps source mnemonics to operations. Conditional jumps carry
+// their condition; ".s" variants use the short (rel8) encodings.
+var mnemonics = buildMnemonics()
+
+func buildMnemonics() map[string]mnemonic {
+	m := map[string]mnemonic{
+		"nop":     {op: isa.OpNop, shape: shNone},
+		"hlt":     {op: isa.OpHlt, shape: shNone},
+		"ret":     {op: isa.OpRet, shape: shNone},
+		"syscall": {op: isa.OpSyscall, shape: shNone},
+		"push":    {op: isa.OpPush, shape: shReg},
+		"pop":     {op: isa.OpPop, shape: shReg},
+		"jmpr":    {op: isa.OpJmpR, shape: shReg},
+		"callr":   {op: isa.OpCallR, shape: shReg},
+		"inc":     {op: isa.OpInc, shape: shReg},
+		"dec":     {op: isa.OpDec, shape: shReg},
+		"not":     {op: isa.OpNot, shape: shReg},
+		"push8":   {op: isa.OpPushI8, shape: shImm8},
+		"pushi":   {op: isa.OpPushI32, shape: shImm32},
+		"jmp":     {op: isa.OpJmp32, shape: shRel},
+		"jmp.s":   {op: isa.OpJmp8, shape: shRel},
+		"call":    {op: isa.OpCall, shape: shRel},
+		"add":     {op: isa.OpAdd, shape: shRegReg},
+		"sub":     {op: isa.OpSub, shape: shRegReg},
+		"and":     {op: isa.OpAnd, shape: shRegReg},
+		"or":      {op: isa.OpOr, shape: shRegReg},
+		"xor":     {op: isa.OpXor, shape: shRegReg},
+		"mul":     {op: isa.OpMul, shape: shRegReg},
+		"div":     {op: isa.OpDiv, shape: shRegReg},
+		"mod":     {op: isa.OpMod, shape: shRegReg},
+		"shl":     {op: isa.OpShl, shape: shRegReg},
+		"shr":     {op: isa.OpShr, shape: shRegReg},
+		"cmp":     {op: isa.OpCmp, shape: shRegReg},
+		"mov":     {op: isa.OpMov, shape: shRegReg},
+		"addi8":   {op: isa.OpAddI8, shape: shRegI8},
+		"cmpi8":   {op: isa.OpCmpI8, shape: shRegI8},
+		"shli":    {op: isa.OpShlI, shape: shRegI8},
+		"shri":    {op: isa.OpShrI, shape: shRegI8},
+		"movi":    {op: isa.OpMovI, shape: shRegI32},
+		"addi":    {op: isa.OpAddI, shape: shRegI32},
+		"andi":    {op: isa.OpAndI, shape: shRegI32},
+		"ori":     {op: isa.OpOrI, shape: shRegI32},
+		"xori":    {op: isa.OpXorI, shape: shRegI32},
+		"cmpi":    {op: isa.OpCmpI, shape: shRegI32},
+		"lea":     {op: isa.OpLea, shape: shPCRel},
+		"loadpc":  {op: isa.OpLoadPC, shape: shPCRel},
+		"load":    {op: isa.OpLoad, shape: shLoad},
+		"loadb":   {op: isa.OpLoadB, shape: shLoad},
+		"store":   {op: isa.OpStore, shape: shStore},
+		"storeb":  {op: isa.OpStoreB, shape: shStore},
+	}
+	for name, cc := range map[string]isa.Cc{
+		"jz": isa.CcZ, "jnz": isa.CcNZ, "jl": isa.CcL, "jge": isa.CcGE,
+		"jle": isa.CcLE, "jg": isa.CcG, "jb": isa.CcB, "jae": isa.CcAE,
+	} {
+		m[name] = mnemonic{op: isa.OpJcc32, cc: cc, shape: shRel}
+		m[name+".s"] = mnemonic{op: isa.OpJcc8, cc: cc, shape: shRel}
+	}
+	return m
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "sp" {
+		return isa.SP, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		var n int
+		if _, err := fmt.Sscanf(s[1:], "%d", &n); err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMem parses "[reg]", "[reg+disp]" or "[reg-disp]".
+func (a *assembler) parseMem(s string) (uint8, int32, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	regPart, disp := body, int64(0)
+	if i := strings.IndexAny(body, "+-"); i > 0 {
+		n, err := a.number(body[i:])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement in %q: %v", s, err)
+		}
+		regPart, disp = body[:i], n
+	}
+	r, err := parseReg(regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, int32(disp), nil
+}
+
+// instruction assembles one instruction statement. On pass 1 it only
+// reserves space (every mnemonic has a fixed size); on pass 2 it encodes
+// with resolved labels.
+func (a *assembler) instruction(s string, pass int) error {
+	fields := strings.Fields(s)
+	name := strings.ToLower(fields[0])
+	mn, ok := mnemonics[name]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", name)
+	}
+	rest := strings.TrimSpace(s[len(fields[0]):])
+	in := isa.Inst{Op: mn.op, Cc: mn.cc}
+
+	if pass == 1 {
+		// Reserve exact space; operands may reference undefined labels.
+		if err := a.checkArity(mn.shape, rest); err != nil {
+			return err
+		}
+		buf, err := a.cur()
+		if err != nil {
+			return err
+		}
+		*buf = append(*buf, make([]byte, in.Len())...)
+		return nil
+	}
+
+	ops := splitOperands(rest)
+	wantOps := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operand(s), got %d", name, n, len(ops))
+		}
+		return nil
+	}
+	switch mn.shape {
+	case shNone:
+		if err := wantOps(0); err != nil && rest != "" {
+			return err
+		}
+	case shReg:
+		if err := wantOps(1); err != nil {
+			return err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		in.Rd = r
+	case shImm8, shImm32:
+		if err := wantOps(1); err != nil {
+			return err
+		}
+		v, err := a.value(ops[0])
+		if err != nil {
+			return err
+		}
+		in.Imm = int32(v)
+	case shRel:
+		if err := wantOps(1); err != nil {
+			return err
+		}
+		target, err := a.value(ops[0])
+		if err != nil {
+			return err
+		}
+		disp := target - int64(a.pc()) - int64(in.Len())
+		if in.Op == isa.OpJmp8 || in.Op == isa.OpJcc8 {
+			if disp < -128 || disp > 127 {
+				return fmt.Errorf("short branch to %q out of range (disp %d)", ops[0], disp)
+			}
+		}
+		in.Imm = int32(disp)
+	case shRegReg:
+		if err := wantOps(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rd, in.Rs = rd, rs
+	case shRegI8, shRegI32:
+		if err := wantOps(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.value(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rd, in.Imm = rd, int32(v)
+	case shPCRel:
+		if err := wantOps(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		target, err := a.value(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rd = rd
+		in.Imm = int32(target - int64(a.pc()) - int64(in.Len()))
+	case shLoad:
+		if err := wantOps(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, disp, err := a.parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rd, in.Rs, in.Imm = rd, rs, disp
+	case shStore:
+		if err := wantOps(2); err != nil {
+			return err
+		}
+		rd, disp, err := a.parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rd, in.Rs, in.Imm = rd, rs, disp
+	}
+	enc, err := isa.Encode(in)
+	if err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	return a.emit(enc...)
+}
+
+// checkArity performs pass-1 operand-count validation so errors carry the
+// right line numbers even before labels resolve.
+func (a *assembler) checkArity(shape instShape, rest string) error {
+	n := len(splitOperands(rest))
+	want := map[instShape]int{
+		shNone: 0, shReg: 1, shImm8: 1, shImm32: 1, shRel: 1,
+		shRegReg: 2, shRegI8: 2, shRegI32: 2, shPCRel: 2, shLoad: 2, shStore: 2,
+	}[shape]
+	if n != want {
+		return fmt.Errorf("expected %d operand(s), got %d", want, n)
+	}
+	return nil
+}

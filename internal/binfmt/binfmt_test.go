@@ -1,0 +1,193 @@
+package binfmt
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Binary {
+	return &Binary{
+		Type:  Exec,
+		Entry: 0x1000,
+		Segments: []Segment{
+			{Kind: Text, VAddr: 0x1000, Data: []byte{0x90, 0xc3, 0xf4}},
+			{Kind: Data, VAddr: 0x2000, Data: make([]byte, 16)},
+		},
+		Exports: []Symbol{{Name: "main", Addr: 0x1000}},
+		Imports: []Import{{Name: "lib!fn", GotAddr: 0x2004}},
+		Libs:    []string{"lib"},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	b := sample()
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, b)
+	}
+	if b.FileSize() != len(data) {
+		t.Fatalf("FileSize = %d, want %d", b.FileSize(), len(data))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorrupt},
+		{"bad magic", []byte("ELFZ0123456789abcdef"), ErrBadMagic},
+		{"bad version", append(append([]byte{}, Magic[:]...), 0xFF, 0xFF, 1, 0), ErrBadVersion},
+		{"truncated", good[:len(good)-3], ErrCorrupt},
+		{"truncated header", good[:8], ErrCorrupt},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.data); !errors.Is(err, tt.want) {
+				t.Fatalf("Unmarshal error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Binary)
+		ok     bool
+	}{
+		{"valid", func(b *Binary) {}, true},
+		{"no text", func(b *Binary) { b.Segments = b.Segments[1:] }, false},
+		{"bad type", func(b *Binary) { b.Type = 9 }, false},
+		{"entry outside text", func(b *Binary) { b.Entry = 0x2000 }, false},
+		{"overlap", func(b *Binary) { b.Segments[1].VAddr = 0x1001 }, false},
+		{"got outside data", func(b *Binary) { b.Imports[0].GotAddr = 0x1000 }, false},
+		{"got at data edge", func(b *Binary) { b.Imports[0].GotAddr = 0x200e }, false},
+		{"export unmapped", func(b *Binary) { b.Exports[0].Addr = 0x9999 }, false},
+		{"lib no entry check", func(b *Binary) { b.Type = Lib; b.Entry = 0 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := sample()
+			tt.mutate(b)
+			err := b.Validate()
+			if (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestSegmentQueries(t *testing.T) {
+	b := sample()
+	if b.Text() == nil || b.Text().Kind != Text {
+		t.Fatal("Text() failed")
+	}
+	if b.DataSeg() == nil || b.DataSeg().Kind != Data {
+		t.Fatal("DataSeg() failed")
+	}
+	if s := b.SegmentAt(0x1002); s == nil || s.Kind != Text {
+		t.Fatal("SegmentAt text failed")
+	}
+	if s := b.SegmentAt(0x1003); s != nil {
+		t.Fatal("SegmentAt past text should be nil")
+	}
+	if s := b.SegmentAt(0x0); s != nil {
+		t.Fatal("SegmentAt unmapped should be nil")
+	}
+	if _, ok := b.ReadWord(0x2000); !ok {
+		t.Fatal("ReadWord in data failed")
+	}
+	if _, ok := b.ReadWord(0x200d); ok {
+		t.Fatal("ReadWord crossing segment end should fail")
+	}
+	if addr, ok := b.ExportAddr("main"); !ok || addr != 0x1000 {
+		t.Fatalf("ExportAddr = %#x, %v", addr, ok)
+	}
+	if _, ok := b.ExportAddr("nope"); ok {
+		t.Fatal("ExportAddr of missing symbol should fail")
+	}
+}
+
+func TestClone(t *testing.T) {
+	b := sample()
+	c := b.Clone()
+	if !reflect.DeepEqual(b, c) {
+		t.Fatal("clone differs")
+	}
+	c.Segments[0].Data[0] = 0xAA
+	if b.Segments[0].Data[0] == 0xAA {
+		t.Fatal("clone shares segment data with original")
+	}
+}
+
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	// Corrupt inputs must produce errors, never panics or hangs.
+	base, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(idx int, val byte, trunc int) bool {
+		data := append([]byte(nil), base...)
+		if len(data) == 0 {
+			return true
+		}
+		data[abs(idx)%len(data)] ^= val
+		if trunc != 0 {
+			data = data[:abs(trunc)%len(data)]
+		}
+		b, err := Unmarshal(data)
+		if err == nil {
+			// If it parsed, it must validate and re-marshal.
+			if _, merr := b.Marshal(); merr != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWordLittleEndian(t *testing.T) {
+	b := sample()
+	copy(b.DataSeg().Data, []byte{0x78, 0x56, 0x34, 0x12})
+	v, ok := b.ReadWord(0x2000)
+	if !ok || v != 0x12345678 {
+		t.Fatalf("ReadWord = %#x, want 0x12345678", v)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	a, _ := sample().Marshal()
+	b, _ := sample().Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Marshal not deterministic")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}

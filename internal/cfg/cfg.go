@@ -1,0 +1,275 @@
+// Package cfg constructs the logical IR — control-flow links and pinned
+// addresses — from aggregated disassembly. This phase implements the
+// paper's IR-construction rules:
+//
+//   - Direct branches become logical links to target instruction nodes
+//     (the mandatory address-decoupling the paper performs so that
+//     instructions can be placed anywhere).
+//   - PC-relative address formation (lea) of a code location becomes a
+//     logical link that reassembly materializes as an absolute address.
+//   - PC-relative loads keep absolute targets; loads that point into
+//     relocatable code force those bytes to additionally stay fixed
+//     (paper case 2: bytes treated as both code and data).
+//   - Pinned-address selection is conservative: P must contain every
+//     address the program can reach indirectly at run time. Pins come
+//     from the entry point, exports, code pointers found by scanning
+//     data (jump tables, function-pointer tables), code-pointer-shaped
+//     absolute immediates, and branch targets of ambiguous regions.
+package cfg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/disasm"
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// Build lifts the aggregated disassembly of bin into a logical IR
+// program with pinned addresses.
+func Build(bin *binfmt.Binary, agg disasm.Aggregated) (*ir.Program, error) {
+	p := ir.NewProgram(bin)
+	p.Fixed = append(p.Fixed, agg.Fixed...)
+	p.Warnings = append(p.Warnings, agg.Warnings...)
+	text := bin.Text()
+
+	// Create nodes in address order for deterministic IDs.
+	addrs := make([]uint32, 0, len(agg.Insts))
+	for a := range agg.Insts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		p.AddOrig(a, agg.Insts[a])
+	}
+
+	inFixed := func(a uint32) bool {
+		for _, r := range p.Fixed {
+			if r.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	var extraFixed []ir.Range
+
+	// Link fallthroughs and targets.
+	for _, a := range addrs {
+		node := p.ByAddr[a]
+		in := node.Inst
+		next := a + uint32(in.Len())
+		if in.HasFallthrough() {
+			if ft, ok := p.ByAddr[next]; ok {
+				node.Fallthrough = ft
+			} else if text.Contains(next) && inFixed(next) {
+				// Execution falls into a fixed region, which keeps its
+				// original address: continue there with a synthetic jump.
+				p.Warnf("cfg: %#x falls through into fixed bytes at %#x", a, next)
+				j := p.NewInst(isa.Inst{Op: isa.OpJmp32})
+				j.AbsTarget = next
+				node.Fallthrough = j
+			} else {
+				p.Warnf("cfg: %#x falls through to undecoded address %#x", a, next)
+				node.Fallthrough = p.NewInst(isa.Inst{Op: isa.OpHlt})
+			}
+		}
+		t, hasTarget := in.TargetAddr(a)
+		if !hasTarget {
+			continue
+		}
+		switch in.Op {
+		case isa.OpLoadPC:
+			node.AbsTarget = t
+			if tn, isCode := p.ByAddr[t]; isCode && !inFixed(t) {
+				// Data read from relocatable code bytes: keep the original
+				// bytes in place too (case 2 "both" handling).
+				p.Warnf("cfg: loadpc at %#x reads relocatable code at %#x; fixing those bytes", a, t)
+				extraFixed = append(extraFixed, ir.Range{Start: t, End: t + 4})
+				_ = tn
+			}
+		case isa.OpLea:
+			if tn, ok := p.ByAddr[t]; ok {
+				node.Target = tn // materialized to the rewritten address
+			} else {
+				node.AbsTarget = t // data or fixed bytes: address unchanged
+			}
+		default: // direct branches: jmp, jcc, call
+			if tn, ok := p.ByAddr[t]; ok {
+				node.Target = tn
+			} else if text.Contains(t) && !inFixed(t) {
+				p.Warnf("cfg: branch at %#x targets undecoded text %#x; keeping absolute", a, t)
+				node.AbsTarget = t
+			} else {
+				node.AbsTarget = t
+			}
+		}
+	}
+	p.Fixed = ir.MergeRanges(append(p.Fixed, extraFixed...))
+
+	// recordTarget notes an address the program may reach indirectly:
+	// relocatable instructions get pinned (a reference is planted at
+	// their original address); addresses inside fixed ranges are
+	// recorded as legal entries (the bytes there never move).
+	pinNode := func(a uint32, why string) {
+		if n, ok := p.ByAddr[a]; ok {
+			if !n.Pinned {
+				n.Pinned = true
+			}
+			_ = why
+			return
+		}
+		if text.Contains(a) && inFixed(a) {
+			p.FixedEntries = append(p.FixedEntries, a)
+		}
+	}
+
+	// Entry and exports.
+	if bin.Type == binfmt.Exec {
+		if e, ok := p.ByAddr[bin.Entry]; ok {
+			p.Entry = e
+			pinNode(bin.Entry, "entry")
+		} else {
+			return nil, fmt.Errorf("cfg: entry %#x is not a decoded instruction", bin.Entry)
+		}
+	}
+	for _, e := range bin.Exports {
+		pinNode(e.Addr, "export")
+	}
+
+	// Data scan: aligned words in data segments.
+	for si := range bin.Segments {
+		seg := &bin.Segments[si]
+		if seg.Kind != binfmt.Data {
+			continue
+		}
+		for off := 0; off+4 <= len(seg.Data); off += 4 {
+			v := binary.LittleEndian.Uint32(seg.Data[off:])
+			pinNode(v, "data pointer")
+		}
+	}
+	// Fixed text ranges (jump tables and pointers embedded in text):
+	// scan every byte offset, conservatively.
+	for _, r := range p.Fixed {
+		for a := r.Start; a+4 <= r.End; a++ {
+			off := a - text.VAddr
+			v := binary.LittleEndian.Uint32(text.Data[off:])
+			pinNode(v, "in-text pointer")
+		}
+	}
+	// Absolute immediates that look like code addresses: the paper keeps
+	// such values unchanged and pins the address they name, so the value
+	// works both as a number and as an indirect target. Lea instructions
+	// that kept an absolute target (possible data, left in place) are
+	// likewise potential indirect-branch targets.
+	for _, node := range p.Insts {
+		switch node.Inst.Op {
+		case isa.OpMovI, isa.OpPushI32:
+			pinNode(uint32(node.Inst.Imm), "immediate")
+		case isa.OpLea:
+			if node.AbsTarget != 0 {
+				pinNode(node.AbsTarget, "lea target")
+			}
+		}
+	}
+	// Direct branch targets of instructions decoded in ambiguous ranges,
+	// plus the return sites of calls there: if those bytes really are
+	// code, they execute in place and their control flow must keep
+	// working (including through CFI checks).
+	for a, in := range agg.AmbigInsts {
+		if t, ok := in.TargetAddr(a); ok && in.Op != isa.OpLoadPC {
+			pinNode(t, "ambiguous-region branch")
+		}
+		if in.IsCall() {
+			pinNode(a+uint32(in.Len()), "ambiguous-region return site")
+		}
+		switch in.Op {
+		case isa.OpMovI, isa.OpPushI32:
+			pinNode(uint32(in.Imm), "ambiguous-region immediate")
+		}
+	}
+
+	// Deduplicate fixed-entry records (the scans revisit addresses).
+	if len(p.FixedEntries) > 1 {
+		sort.Slice(p.FixedEntries, func(i, j int) bool { return p.FixedEntries[i] < p.FixedEntries[j] })
+		out := p.FixedEntries[:1]
+		for _, a := range p.FixedEntries[1:] {
+			if a != out[len(out)-1] {
+				out = append(out, a)
+			}
+		}
+		p.FixedEntries = out
+	}
+
+	buildFunctions(p, addrs)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// buildFunctions partitions instructions into functions for the
+// transform API: entries are the program entry, exports, direct call
+// targets and pinned instructions; bodies are flooded over fallthrough
+// and non-call branch links.
+func buildFunctions(p *ir.Program, addrs []uint32) {
+	entrySet := map[*ir.Instruction]string{}
+	if p.Entry != nil {
+		entrySet[p.Entry] = "main"
+	}
+	for _, e := range p.Bin.Exports {
+		if n, ok := p.ByAddr[e.Addr]; ok {
+			entrySet[n] = e.Name
+		}
+	}
+	for _, n := range p.Insts {
+		if n.Inst.Op == isa.OpCall && n.Target != nil {
+			if _, ok := entrySet[n.Target]; !ok {
+				entrySet[n.Target] = fmt.Sprintf("sub_%x", n.Target.OrigAddr)
+			}
+		}
+	}
+	for _, n := range p.Insts {
+		if n.Pinned {
+			if _, ok := entrySet[n]; !ok {
+				entrySet[n] = fmt.Sprintf("sub_%x", n.OrigAddr)
+			}
+		}
+	}
+	// Deterministic order: by original address.
+	entries := make([]*ir.Instruction, 0, len(entrySet))
+	for n := range entrySet {
+		entries = append(entries, n)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].OrigAddr < entries[j].OrigAddr })
+
+	owned := map[*ir.Instruction]bool{}
+	for _, entry := range entries {
+		fn := &ir.Function{Name: entrySet[entry], Entry: entry}
+		stack := []*ir.Instruction{entry}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == nil || owned[n] {
+				continue
+			}
+			if n != entry {
+				if _, isEntry := entrySet[n]; isEntry {
+					continue // belongs to its own function
+				}
+			}
+			owned[n] = true
+			fn.Insts = append(fn.Insts, n)
+			stack = append(stack, n.Fallthrough)
+			if n.Inst.Op != isa.OpCall && n.Target != nil {
+				stack = append(stack, n.Target)
+			}
+		}
+		if len(fn.Insts) > 0 {
+			p.Functions = append(p.Functions, fn)
+		}
+	}
+	_ = addrs
+}

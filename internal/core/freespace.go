@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"zipr/internal/ir"
+)
+
+// FreeSpace tracks the unallocated byte ranges of the rewritten text
+// segment. It starts as the original text range minus fixed regions;
+// pinned references, chains, sleds and dollops carve pieces out of it,
+// and inline-pin placement can return unused tails.
+type FreeSpace struct {
+	blocks []ir.Range // sorted by Start, disjoint, non-empty
+}
+
+// NewFreeSpace creates a manager covering whole minus the holes.
+func NewFreeSpace(whole ir.Range, holes []ir.Range) *FreeSpace {
+	fs := &FreeSpace{}
+	cur := whole.Start
+	for _, h := range ir.MergeRanges(holes) {
+		if h.Start > cur {
+			end := h.Start
+			if end > whole.End {
+				end = whole.End
+			}
+			if end > cur {
+				fs.blocks = append(fs.blocks, ir.Range{Start: cur, End: end})
+			}
+		}
+		if h.End > cur {
+			cur = h.End
+		}
+	}
+	if cur < whole.End {
+		fs.blocks = append(fs.blocks, ir.Range{Start: cur, End: whole.End})
+	}
+	return fs
+}
+
+// Blocks returns a copy of the current free blocks, sorted by address.
+func (fs *FreeSpace) Blocks() []ir.Range {
+	return append([]ir.Range(nil), fs.blocks...)
+}
+
+// TotalFree returns the number of free bytes.
+func (fs *FreeSpace) TotalFree() int {
+	total := 0
+	for _, b := range fs.blocks {
+		total += int(b.Len())
+	}
+	return total
+}
+
+// Largest returns the biggest free block.
+func (fs *FreeSpace) Largest() (ir.Range, bool) {
+	var best ir.Range
+	found := false
+	for _, b := range fs.blocks {
+		if !found || b.Len() > best.Len() {
+			best, found = b, true
+		}
+	}
+	return best, found
+}
+
+// blockIndexContaining finds the block containing r, or -1.
+func (fs *FreeSpace) blockIndexContaining(r ir.Range) int {
+	idx := sort.Search(len(fs.blocks), func(i int) bool { return fs.blocks[i].End > r.Start })
+	if idx < len(fs.blocks) {
+		b := fs.blocks[idx]
+		if r.Start >= b.Start && r.End <= b.End {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Contains reports whether r is entirely free.
+func (fs *FreeSpace) Contains(r ir.Range) bool {
+	return fs.blockIndexContaining(r) >= 0
+}
+
+// Carve removes r, which must lie entirely inside one free block.
+func (fs *FreeSpace) Carve(r ir.Range) error {
+	if r.Start >= r.End {
+		return fmt.Errorf("core: carve of empty range %+v", r)
+	}
+	idx := fs.blockIndexContaining(r)
+	if idx < 0 {
+		return fmt.Errorf("core: carve %+v not in free space", r)
+	}
+	b := fs.blocks[idx]
+	var repl []ir.Range
+	if b.Start < r.Start {
+		repl = append(repl, ir.Range{Start: b.Start, End: r.Start})
+	}
+	if r.End < b.End {
+		repl = append(repl, ir.Range{Start: r.End, End: b.End})
+	}
+	fs.blocks = append(fs.blocks[:idx], append(repl, fs.blocks[idx+1:]...)...)
+	return nil
+}
+
+// Release returns r to the free pool, merging with neighbors.
+func (fs *FreeSpace) Release(r ir.Range) {
+	if r.Start >= r.End {
+		return
+	}
+	fs.blocks = ir.MergeRanges(append(fs.blocks, r))
+}
+
+// BlockStartingAt returns the free block that begins exactly at addr.
+func (fs *FreeSpace) BlockStartingAt(addr uint32) (ir.Range, bool) {
+	for _, b := range fs.blocks {
+		if b.Start == addr {
+			return b, true
+		}
+		if b.Start > addr {
+			break
+		}
+	}
+	return ir.Range{}, false
+}
+
+// FindWithin returns the lowest free range of exactly size bytes that
+// lies wholly inside window, if any.
+func (fs *FreeSpace) FindWithin(window ir.Range, size uint32) (ir.Range, bool) {
+	for _, b := range fs.blocks {
+		lo := b.Start
+		if lo < window.Start {
+			lo = window.Start
+		}
+		hi := b.End
+		if hi > window.End {
+			hi = window.End
+		}
+		if hi > lo && hi-lo >= size {
+			return ir.Range{Start: lo, End: lo + size}, true
+		}
+	}
+	return ir.Range{}, false
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zipr/internal/ir"
+)
+
+func TestFreeSpaceInitWithHoles(t *testing.T) {
+	fs := NewFreeSpace(ir.Range{Start: 100, End: 200}, []ir.Range{
+		{Start: 120, End: 130},
+		{Start: 150, End: 160},
+	})
+	blocks := fs.Blocks()
+	want := []ir.Range{{Start: 100, End: 120}, {Start: 130, End: 150}, {Start: 160, End: 200}}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("blocks = %+v, want %+v", blocks, want)
+		}
+	}
+	if fs.TotalFree() != 20+20+40 {
+		t.Fatalf("TotalFree = %d", fs.TotalFree())
+	}
+}
+
+func TestFreeSpaceCarveAndRelease(t *testing.T) {
+	fs := NewFreeSpace(ir.Range{Start: 0, End: 100}, nil)
+	if err := fs.Carve(ir.Range{Start: 10, End: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Contains(ir.Range{Start: 10, End: 11}) {
+		t.Fatal("carved range still free")
+	}
+	if !fs.Contains(ir.Range{Start: 0, End: 10}) || !fs.Contains(ir.Range{Start: 20, End: 100}) {
+		t.Fatal("surrounding space lost")
+	}
+	// Carving across the hole must fail.
+	if err := fs.Carve(ir.Range{Start: 5, End: 15}); err == nil {
+		t.Fatal("carve across hole should fail")
+	}
+	if err := fs.Carve(ir.Range{Start: 15, End: 15}); err == nil {
+		t.Fatal("empty carve should fail")
+	}
+	fs.Release(ir.Range{Start: 10, End: 20})
+	if !fs.Contains(ir.Range{Start: 0, End: 100}) {
+		t.Fatal("release did not merge back")
+	}
+	if len(fs.Blocks()) != 1 {
+		t.Fatalf("blocks after merge = %+v", fs.Blocks())
+	}
+}
+
+func TestFreeSpaceLargestAndFindWithin(t *testing.T) {
+	fs := NewFreeSpace(ir.Range{Start: 0, End: 100}, []ir.Range{{Start: 30, End: 90}})
+	// Blocks: [0,30) and [90,100).
+	largest, ok := fs.Largest()
+	if !ok || largest.Len() != 30 {
+		t.Fatalf("largest = %+v", largest)
+	}
+	r, ok := fs.FindWithin(ir.Range{Start: 25, End: 95}, 5)
+	if !ok || r.Start != 25 {
+		t.Fatalf("FindWithin = %+v, %v", r, ok)
+	}
+	r, ok = fs.FindWithin(ir.Range{Start: 28, End: 95}, 5)
+	if !ok || r.Start != 90 {
+		t.Fatalf("FindWithin skipping small tail = %+v, %v", r, ok)
+	}
+	if _, ok := fs.FindWithin(ir.Range{Start: 31, End: 89}, 1); ok {
+		t.Fatal("FindWithin inside hole should fail")
+	}
+	if _, ok := NewFreeSpace(ir.Range{Start: 0, End: 0}, nil).Largest(); ok {
+		t.Fatal("empty space has no largest block")
+	}
+}
+
+func TestQuickFreeSpaceCarveReleaseRoundTrip(t *testing.T) {
+	// Property: any sequence of valid carves followed by releases in any
+	// order restores full free space.
+	f := func(sizes []uint8) bool {
+		whole := ir.Range{Start: 0, End: 4096}
+		fs := NewFreeSpace(whole, nil)
+		var carved []ir.Range
+		cursor := uint32(0)
+		for _, s := range sizes {
+			size := uint32(s%64) + 1
+			if cursor+size > whole.End {
+				break
+			}
+			r := ir.Range{Start: cursor, End: cursor + size}
+			if err := fs.Carve(r); err != nil {
+				return false
+			}
+			carved = append(carved, r)
+			cursor += size + uint32(s%3) // leave occasional gaps
+		}
+		// Release in reverse order.
+		for i := len(carved) - 1; i >= 0; i-- {
+			fs.Release(carved[i])
+		}
+		return fs.TotalFree() == int(whole.Len()) && len(fs.Blocks()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

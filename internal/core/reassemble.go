@@ -1,0 +1,949 @@
+// Package core implements the paper's primary contribution: reassembly
+// of a transformed IR into an efficient rewritten binary without keeping
+// a copy of the original code.
+//
+// The algorithm (paper §II-C, §III):
+//
+//  1. Plan a reference at every pinned address. Where the gap to the
+//     next obstacle allows 5 bytes the reference is an unconstrained
+//     long jump; gaps of 2-4 bytes get a constrained short jump that is
+//     *chained* through a nearby 5-byte slot; adjacent pinned addresses
+//     (gap < 2) are covered by a *sled* of 0x68 push opcodes whose
+//     dispatch code recovers the entry point from the pushed words.
+//  2. Optionally (optimized layout) reserve the whole gap after a pinned
+//     address so the target dollop can be placed *at* its original
+//     address, merging through consecutive pinned instructions — this is
+//     how the rewriter approaches zero file-size and MaxRSS overhead.
+//  3. Process a worklist of unresolved references: construct the dollop
+//     (maximal fallthrough chain) containing each target, place it into
+//     free space chosen by the pluggable layout algorithm, splitting
+//     dollops across blocks (with continuation jumps) when no block
+//     fits, and falling back to the appended overflow area.
+//  4. Patch: re-encode every placed instruction with displacements and
+//     materialized addresses computed from the final map M, write all
+//     reference jumps, and fill deferred data blobs (e.g. CFI bitmaps)
+//     now that the layout is known.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// Placer is the pluggable code-layout strategy (paper §III implements
+// these as plugins on Zipr's API).
+type Placer interface {
+	// Name identifies the layout in stats and logs.
+	Name() string
+	// InlinePins reports whether gaps after pinned addresses should be
+	// reserved so code can be placed back at its original location.
+	InlinePins() bool
+	// Choose picks a start address for size bytes out of the free
+	// blocks, or reports that no block fits. hint is the address of the
+	// referencing site and origin the original address of the code being
+	// placed (either may be 0 when unknown).
+	Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool)
+}
+
+// Options configures reassembly.
+type Options struct {
+	Placer Placer
+}
+
+// Stats reports what the reassembler did.
+type Stats struct {
+	Pinned       int // pinned addresses processed
+	InlinePins   int // pins whose code was placed back in position
+	Stubs5       int // unconstrained 5-byte references
+	Stubs2       int // constrained 2-byte references (chained)
+	Chains       int // chain slots allocated (including multi-hop)
+	Sleds        int // sleds emitted
+	SledEntries  int // pinned addresses covered by sleds
+	Dollops      int // dollops placed
+	Splits       int // dollop splits
+	OverflowUsed int // bytes placed in the overflow area
+	TextGrowth   int // final text size minus original text size
+	FreeLeft     int // free bytes remaining inside the original range
+}
+
+// Result is the reassembly output.
+type Result struct {
+	Binary *binfmt.Binary
+	Stats  Stats
+	Layout *ir.Layout
+}
+
+// jmpWrite is a pending jump to be encoded during the patch pass.
+type jmpWrite struct {
+	at     uint32
+	size   int // 2 or 5
+	target *ir.Instruction
+	abs    uint32 // used when target is nil
+}
+
+// workItem is an unresolved reference (uDR in the paper).
+type workItem struct {
+	target *ir.Instruction
+	hint   uint32
+}
+
+// inlineRegion is a reserved gap after a pinned address.
+type inlineRegion struct {
+	region ir.Range
+	target *ir.Instruction
+	done   bool
+}
+
+type reassembler struct {
+	p      *ir.Program
+	placer Placer
+	text   ir.Range
+
+	image    []byte // rewritten text image, starting at text.Start
+	imageEnd uint32
+	fs       *FreeSpace
+
+	m        map[*ir.Instruction]uint32
+	work     []workItem
+	jmps     []jmpWrite
+	inlines  map[uint32]*inlineRegion // keyed by region start (= pinned addr)
+	raw      []rawWrite
+	stats    Stats
+	overflow uint32 // first overflow byte (== original text end)
+}
+
+type rawWrite struct {
+	at    uint32
+	bytes []byte
+}
+
+// Reassemble converts the transformed IR into a rewritten binary.
+func Reassemble(p *ir.Program, opts Options) (*Result, error) {
+	if opts.Placer == nil {
+		return nil, fmt.Errorf("core: no placer configured")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	text := p.TextRange()
+	r := &reassembler{
+		p:        p,
+		placer:   opts.Placer,
+		text:     text,
+		image:    make([]byte, text.Len()),
+		imageEnd: text.End,
+		overflow: text.End,
+		m:        make(map[*ir.Instruction]uint32),
+		inlines:  make(map[uint32]*inlineRegion),
+	}
+	r.fs = NewFreeSpace(text, p.Fixed)
+
+	if err := r.planPins(); err != nil {
+		return nil, err
+	}
+	if err := r.processWork(); err != nil {
+		return nil, err
+	}
+	if err := r.finishInlines(); err != nil {
+		return nil, err
+	}
+	bin, layout, err := r.emit()
+	if err != nil {
+		return nil, err
+	}
+	r.stats.TextGrowth = int(r.imageEnd - text.End)
+	r.stats.OverflowUsed = int(r.imageEnd - r.overflow)
+	r.stats.FreeLeft = r.fs.TotalFree()
+	return &Result{Binary: bin, Stats: r.stats, Layout: layout}, nil
+}
+
+// inFixed reports whether addr is inside a fixed range.
+func (r *reassembler) inFixed(addr uint32) bool {
+	for _, f := range r.p.Fixed {
+		if f.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// nextObstacle returns the first address after a that the pin plan must
+// not touch: the next pinned address, the start of the next fixed range,
+// or the end of text.
+func nextObstacle(a uint32, pins []*ir.Instruction, i int, fixed []ir.Range, textEnd uint32) uint32 {
+	limit := textEnd
+	if i+1 < len(pins) && pins[i+1].OrigAddr < limit {
+		limit = pins[i+1].OrigAddr
+	}
+	for _, f := range fixed {
+		if f.Start >= a && f.Start < limit {
+			limit = f.Start
+		}
+	}
+	return limit
+}
+
+// minInlineGap is the smallest gap worth reserving for in-place code.
+const minInlineGap = 12
+
+// planPins plans references, chains, sleds and inline regions for every
+// pinned address. It works in two passes, as the paper's algorithm does:
+// first every pinned site is classified and its bytes carved; only then
+// are chains (which grab nearby free space) and sled dispatch code
+// (which grabs arbitrary free space) allocated — otherwise a chain slot
+// or dispatch blob could land on bytes a later pinned reference needs.
+func (r *reassembler) planPins() error {
+	pins := r.p.PinnedInsts()
+	fixed := r.p.Fixed
+	r.stats.Pinned = len(pins)
+	inline := r.placer.InlinePins()
+
+	type pinKind uint8
+	const (
+		kindStub5 pinKind = iota + 1
+		kindStub2
+		kindSled
+		kindInline
+	)
+	type pinPlan struct {
+		kind   pinKind
+		addr   uint32
+		target *ir.Instruction
+		sled   sledPlan
+	}
+	var plans []pinPlan
+
+	// Pass 1: classify every pinned site and carve its header bytes.
+	// Inline pins reserve only 5 bytes here — enough for a fallback
+	// reference — and grow into the remaining contiguous free space in
+	// pass 3, after chains and dispatch blobs have taken what they need.
+	for i := 0; i < len(pins); i++ {
+		a := pins[i].OrigAddr
+		if !r.text.Contains(a) {
+			r.p.Warnf("core: pinned address %#x outside text; skipping", a)
+			continue
+		}
+		if r.inFixed(a) {
+			// Fixed bytes keep their original content; indirect jumps
+			// there execute the original instruction in place.
+			r.p.Warnf("core: pinned address %#x inside fixed bytes; no reference planted", a)
+			continue
+		}
+		gap := nextObstacle(a, pins, i, fixed, r.text.End) - a
+		switch {
+		case gap >= minInlineGap && inline:
+			if err := r.fs.Carve(ir.Range{Start: a, End: a + 5}); err != nil {
+				return fmt.Errorf("core: pin %#x inline header: %w", a, err)
+			}
+			plans = append(plans, pinPlan{kind: kindInline, addr: a, target: pins[i]})
+		case gap >= 5:
+			if err := r.fs.Carve(ir.Range{Start: a, End: a + 5}); err != nil {
+				return fmt.Errorf("core: pin %#x reference: %w", a, err)
+			}
+			plans = append(plans, pinPlan{kind: kindStub5, addr: a, target: pins[i]})
+			r.stats.Stubs5++
+		case gap >= 2:
+			if err := r.fs.Carve(ir.Range{Start: a, End: a + 2}); err != nil {
+				return fmt.Errorf("core: pin %#x constrained reference: %w", a, err)
+			}
+			plans = append(plans, pinPlan{kind: kindStub2, addr: a, target: pins[i]})
+			r.stats.Stubs2++
+		default:
+			plan, last, err := r.carveSled(pins, i)
+			if err != nil {
+				return err
+			}
+			plans = append(plans, pinPlan{kind: kindSled, addr: plan.start, sled: plan})
+			i = last
+		}
+	}
+
+	// Pass 2: chains and sled dispatch allocate from what is left.
+	for _, pl := range plans {
+		switch pl.kind {
+		case kindStub5:
+			r.jmps = append(r.jmps, jmpWrite{at: pl.addr, size: 5, target: pl.target})
+			r.work = append(r.work, workItem{target: pl.target, hint: pl.addr})
+		case kindStub2:
+			if err := r.chain(pl.addr, pl.target, 0); err != nil {
+				return err
+			}
+		case kindSled:
+			if err := r.emitSled(pl.sled); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 3: inline regions grow from their 5-byte headers into the
+	// contiguous free space that remains after them (bounded implicitly
+	// by the next carved pin site, chain slot, or fixed range).
+	for _, pl := range plans {
+		if pl.kind != kindInline {
+			continue
+		}
+		region := ir.Range{Start: pl.addr, End: pl.addr + 5}
+		if blk, ok := r.fs.BlockStartingAt(pl.addr + 5); ok {
+			if err := r.fs.Carve(blk); err != nil {
+				return fmt.Errorf("core: pin %#x inline extension: %w", pl.addr, err)
+			}
+			region.End = blk.End
+		}
+		r.inlines[pl.addr] = &inlineRegion{region: region, target: pl.target}
+	}
+	return nil
+}
+
+// chain plants a 2-byte jump at `at` leading (possibly through further
+// 2-byte hops) to a 5-byte slot that can address the whole space
+// (paper §II-C3, span-dependent jump chaining).
+func (r *reassembler) chain(at uint32, target *ir.Instruction, depth int) error {
+	if depth > 8 {
+		return fmt.Errorf("core: chain depth exceeded at %#x", at)
+	}
+	// rel8 range from the end of the 2-byte jump.
+	base := at + 2
+	window := ir.Range{Start: base - 128, End: base + 127}
+	if window.Start > base { // underflow
+		window.Start = r.text.Start
+	}
+	if slot, ok := r.fs.FindWithin(window, 5); ok {
+		if err := r.fs.Carve(slot); err != nil {
+			return err
+		}
+		r.jmps = append(r.jmps,
+			jmpWrite{at: at, size: 2, target: nil, abs: slot.Start},
+			jmpWrite{at: slot.Start, size: 5, target: target})
+		r.work = append(r.work, workItem{target: target, hint: slot.Start})
+		r.stats.Chains++
+		return nil
+	}
+	// No 5-byte slot in range: hop through another 2-byte jump.
+	hop, ok := r.fs.FindWithin(window, 2)
+	if !ok {
+		return fmt.Errorf("core: no chain space near constrained reference at %#x", at)
+	}
+	if err := r.fs.Carve(hop); err != nil {
+		return err
+	}
+	r.jmps = append(r.jmps, jmpWrite{at: at, size: 2, target: nil, abs: hop.Start})
+	r.stats.Chains++
+	return r.chain(hop.Start, target, depth+1)
+}
+
+// carveSled groups the dense run of pinned addresses starting at index i
+// into one sled, carves its footprint, and returns the plan plus the
+// index of the last pin absorbed. Dispatch code is emitted later by
+// emitSled, once every pinned site has reserved its bytes.
+func (r *reassembler) carveSled(pins []*ir.Instruction, i int) (sledPlan, int, error) {
+	start := pins[i].OrigAddr
+	j := i
+	for {
+		spanEnd := pins[j].OrigAddr + 1 // one past the last 0x68 entry
+		tailEnd := spanEnd + sledTailSize
+		// Absorb any pinned address that would collide with the tail.
+		if j+1 < len(pins) && pins[j+1].OrigAddr < tailEnd && r.text.Contains(pins[j+1].OrigAddr) {
+			j++
+			continue
+		}
+		whole := ir.Range{Start: start, End: tailEnd}
+		if tailEnd > r.text.End {
+			return sledPlan{}, i, fmt.Errorf("core: sled at %#x overruns text segment", start)
+		}
+		for _, f := range r.p.Fixed {
+			if f.Overlaps(whole) {
+				return sledPlan{}, i, fmt.Errorf("core: sled at %#x collides with fixed bytes at %#x", start, f.Start)
+			}
+		}
+		break
+	}
+	spanEnd := pins[j].OrigAddr + 1
+	span := int(spanEnd - start)
+	plan := sledPlan{start: start, span: span}
+	for k := i; k <= j; k++ {
+		off := int(pins[k].OrigAddr - start)
+		plan.entries = append(plan.entries, sledEntry{
+			offset: off,
+			target: pins[k],
+			words:  simulateSledEntry(span, off),
+		})
+	}
+	whole := ir.Range{Start: start, End: start + uint32(plan.size())}
+	if err := r.fs.Carve(whole); err != nil {
+		return sledPlan{}, i, fmt.Errorf("core: sled at %#x: %w", start, err)
+	}
+	return plan, j, nil
+}
+
+// emitSled writes a planned sled's bytes and places its dispatch code.
+func (r *reassembler) emitSled(plan sledPlan) error {
+	start := plan.start
+	spanEnd := start + uint32(plan.span)
+	r.raw = append(r.raw, rawWrite{at: start, bytes: sledBytes(plan.span)})
+
+	dispatch, refs, err := genDispatch(plan.entries)
+	if err != nil {
+		return err
+	}
+	dispatchAddr, err := r.placeRaw(dispatch, start)
+	if err != nil {
+		return err
+	}
+	// Tail jump from the sled's nops into dispatch.
+	r.jmps = append(r.jmps, jmpWrite{at: spanEnd + 4, size: 5, abs: dispatchAddr})
+	for _, ref := range refs {
+		r.jmps = append(r.jmps, jmpWrite{at: dispatchAddr + uint32(ref.off), size: 5, target: ref.target})
+		r.work = append(r.work, workItem{target: ref.target, hint: dispatchAddr})
+	}
+	r.stats.Sleds++
+	r.stats.SledEntries += len(plan.entries)
+	return nil
+}
+
+// placeRaw places an opaque code blob (sled dispatch) into free space or
+// the overflow area and returns its address.
+func (r *reassembler) placeRaw(code []byte, hint uint32) (uint32, error) {
+	if addr, ok := r.placer.Choose(r.fs.Blocks(), len(code), hint, 0); ok {
+		if err := r.fs.Carve(ir.Range{Start: addr, End: addr + uint32(len(code))}); err != nil {
+			return 0, err
+		}
+		r.raw = append(r.raw, rawWrite{at: addr, bytes: code})
+		return addr, nil
+	}
+	addr := r.allocOverflow(len(code))
+	r.raw = append(r.raw, rawWrite{at: addr, bytes: code})
+	return addr, nil
+}
+
+// allocOverflow extends the text image past the original end.
+func (r *reassembler) allocOverflow(n int) uint32 {
+	addr := r.imageEnd
+	r.image = append(r.image, make([]byte, n)...)
+	r.imageEnd += uint32(n)
+	return addr
+}
+
+// processWork drains the unresolved-reference worklist, placing the
+// dollop for each not-yet-placed target.
+func (r *reassembler) processWork() error {
+	// Seed with the entry so executables always place their entry chain,
+	// preferring its inline region when one exists.
+	if r.p.Entry != nil {
+		r.work = append(r.work, workItem{target: r.p.Entry, hint: r.p.Entry.OrigAddr})
+	}
+	// Inline regions are processed in address order for determinism and
+	// so that merge-through-next-pin sees later regions still free.
+	var inlineAddrs []uint32
+	for a := range r.inlines {
+		inlineAddrs = append(inlineAddrs, a)
+	}
+	sort.Slice(inlineAddrs, func(i, j int) bool { return inlineAddrs[i] < inlineAddrs[j] })
+	for _, a := range inlineAddrs {
+		reg := r.inlines[a]
+		if err := r.placeInline(reg); err != nil {
+			return err
+		}
+	}
+	for len(r.work) > 0 {
+		item := r.work[len(r.work)-1]
+		r.work = r.work[:len(r.work)-1]
+		if _, placed := r.m[item.target]; placed {
+			continue
+		}
+		if err := r.placeDollop(item.target, item.hint); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishInlines writes plain references for inline regions whose target
+// ended up placed elsewhere (e.g. swallowed by an earlier dollop).
+func (r *reassembler) finishInlines() error {
+	var addrs []uint32
+	for a := range r.inlines {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		reg := r.inlines[a]
+		if reg.done {
+			continue
+		}
+		addr, placed := r.m[reg.target]
+		if placed && addr == reg.region.Start {
+			reg.done = true
+			continue
+		}
+		if !placed {
+			return fmt.Errorf("core: inline pin target at %#x never placed", a)
+		}
+		// Fall back to an unconstrained reference; release the rest.
+		r.jmps = append(r.jmps, jmpWrite{at: reg.region.Start, size: 5, target: reg.target})
+		r.fs.Release(ir.Range{Start: reg.region.Start + 5, End: reg.region.End})
+		r.stats.Stubs5++
+		reg.done = true
+	}
+	return nil
+}
+
+// buildChain collects the maximal fallthrough chain starting at t that
+// has not been placed yet. It returns the chain and the continuation
+// instruction (nil when the chain ends in a terminator).
+func (r *reassembler) buildChain(t *ir.Instruction) ([]*ir.Instruction, *ir.Instruction) {
+	var insts []*ir.Instruction
+	inCurrent := map[*ir.Instruction]bool{}
+	cur := t
+	for cur != nil {
+		if _, placed := r.m[cur]; placed || inCurrent[cur] {
+			return insts, cur
+		}
+		insts = append(insts, cur)
+		inCurrent[cur] = true
+		if !cur.Inst.HasFallthrough() {
+			return insts, nil
+		}
+		next := cur.Fallthrough
+		if next == nil {
+			// Falls through with no successor: IR inconsistency; trap.
+			r.p.Warnf("core: instruction %s falls through to nothing; planting hlt", cur)
+			h := r.p.NewInst(isa.Inst{Op: isa.OpHlt})
+			cur.Fallthrough = h
+			next = h
+		}
+		cur = next
+	}
+	return insts, nil
+}
+
+// instLen returns the emitted length of an IR instruction. Lea with a
+// logical target is materialized as movi (same 6-byte length).
+func instLen(n *ir.Instruction) int { return n.Inst.Len() }
+
+// layChunk assigns addresses to insts starting at addr, records operand
+// placement requests, and (when cont is non-nil) a continuation jump
+// immediately after. It returns the first unused address.
+func (r *reassembler) layChunk(insts []*ir.Instruction, addr uint32, cont *ir.Instruction) uint32 {
+	for _, n := range insts {
+		r.m[n] = addr
+		addr += uint32(instLen(n))
+		if n.Target != nil {
+			if _, placed := r.m[n.Target]; !placed {
+				r.work = append(r.work, workItem{target: n.Target, hint: addr})
+			}
+		}
+	}
+	if cont != nil {
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: cont})
+		if _, placed := r.m[cont]; !placed {
+			r.work = append(r.work, workItem{target: cont, hint: addr})
+		}
+		addr += 5
+	}
+	return addr
+}
+
+// chunkFit returns how many instructions of insts fit in space bytes,
+// accounting for a 5-byte continuation jump unless the chain completes
+// with its terminator.
+func chunkFit(insts []*ir.Instruction, space uint32, chainEndsClean bool) (count int, used uint32) {
+	var sum uint32
+	for i, n := range insts {
+		l := uint32(instLen(n))
+		isLast := i == len(insts)-1
+		need := sum + l
+		if !(isLast && chainEndsClean) {
+			need += 5 // room for a continuation jump after this one
+		}
+		if need > space {
+			break
+		}
+		sum += l
+		count = i + 1
+	}
+	used = sum
+	return count, used
+}
+
+// placeDollop constructs and places the dollop containing t.
+func (r *reassembler) placeDollop(t *ir.Instruction, hint uint32) error {
+	insts, cont := r.buildChain(t)
+	if len(insts) == 0 {
+		return nil // target already placed
+	}
+	r.stats.Dollops++
+	idx := 0
+	for idx < len(insts) {
+		rest := insts[idx:]
+		endsClean := cont == nil
+		var want uint32
+		for _, n := range rest {
+			want += uint32(instLen(n))
+		}
+		if !endsClean {
+			want += 5
+		}
+		if addr, ok := r.placer.Choose(r.fs.Blocks(), int(want), hint, rest[0].OrigAddr); ok {
+			if err := r.fs.Carve(ir.Range{Start: addr, End: addr + want}); err != nil {
+				return err
+			}
+			var tail *ir.Instruction
+			if !endsClean {
+				tail = cont
+			}
+			r.layChunk(rest, addr, tail)
+			return nil
+		}
+		// No block fits the rest: split into the largest block when that
+		// is worthwhile, otherwise finish in the overflow area. Shredding
+		// a large dollop across many tiny fragments costs a 5-byte jump
+		// and a taken branch per fragment, so splitting is only used when
+		// the fragment holds a meaningful share of the dollop — this is
+		// the policy whose interaction with heavily pinned binaries the
+		// paper's Figure-6 outlier discussion describes.
+		blk, found := r.fs.Largest()
+		minNeed := uint32(instLen(rest[0])) + 5
+		if len(rest) == 1 && endsClean {
+			minNeed = uint32(instLen(rest[0]))
+		}
+		if found && blk.Len() < 256 && uint64(blk.Len())*4 < uint64(want) {
+			found = false // fragment too small to be worth a split
+		}
+		if !found || blk.Len() < minNeed {
+			addr := r.allocOverflow(int(want))
+			var tail *ir.Instruction
+			if !endsClean {
+				tail = cont
+			}
+			r.layChunk(rest, addr, tail)
+			return nil
+		}
+		count, used := chunkFit(rest, blk.Len(), endsClean)
+		if count == 0 {
+			// Defensive: cannot happen given the minNeed check above.
+			return fmt.Errorf("core: split failed for dollop at hint %#x", hint)
+		}
+		take := rest[:count]
+		size := used
+		var tail *ir.Instruction
+		if count < len(rest) {
+			tail = rest[count]
+			size += 5
+		} else if !endsClean {
+			tail = cont
+			size += 5
+		}
+		if err := r.fs.Carve(ir.Range{Start: blk.Start, End: blk.Start + size}); err != nil {
+			return err
+		}
+		end := r.layChunk(take, blk.Start, nil)
+		if tail != nil {
+			r.jmps = append(r.jmps, jmpWrite{at: end, size: 5, target: tail})
+			if _, placed := r.m[tail]; !placed {
+				r.work = append(r.work, workItem{target: tail, hint: end})
+			}
+		}
+		if count < len(rest) {
+			r.stats.Splits++
+		}
+		idx += count
+		hint = end
+		if count == len(rest) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// placeInline lays the dollop for an inline pin directly at its original
+// address, merging through directly following inline regions whenever
+// the fallthrough chain reaches them exactly (this is what lets a Null
+// transform put almost every byte back where it came from).
+func (r *reassembler) placeInline(reg *inlineRegion) error {
+	if _, placed := r.m[reg.target]; placed {
+		return nil // finishInlines will plant a reference
+	}
+	insts, cont := r.buildChain(reg.target)
+	if len(insts) == 0 {
+		return nil
+	}
+	r.stats.Dollops++
+	r.stats.InlinePins++
+	reg.done = true
+
+	addr := reg.region.Start
+	capEnd := reg.region.End
+
+	// seamTarget returns the region pending at capEnd, if any: reaching
+	// capEnd exactly with that region's target next means execution can
+	// fall through the boundary with no jump at all, because that
+	// instruction will be (or already is referenced) at capEnd.
+	pendingAt := func(a uint32) *inlineRegion {
+		if next, ok := r.inlines[a]; ok && !next.done {
+			return next
+		}
+		return nil
+	}
+	lay := func(n *ir.Instruction) {
+		r.m[n] = addr
+		addr += uint32(instLen(n))
+		if n.Target != nil {
+			if _, placed := r.m[n.Target]; !placed {
+				r.work = append(r.work, workItem{target: n.Target, hint: addr})
+			}
+		}
+	}
+
+	idx := 0
+	contHandled := false
+	for idx < len(insts) {
+		// Merge directly adjacent inline regions whose target is the
+		// instruction we are about to lay.
+		if next := pendingAt(capEnd); next != nil && addr == capEnd && next.target == insts[idx] {
+			capEnd = next.region.End
+			next.done = true
+			r.stats.InlinePins++
+		}
+		n := insts[idx]
+		l := uint32(instLen(n))
+		isLast := idx == len(insts)-1
+		endsClean := isLast && cont == nil
+		need := addr + l
+		if !endsClean {
+			need += 5 // room for a continuation jump after this one
+		}
+		if need <= capEnd {
+			lay(n)
+			idx++
+			continue
+		}
+		// The +5 reserve is unnecessary when the instruction ends
+		// exactly at a boundary whose pending region holds the next
+		// thing execution needs: the fallthrough crosses the seam.
+		if addr+l == capEnd {
+			var needNext *ir.Instruction
+			if !isLast {
+				needNext = insts[idx+1]
+			} else {
+				needNext = cont
+			}
+			if next := pendingAt(capEnd); next != nil && needNext != nil && next.target == needNext {
+				lay(n)
+				idx++
+				if isLast {
+					contHandled = true
+				}
+				continue
+			}
+			// Seam into an already-placed instruction sitting exactly at
+			// capEnd (an earlier inline chain): also no jump needed.
+			if needNext != nil {
+				if a, placed := r.m[needNext]; placed && a == capEnd {
+					lay(n)
+					idx++
+					if isLast {
+						contHandled = true
+					}
+					continue
+				}
+			}
+		}
+		break // region full
+	}
+	switch {
+	case idx == len(insts) && (cont == nil || contHandled):
+		// Whole chain laid; execution ends or crosses a seam.
+	case idx == len(insts):
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: cont})
+		if _, placed := r.m[cont]; !placed {
+			r.work = append(r.work, workItem{target: cont, hint: addr})
+		}
+		addr += 5
+	case idx == 0:
+		// Region cannot hold even the first instruction plus the
+		// continuation jump: degrade to a plain reference.
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: reg.target})
+		r.work = append(r.work, workItem{target: reg.target, hint: addr})
+		r.stats.Stubs5++
+		r.stats.InlinePins--
+		r.fs.Release(ir.Range{Start: addr + 5, End: capEnd})
+		return nil
+	default:
+		next := insts[idx]
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: next})
+		r.work = append(r.work, workItem{target: next, hint: addr})
+		addr += 5
+		r.stats.Splits++
+	}
+	if addr < capEnd {
+		r.fs.Release(ir.Range{Start: addr, End: capEnd})
+	}
+	return nil
+}
+
+// emit performs the patch pass and builds the output binary.
+func (r *reassembler) emit() (*binfmt.Binary, *ir.Layout, error) {
+	// Fixed ranges: copy original bytes.
+	orig := r.p.Bin.Text()
+	for _, f := range r.p.Fixed {
+		copy(r.image[f.Start-r.text.Start:f.End-r.text.Start], orig.Data[f.Start-orig.VAddr:f.End-orig.VAddr])
+	}
+	// Raw blobs (sled bodies, dispatch code).
+	for _, w := range r.raw {
+		copy(r.image[w.at-r.text.Start:], w.bytes)
+	}
+	// Instructions.
+	for n, addr := range r.m {
+		enc, err := r.encodeAt(n, addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(r.image[addr-r.text.Start:], enc)
+	}
+	// Reference jumps.
+	for _, j := range r.jmps {
+		dest := j.abs
+		if j.target != nil {
+			d, ok := r.m[j.target]
+			if !ok {
+				return nil, nil, fmt.Errorf("core: reference at %#x targets unplaced instruction %s", j.at, j.target)
+			}
+			dest = d
+		}
+		var in isa.Inst
+		switch j.size {
+		case 2:
+			disp := int64(dest) - int64(j.at) - 2
+			if disp < -128 || disp > 127 {
+				return nil, nil, fmt.Errorf("core: constrained reference at %#x cannot reach %#x", j.at, dest)
+			}
+			in = isa.Inst{Op: isa.OpJmp8, Imm: int32(disp)}
+		case 5:
+			in = isa.Inst{Op: isa.OpJmp32, Imm: int32(int64(dest) - int64(j.at) - 5)}
+		default:
+			return nil, nil, fmt.Errorf("core: bad reference size %d", j.size)
+		}
+		copy(r.image[j.at-r.text.Start:], isa.MustEncode(in))
+	}
+
+	layout := &ir.Layout{
+		AddrOf: func(n *ir.Instruction) (uint32, bool) {
+			a, ok := r.m[n]
+			return a, ok
+		},
+		TextBase: r.text.Start,
+		TextEnd:  r.imageEnd,
+	}
+	for _, n := range r.p.PinnedInsts() {
+		layout.PinnedAddrs = append(layout.PinnedAddrs, n.OrigAddr)
+	}
+
+	// Deferred data.
+	dataExtra := append([]byte(nil), r.p.DataExtra...)
+	var dataExtraBase uint32
+	if d := r.p.Bin.DataSeg(); d != nil {
+		dataExtraBase = d.End()
+	} else {
+		dataExtraBase = (r.text.End + 0xFFF) &^ 0xFFF
+	}
+	for _, def := range r.p.Deferred {
+		blob, err := def.Fill(layout)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: deferred %q: %w", def.Name, err)
+		}
+		if len(blob) != def.Size {
+			return nil, nil, fmt.Errorf("core: deferred %q produced %d bytes, want %d", def.Name, len(blob), def.Size)
+		}
+		copy(dataExtra[def.Addr-dataExtraBase:], blob)
+	}
+
+	// Output binary.
+	out := &binfmt.Binary{Type: r.p.Bin.Type}
+	out.Segments = append(out.Segments, binfmt.Segment{
+		Kind: binfmt.Text, VAddr: r.text.Start, Data: r.image,
+	})
+	if d := r.p.Bin.DataSeg(); d != nil {
+		out.Segments = append(out.Segments, binfmt.Segment{
+			Kind:  binfmt.Data,
+			VAddr: d.VAddr,
+			Data:  append(append([]byte(nil), d.Data...), dataExtra...),
+		})
+	} else if len(dataExtra) > 0 {
+		out.Segments = append(out.Segments, binfmt.Segment{
+			Kind: binfmt.Data, VAddr: dataExtraBase, Data: dataExtra,
+		})
+	}
+	if r.p.Bin.Type == binfmt.Exec {
+		e, ok := r.m[r.p.Entry]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: entry instruction never placed")
+		}
+		out.Entry = e
+	}
+	out.Exports = append([]binfmt.Symbol(nil), r.p.Bin.Exports...)
+	out.Imports = append([]binfmt.Import(nil), r.p.Bin.Imports...)
+	out.Libs = append([]string(nil), r.p.Bin.Libs...)
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: output binary invalid: %w", err)
+	}
+	return out, layout, nil
+}
+
+// encodeAt re-encodes IR instruction n for its final address, resolving
+// logical and absolute targets.
+func (r *reassembler) encodeAt(n *ir.Instruction, addr uint32) ([]byte, error) {
+	in := n.Inst
+	resolveDest := func() (uint32, error) {
+		if n.Target != nil {
+			d, ok := r.m[n.Target]
+			if !ok {
+				return 0, fmt.Errorf("core: %s targets unplaced instruction", n)
+			}
+			return d, nil
+		}
+		return n.AbsTarget, nil
+	}
+	hasRef := n.Target != nil || n.AbsTarget != 0
+	if hasRef {
+		switch in.Op {
+		case isa.OpJmp8, isa.OpJmp32, isa.OpJcc8, isa.OpJcc32, isa.OpCall, isa.OpLoadPC:
+			dest, err := resolveDest()
+			if err != nil {
+				return nil, err
+			}
+			disp := int64(dest) - int64(addr) - int64(in.Len())
+			if (in.Op == isa.OpJmp8 || in.Op == isa.OpJcc8) && (disp < -128 || disp > 127) {
+				return nil, fmt.Errorf("core: short branch %s out of range after placement", n)
+			}
+			in.Imm = int32(disp)
+		case isa.OpLea:
+			dest, err := resolveDest()
+			if err != nil {
+				return nil, err
+			}
+			if n.Target != nil {
+				// Materialize the rewritten code address (same length).
+				in = isa.Inst{Op: isa.OpMovI, Rd: in.Rd, Imm: int32(dest)}
+			} else {
+				in.Imm = int32(int64(dest) - int64(addr) - int64(in.Len()))
+			}
+		case isa.OpMovI, isa.OpPushI32, isa.OpCmpI:
+			dest, err := resolveDest()
+			if err != nil {
+				return nil, err
+			}
+			in.Imm = int32(dest)
+		default:
+			return nil, fmt.Errorf("core: %s has a target but is not patchable", n)
+		}
+	}
+	enc, err := isa.Encode(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode %s: %w", n, err)
+	}
+	return enc, nil
+}

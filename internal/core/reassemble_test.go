@@ -1,0 +1,508 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+	"zipr/internal/vm"
+)
+
+// Local placer implementations mirroring internal/layout (which cannot
+// be imported here: it depends on this package).
+
+type optPlacer struct{}
+
+func (optPlacer) Name() string     { return "optimized" }
+func (optPlacer) InlinePins() bool { return true }
+func (optPlacer) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
+	best := -1
+	var bestKey uint64
+	for i, b := range blocks {
+		if int(b.Len()) < size {
+			continue
+		}
+		key := uint64(b.Len())
+		if hint != 0 {
+			d := int64(b.Start) - int64(hint)
+			if d < 0 {
+				d = -d
+			}
+			key = uint64(d)
+		}
+		if best < 0 || key < bestKey {
+			best, bestKey = i, key
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return blocks[best].Start, true
+}
+
+type divPlacer struct{ rng *rand.Rand }
+
+func newDivPlacer(seed int64) *divPlacer { return &divPlacer{rng: rand.New(rand.NewSource(seed))} }
+
+func (*divPlacer) Name() string     { return "diversity" }
+func (*divPlacer) InlinePins() bool { return false }
+func (d *divPlacer) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
+	var fitting []ir.Range
+	for _, b := range blocks {
+		if int(b.Len()) >= size {
+			fitting = append(fitting, b)
+		}
+	}
+	if len(fitting) == 0 {
+		return 0, false
+	}
+	b := fitting[d.rng.Intn(len(fitting))]
+	slack := int(b.Len()) - size
+	off := 0
+	if slack > 0 {
+		off = d.rng.Intn(slack + 1)
+	}
+	return b.Start + uint32(off), true
+}
+
+// newTestBin builds a minimal executable with a text segment of the
+// given size at base (entry at base) and one data page.
+func newTestBin(base uint32, size int) *binfmt.Binary {
+	text := make([]byte, size)
+	text[0] = 0xC3 // ret, so the raw binary validates/decodes
+	return &binfmt.Binary{
+		Type:  binfmt.Exec,
+		Entry: base,
+		Segments: []binfmt.Segment{
+			{Kind: binfmt.Text, VAddr: base, Data: text},
+			{Kind: binfmt.Data, VAddr: base + 0x100000, Data: make([]byte, 64)},
+		},
+	}
+}
+
+// exitChain appends IR that terminates with the given code and returns
+// its head.
+func exitChain(p *ir.Program, code int32) *ir.Instruction {
+	a := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: code})
+	b := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+	c := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	a.Fallthrough = b
+	b.Fallthrough = c
+	return a
+}
+
+// runBin loads and executes a rewritten binary.
+func runBin(t *testing.T, bin *binfmt.Binary) vm.Result {
+	t.Helper()
+	m := vm.New(vm.WithMaxSteps(100_000))
+	for _, seg := range bin.Segments {
+		perm := vm.PermR
+		if seg.Kind == binfmt.Text {
+			perm |= vm.PermX
+		} else {
+			perm |= vm.PermW
+		}
+		if err := m.Map(seg.VAddr, len(seg.Data), perm); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteMem(seg.VAddr, seg.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetPC(bin.Entry)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	return res
+}
+
+func placers() map[string]Placer {
+	return map[string]Placer{
+		"optimized": optPlacer{},
+		"diversity": newDivPlacer(42),
+	}
+}
+
+func TestReassembleMinimalProgram(t *testing.T) {
+	for name, placer := range placers() {
+		t.Run(name, func(t *testing.T) {
+			const base = 0x00100000
+			p := ir.NewProgram(newTestBin(base, 256))
+			entry := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 5})
+			entry.Pinned = true
+			entry.Fallthrough = exitChain(p, 7)
+			p.Entry = entry
+
+			res, err := Reassemble(p, Options{Placer: placer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := runBin(t, res.Binary)
+			if out.ExitCode != 7 {
+				t.Fatalf("exit = %d, want 7", out.ExitCode)
+			}
+			if res.Stats.Pinned != 1 {
+				t.Fatalf("stats.Pinned = %d", res.Stats.Pinned)
+			}
+		})
+	}
+}
+
+func TestReassembleBranchesAndLoop(t *testing.T) {
+	for name, placer := range placers() {
+		t.Run(name, func(t *testing.T) {
+			const base = 0x00100000
+			p := ir.NewProgram(newTestBin(base, 1024))
+			// r2 = 0; r3 = 10; loop: add r2,r3; dec r3; jnz loop; exit r2
+			i1 := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 0})
+			i1.Pinned = true
+			i2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 3, Imm: 10})
+			loop := p.NewInst(isa.Inst{Op: isa.OpAdd, Rd: 2, Rs: 3})
+			i4 := p.NewInst(isa.Inst{Op: isa.OpDec, Rd: 3})
+			i5 := p.NewInst(isa.Inst{Op: isa.OpJcc32, Cc: isa.CcNZ})
+			i5.Target = loop
+			tail := p.NewInst(isa.Inst{Op: isa.OpMov, Rd: 1, Rs: 2})
+			t2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+			t3 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+			i1.Fallthrough = i2
+			i2.Fallthrough = loop
+			loop.Fallthrough = i4
+			i4.Fallthrough = i5
+			i5.Fallthrough = tail
+			tail.Fallthrough = t2
+			t2.Fallthrough = t3
+			p.Entry = i1
+
+			res, err := Reassemble(p, Options{Placer: placer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := runBin(t, res.Binary)
+			if out.ExitCode != 55 {
+				t.Fatalf("exit = %d, want 55", out.ExitCode)
+			}
+		})
+	}
+}
+
+func TestPinnedStubReachedIndirectly(t *testing.T) {
+	// A second pinned instruction reached only through a code pointer
+	// stored in data must work via its reference at the original
+	// address.
+	for name, placer := range placers() {
+		t.Run(name, func(t *testing.T) {
+			const base = 0x00100000
+			bin := newTestBin(base, 1024)
+			handlerAddr := uint32(base + 0x80)
+			// Data word holds the handler's original address.
+			bin.Segments[1].Data[0] = byte(handlerAddr)
+			bin.Segments[1].Data[1] = byte(handlerAddr >> 8)
+			bin.Segments[1].Data[2] = byte(handlerAddr >> 16)
+			bin.Segments[1].Data[3] = byte(handlerAddr >> 24)
+
+			p := ir.NewProgram(bin)
+			dataAddr := bin.Segments[1].VAddr
+			entry := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 5, Imm: int32(dataAddr)})
+			entry.Pinned = true
+			l2 := p.NewInst(isa.Inst{Op: isa.OpLoad, Rd: 5, Rs: 5, Imm: 0})
+			l3 := p.NewInst(isa.Inst{Op: isa.OpJmpR, Rd: 5})
+			entry.Fallthrough = l2
+			l2.Fallthrough = l3
+			handler := p.AddOrig(handlerAddr, isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 99})
+			handler.Pinned = true
+			handler.Fallthrough = p.NewInst(isa.Inst{Op: isa.OpMov, Rd: 1, Rs: 2})
+			handler.Fallthrough.Fallthrough = p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+			handler.Fallthrough.Fallthrough.Fallthrough = p.NewInst(isa.Inst{Op: isa.OpSyscall})
+			p.Entry = entry
+
+			res, err := Reassemble(p, Options{Placer: placer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := runBin(t, res.Binary)
+			if out.ExitCode != 99 {
+				t.Fatalf("%s: exit = %d, want 99", name, out.ExitCode)
+			}
+		})
+	}
+}
+
+func TestConstrainedReferenceChaining(t *testing.T) {
+	// Fixed ranges 3 bytes after a pinned address force a 2-byte
+	// constrained reference that must chain to a 5-byte slot.
+	const base = 0x00100000
+	bin := newTestBin(base, 1024)
+	pinAddr := uint32(base + 0x40)
+	p := ir.NewProgram(bin)
+	p.Fixed = append(p.Fixed, ir.Range{Start: pinAddr + 3, End: pinAddr + 8})
+
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 5, Imm: int32(pinAddr)})
+	entry.Pinned = true
+	j := p.NewInst(isa.Inst{Op: isa.OpJmpR, Rd: 5})
+	entry.Fallthrough = j
+	target := p.AddOrig(pinAddr, isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 31})
+	target.Pinned = true
+	target.Fallthrough = exitChain(p, 31)
+	// Wire the exit chain to use r2 indirectly: just exit 31 directly.
+	p.Entry = entry
+
+	res, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stubs2 != 1 || res.Stats.Chains == 0 {
+		t.Fatalf("expected a constrained chained reference, stats = %+v", res.Stats)
+	}
+	out := runBin(t, res.Binary)
+	if out.ExitCode != 31 {
+		t.Fatalf("exit = %d, want 31", out.ExitCode)
+	}
+}
+
+func TestDenseReferencesUseSled(t *testing.T) {
+	// Two adjacent pinned one-byte instructions force a sled.
+	for name, placer := range placers() {
+		t.Run(name, func(t *testing.T) {
+			const base = 0x00100000
+			bin := newTestBin(base, 1024)
+			aAddr := uint32(base + 0x40)
+			bAddr := aAddr + 1
+			p := ir.NewProgram(bin)
+
+			// Entry jumps (indirectly) to bAddr; a and b are rets back
+			// into exit paths... Use: a: nop -> exit(1); b: nop -> exit(2).
+			entry := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 5, Imm: int32(bAddr)})
+			entry.Pinned = true
+			j := p.NewInst(isa.Inst{Op: isa.OpJmpR, Rd: 5})
+			entry.Fallthrough = j
+
+			a := p.AddOrig(aAddr, isa.Inst{Op: isa.OpNop})
+			a.Pinned = true
+			a.Fallthrough = exitChain(p, 1)
+			b := p.AddOrig(bAddr, isa.Inst{Op: isa.OpNop})
+			b.Pinned = true
+			b.Fallthrough = exitChain(p, 2)
+			p.Entry = entry
+
+			res, err := Reassemble(p, Options{Placer: placer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Sleds != 1 || res.Stats.SledEntries != 2 {
+				t.Fatalf("expected one sled with 2 entries, stats = %+v", res.Stats)
+			}
+			out := runBin(t, res.Binary)
+			if out.ExitCode != 2 {
+				t.Fatalf("exit = %d, want 2", out.ExitCode)
+			}
+		})
+	}
+}
+
+func TestFixedBytesPreserved(t *testing.T) {
+	const base = 0x00100000
+	bin := newTestBin(base, 1024)
+	// Plant recognizable bytes in a fixed region of the original text.
+	blob := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x99}
+	copy(bin.Segments[0].Data[0x100:], blob)
+
+	p := ir.NewProgram(bin)
+	p.Fixed = append(p.Fixed, ir.Range{Start: base + 0x100, End: base + 0x105})
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpLoadPC, Rd: 2})
+	entry.Pinned = true
+	entry.AbsTarget = base + 0x100
+	m2 := p.NewInst(isa.Inst{Op: isa.OpMov, Rd: 1, Rs: 2})
+	m3 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+	m4 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	entry.Fallthrough = m2
+	m2.Fallthrough = m3
+	m3.Fallthrough = m4
+	p.Entry = entry
+
+	res, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytes preserved in the image.
+	text := res.Binary.Text()
+	got := text.Data[0x100:0x105]
+	for i := range blob {
+		if got[i] != blob[i] {
+			t.Fatalf("fixed bytes corrupted: % x", got)
+		}
+	}
+	// The loadpc must read them at the original address.
+	out := runBin(t, res.Binary)
+	if uint32(out.ExitCode) != 0xEFBEADDE {
+		t.Fatalf("exit = %#x, want 0xEFBEADDE", uint32(out.ExitCode))
+	}
+}
+
+func TestLeaMaterialization(t *testing.T) {
+	for name, placer := range placers() {
+		t.Run(name, func(t *testing.T) {
+			const base = 0x00100000
+			p := ir.NewProgram(newTestBin(base, 1024))
+			target := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 64})
+			target.Fallthrough = exitChain(p, 64)
+
+			entry := p.AddOrig(base, isa.Inst{Op: isa.OpLea, Rd: 5})
+			entry.Pinned = true
+			entry.Target = target
+			j := p.NewInst(isa.Inst{Op: isa.OpJmpR, Rd: 5})
+			entry.Fallthrough = j
+			p.Entry = entry
+
+			res, err := Reassemble(p, Options{Placer: placer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := runBin(t, res.Binary)
+			if out.ExitCode != 64 {
+				t.Fatalf("exit = %d, want 64", out.ExitCode)
+			}
+		})
+	}
+}
+
+func TestDeferredDataFilled(t *testing.T) {
+	const base = 0x00100000
+	p := ir.NewProgram(newTestBin(base, 256))
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpNop})
+	entry.Pinned = true
+	entry.Fallthrough = exitChain(p, 0)
+	p.Entry = entry
+
+	addr := p.Defer("probe", 8, func(l *ir.Layout) ([]byte, error) {
+		a, ok := l.AddrOf(entry)
+		if !ok {
+			t.Error("deferred fill cannot resolve entry")
+		}
+		return []byte{byte(a), byte(a >> 8), byte(a >> 16), byte(a >> 24), 1, 2, 3, 4}, nil
+	})
+	res, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Binary.ReadWord(addr)
+	if !ok {
+		t.Fatalf("deferred blob at %#x not mapped", addr)
+	}
+	got, _ := res.Layout.AddrOf(entry)
+	if v != got {
+		t.Fatalf("deferred word = %#x, want %#x", v, got)
+	}
+}
+
+func TestOptimizedLayoutPutsCodeBackInPlace(t *testing.T) {
+	// With a Null-style IR (chain identical to original layout), the
+	// optimized placer must keep the entry instruction at its original
+	// address and use zero overflow.
+	const base = 0x00100000
+	p := ir.NewProgram(newTestBin(base, 4096))
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 1})
+	entry.Pinned = true
+	entry.Fallthrough = exitChain(p, 1)
+	p.Entry = entry
+
+	res, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := res.Layout.AddrOf(entry); a != base {
+		t.Fatalf("entry placed at %#x, want %#x", a, base)
+	}
+	if res.Stats.InlinePins != 1 || res.Stats.OverflowUsed != 0 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if res.Binary.Entry != base {
+		t.Fatalf("binary entry = %#x", res.Binary.Entry)
+	}
+}
+
+func TestDiversityLayoutsDifferBySeed(t *testing.T) {
+	build := func(seed int64) uint32 {
+		const base = 0x00100000
+		p := ir.NewProgram(newTestBin(base, 8192))
+		entry := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 1})
+		entry.Pinned = true
+		entry.Fallthrough = exitChain(p, 1)
+		p.Entry = entry
+		res, err := Reassemble(p, Options{Placer: newDivPlacer(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := runBin(t, res.Binary)
+		if out.ExitCode != 1 {
+			t.Fatalf("seed %d: exit = %d", seed, out.ExitCode)
+		}
+		a, _ := res.Layout.AddrOf(entry)
+		return a
+	}
+	a1, a2, a3 := build(1), build(2), build(3)
+	if a1 == a2 && a2 == a3 {
+		t.Fatalf("three seeds placed entry identically at %#x", a1)
+	}
+}
+
+func TestReassembleErrors(t *testing.T) {
+	const base = 0x00100000
+	p := ir.NewProgram(newTestBin(base, 256))
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpNop})
+	entry.Pinned = true
+	entry.Fallthrough = exitChain(p, 0)
+	p.Entry = entry
+	if _, err := Reassemble(p, Options{}); err == nil || !strings.Contains(err.Error(), "placer") {
+		t.Fatalf("missing placer error = %v", err)
+	}
+
+	// Invalid IR must be rejected up front.
+	bad := ir.NewProgram(newTestBin(base, 256))
+	n := bad.AddOrig(base, isa.Inst{Op: isa.OpNop})
+	n.Pinned = true
+	n.Fallthrough = exitChain(bad, 0)
+	bad.Entry = n
+	orphan := bad.NewInst(isa.Inst{Op: isa.OpNop})
+	orphan.Pinned = true // pinned without OrigAddr
+	if _, err := Reassemble(bad, Options{Placer: optPlacer{}}); err == nil {
+		t.Fatal("invalid IR accepted")
+	}
+}
+
+func TestOverflowAreaUsedWhenTextFull(t *testing.T) {
+	// A text segment too small for the transformed code must spill into
+	// the overflow area and still run.
+	const base = 0x00100000
+	bin := newTestBin(base, 32) // tiny text
+	p := ir.NewProgram(bin)
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: 0})
+	entry.Pinned = true
+	cur := entry
+	// 20 six-byte instructions cannot fit in 32 bytes.
+	for i := 0; i < 20; i++ {
+		n := p.NewInst(isa.Inst{Op: isa.OpAddI, Rd: 2, Imm: 1})
+		cur.Fallthrough = n
+		cur = n
+	}
+	tail := p.NewInst(isa.Inst{Op: isa.OpMov, Rd: 1, Rs: 2})
+	cur.Fallthrough = tail
+	tail.Fallthrough = p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+	tail.Fallthrough.Fallthrough = p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	p.Entry = entry
+
+	res, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OverflowUsed == 0 {
+		t.Fatalf("expected overflow use, stats = %+v", res.Stats)
+	}
+	out := runBin(t, res.Binary)
+	if out.ExitCode != 20 {
+		t.Fatalf("exit = %d, want 20", out.ExitCode)
+	}
+}

@@ -1,0 +1,295 @@
+// Package disasm disassembles ZVM-32 binaries with two independent
+// strategies — a linear sweep (objdump-like) and a recursive traversal
+// (IDA-like) — and aggregates their output using the paper's four-case
+// code/data disambiguation policy:
+//
+//  1. Both agree a byte range is code reached from known entries: the
+//     range is relocatable code.
+//  2. A range is conclusively data (it does not decode): it is fixed at
+//     its original address.
+//  3. A range is ambiguous (it decodes but is not provably reached):
+//     it is treated as *both* code and data — the bytes stay fixed at
+//     their original address and the decoded instructions are also fed
+//     to CFG construction so their branch targets get pinned.
+//  4. A range labeled code actually holds data: this cannot always be
+//     detected; the aggregation stays conservative (case 3) whenever
+//     there is any disagreement, and emits warnings to aid debugging.
+package disasm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// Class classifies one byte of the text segment.
+type Class uint8
+
+// Byte classifications.
+const (
+	Unknown Class = iota // not reached / not decoded
+	Code                 // part of a provably reached instruction
+	Data                 // conclusively data (does not decode)
+	Ambig                // decodes, but not provably reached: code AND data
+)
+
+// Result is the output of a single disassembler.
+type Result struct {
+	// Insts maps instruction start addresses to decoded instructions.
+	Insts map[uint32]isa.Inst
+	// Weak maps addresses decoded only from address-shaped hints (lea
+	// targets, immediates that look like code pointers). Such bytes
+	// might be data — a jump table is indistinguishable from code at a
+	// lea target — so they are never relocated: the aggregator treats
+	// them as code AND data (paper case 3), and CFG construction uses
+	// their decodes only to pin targets conservatively.
+	Weak map[uint32]isa.Inst
+	// Classes classifies every byte of text (indexed from text base).
+	Classes []Class
+}
+
+// LinearSweep decodes text from its first byte onward, resynchronizing
+// one byte at a time after undecodable bytes, the way objdump -D works.
+func LinearSweep(text []byte, base uint32) Result {
+	res := Result{
+		Insts:   make(map[uint32]isa.Inst),
+		Classes: make([]Class, len(text)),
+	}
+	off := 0
+	for off < len(text) {
+		in, err := isa.Decode(text[off:])
+		if err != nil {
+			res.Classes[off] = Data
+			off++
+			continue
+		}
+		res.Insts[base+uint32(off)] = in
+		for i := 0; i < in.Len(); i++ {
+			res.Classes[off+i] = Code
+		}
+		off += in.Len()
+	}
+	return res
+}
+
+// RecursiveTraversal follows control flow from every known entry point.
+// It distinguishes two tiers of confidence:
+//
+//   - Strong seeds — the program entry, exported symbols, and code
+//     pointers discovered by scanning data segments — plus everything
+//     reachable from them through fallthroughs and direct branches, are
+//     relocatable code (Result.Insts).
+//   - Weak seeds — lea targets and address-shaped absolute immediates —
+//     plus their flow, are decoded into Result.Weak but NOT classified
+//     as code: a lea may just as well name a jump table or other data
+//     embedded in text, and mislabeling data as relocatable code is the
+//     one unrecoverable failure mode (paper case 4). Weak bytes stay at
+//     their original addresses.
+func RecursiveTraversal(bin *binfmt.Binary) Result {
+	text := bin.Text()
+	res := Result{
+		Insts:   make(map[uint32]isa.Inst),
+		Weak:    make(map[uint32]isa.Inst),
+		Classes: make([]Class, len(text.Data)),
+	}
+	inText := func(a uint32) bool { return text.Contains(a) }
+
+	var strong, weak []uint32
+	seedStrong := func(a uint32) {
+		if inText(a) {
+			strong = append(strong, a)
+		}
+	}
+	seedWeak := func(a uint32) {
+		if inText(a) {
+			weak = append(weak, a)
+		}
+	}
+	if bin.Type == binfmt.Exec {
+		seedStrong(bin.Entry)
+	}
+	for _, e := range bin.Exports {
+		seedStrong(e.Addr)
+	}
+	// Data scan: aligned words in data segments pointing into text are
+	// function pointers and jump-table slots — strong, since indirect
+	// control flow lands exactly on them.
+	for si := range bin.Segments {
+		seg := &bin.Segments[si]
+		if seg.Kind != binfmt.Data {
+			continue
+		}
+		for off := 0; off+4 <= len(seg.Data); off += 4 {
+			v := binary.LittleEndian.Uint32(seg.Data[off:])
+			seedStrong(v)
+		}
+	}
+
+	// visit decodes one address, recording flow into the given tier's
+	// worklist; weak traversal never overrides strong coverage.
+	visitedStrong := make(map[uint32]bool)
+	visitedWeak := make(map[uint32]bool)
+	step := func(addr uint32, isStrong bool) {
+		off := addr - text.VAddr
+		in, err := isa.Decode(text.Data[off:])
+		if err != nil {
+			return // a supposed entry that does not decode: leave unknown
+		}
+		flow := seedWeak
+		if isStrong {
+			res.Insts[addr] = in
+			for i := 0; i < in.Len(); i++ {
+				res.Classes[int(off)+i] = Code
+			}
+			flow = seedStrong
+		} else {
+			res.Weak[addr] = in
+		}
+		if in.HasFallthrough() {
+			flow(addr + uint32(in.Len()))
+		}
+		if t, ok := in.TargetAddr(addr); ok {
+			switch in.Op {
+			case isa.OpLea:
+				seedWeak(t) // address formation: maybe code, maybe data
+			case isa.OpLoadPC:
+				// Data reference; not a code seed.
+			default:
+				flow(t)
+			}
+		}
+		switch in.Op {
+		case isa.OpMovI, isa.OpPushI32:
+			seedWeak(uint32(in.Imm))
+		}
+	}
+	for len(strong) > 0 {
+		addr := strong[len(strong)-1]
+		strong = strong[:len(strong)-1]
+		if visitedStrong[addr] || !inText(addr) {
+			continue
+		}
+		visitedStrong[addr] = true
+		step(addr, true)
+	}
+	for len(weak) > 0 {
+		addr := weak[len(weak)-1]
+		weak = weak[:len(weak)-1]
+		if visitedWeak[addr] || visitedStrong[addr] || !inText(addr) {
+			continue
+		}
+		visitedWeak[addr] = true
+		step(addr, false)
+	}
+	return res
+}
+
+// Aggregated is the merged, conservative view consumed by CFG
+// construction.
+type Aggregated struct {
+	// Insts holds the relocatable instructions (recursive-traversal
+	// coverage), keyed by original address.
+	Insts map[uint32]isa.Inst
+	// AmbigInsts holds instructions decoded inside ambiguous (fixed)
+	// ranges; CFG construction pins their direct branch targets.
+	AmbigInsts map[uint32]isa.Inst
+	// Fixed lists text ranges whose bytes must stay at their original
+	// addresses (conclusive data plus ambiguous ranges).
+	Fixed []ir.Range
+	// Classes is the final per-byte classification.
+	Classes []Class
+	// Warnings lists conservative-fallback diagnostics (the paper's
+	// case-4 warnings).
+	Warnings []string
+}
+
+// Aggregate merges the two disassemblers' views per the four-case
+// policy.
+func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
+	text := bin.Text()
+	n := len(text.Data)
+	agg := Aggregated{
+		Insts:      recursive.Insts,
+		AmbigInsts: make(map[uint32]isa.Inst),
+		Classes:    make([]Class, n),
+	}
+	// Case 1: recursive coverage is authoritative code.
+	copy(agg.Classes, recursive.Classes)
+
+	// Remaining bytes: ambiguous if the linear sweep decoded them,
+	// conclusive data otherwise.
+	for i := 0; i < n; i++ {
+		if agg.Classes[i] == Code {
+			continue
+		}
+		if linear.Classes[i] == Code {
+			agg.Classes[i] = Ambig
+		} else {
+			agg.Classes[i] = Data
+		}
+	}
+	// Instructions whose linear decode starts inside a non-code byte are
+	// candidates for "both" handling (case 3).
+	for addr, in := range linear.Insts {
+		off := addr - text.VAddr
+		if agg.Classes[off] == Ambig {
+			agg.AmbigInsts[addr] = in
+			if in.IsDirectBranch() {
+				agg.Warnings = append(agg.Warnings, fmt.Sprintf(
+					"disasm: ambiguous bytes at %#x decode to %s; treating as code and data",
+					addr, in.String()))
+			}
+		}
+	}
+	// Weak recursive decodes (lea targets and address immediates) join
+	// the ambiguous set: they are plausible entry-aligned decodes, so
+	// CFG construction should pin their targets, but their bytes stay
+	// fixed in place. They also upgrade their bytes to Ambig so fixed
+	// ranges cover them even where the linear sweep misaligned.
+	for addr, in := range recursive.Weak {
+		off := addr - text.VAddr
+		if agg.Classes[off] == Code {
+			continue
+		}
+		agg.AmbigInsts[addr] = in
+		for i := 0; i < in.Len() && int(off)+i < n; i++ {
+			if agg.Classes[int(off)+i] != Code {
+				agg.Classes[int(off)+i] = Ambig
+			}
+		}
+	}
+	// Fixed ranges: maximal runs of Data/Ambig bytes.
+	var fixed []ir.Range
+	i := 0
+	for i < n {
+		if agg.Classes[i] == Code {
+			i++
+			continue
+		}
+		j := i
+		for j < n && agg.Classes[j] != Code {
+			j++
+		}
+		fixed = append(fixed, ir.Range{
+			Start: text.VAddr + uint32(i),
+			End:   text.VAddr + uint32(j),
+		})
+		i = j
+	}
+	agg.Fixed = ir.MergeRanges(fixed)
+	return agg
+}
+
+// Disassemble runs both disassemblers on bin and aggregates the result.
+func Disassemble(bin *binfmt.Binary) (Aggregated, error) {
+	text := bin.Text()
+	if text == nil {
+		return Aggregated{}, fmt.Errorf("disasm: binary has no text segment")
+	}
+	lin := LinearSweep(text.Data, text.VAddr)
+	rec := RecursiveTraversal(bin)
+	return Aggregate(bin, lin, rec), nil
+}

@@ -1,0 +1,246 @@
+package disasm
+
+import (
+	"strings"
+	"testing"
+
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+	"zipr/internal/isa"
+)
+
+func classAt(t *testing.T, agg Aggregated, bin *binfmt.Binary, addr uint32) Class {
+	t.Helper()
+	return agg.Classes[addr-bin.Text().VAddr]
+}
+
+func TestLinearSweepResync(t *testing.T) {
+	// nop, then an undecodable byte, then ret.
+	text := []byte{0x90, 0x00, 0xC3}
+	res := LinearSweep(text, 0x1000)
+	if res.Classes[0] != Code || res.Classes[1] != Data || res.Classes[2] != Code {
+		t.Fatalf("classes = %v", res.Classes)
+	}
+	if res.Insts[0x1000].Op != isa.OpNop || res.Insts[0x1002].Op != isa.OpRet {
+		t.Fatal("linear sweep missed instructions")
+	}
+}
+
+func TestRecursiveSkipsDataInText(t *testing.T) {
+	src := `
+.text 0x00100000
+main:
+    lea r2, str        ; data reference, not a code seed
+    loadpc r3, str
+    jmp after
+str: .asciz "AAAA"     ; 0x41 = valid-looking bytes? 0x41 is not an opcode
+after:
+    movi r0, 1
+    movi r1, 0
+    syscall
+`
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RecursiveTraversal(bin)
+	text := bin.Text()
+	// The string bytes must not be classified Code by the recursive pass.
+	strOff := 6 + 6 + 5 // lea + loadpc + jmp
+	for i := strOff; i < strOff+5; i++ {
+		if rec.Classes[i] == Code {
+			t.Fatalf("recursive pass classified string byte %d as code", i)
+		}
+	}
+	// `after` must be reached.
+	afterAddr := text.VAddr + uint32(strOff+5)
+	if _, ok := rec.Insts[afterAddr]; !ok {
+		t.Fatalf("recursive pass missed post-jump code at %#x", afterAddr)
+	}
+}
+
+func TestRecursiveFollowsDataPointers(t *testing.T) {
+	// handler is referenced only via a function-pointer table in data.
+	src := `
+.text 0x00100000
+main:
+    movi r4, tab
+    load r4, [r4]
+    callr r4
+    movi r0, 1
+    movi r1, 0
+    syscall
+handler:
+    movi r2, 7
+    ret
+.data 0x00200000
+tab: .word handler
+`
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RecursiveTraversal(bin)
+	handlerAddr, ok := findLabelByDataWord(bin)
+	if !ok {
+		t.Fatal("test setup: no pointer found in data")
+	}
+	if _, found := rec.Insts[handlerAddr]; !found {
+		t.Fatalf("recursive pass missed data-pointed handler at %#x", handlerAddr)
+	}
+}
+
+// findLabelByDataWord reads the first data word (the test's table slot).
+func findLabelByDataWord(bin *binfmt.Binary) (uint32, bool) {
+	d := bin.DataSeg()
+	if d == nil || len(d.Data) < 4 {
+		return 0, false
+	}
+	return uint32(d.Data[0]) | uint32(d.Data[1])<<8 | uint32(d.Data[2])<<16 | uint32(d.Data[3])<<24, true
+}
+
+func TestRecursiveFollowsExportsAndImmediates(t *testing.T) {
+	src := `
+.type lib
+.text 0x00700000
+exported:
+    ret
+viaimm:
+    ret
+seed:
+    movi r1, viaimm   ; immediate seeds traversal
+    ret
+.export fn = exported
+.export s2 = seed
+`
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RecursiveTraversal(bin)
+	if len(rec.Insts) < 3 {
+		t.Fatalf("expected export coverage, got %d instructions", len(rec.Insts))
+	}
+	// viaimm (second ret, at offset 1) is reached only through an
+	// address-shaped immediate: it must be decoded, but only weakly —
+	// the bytes could just as well be data, so they must not be
+	// relocated (paper case 4 avoidance).
+	if _, ok := rec.Weak[0x00700001]; !ok {
+		t.Fatal("immediate-seeded code not decoded into the weak tier")
+	}
+	if _, ok := rec.Insts[0x00700001]; ok {
+		t.Fatal("immediate-seeded code must not be classified relocatable")
+	}
+	if rec.Classes[1] == Code {
+		t.Fatal("weak bytes must not be classified Code")
+	}
+}
+
+func TestAggregateFourCases(t *testing.T) {
+	src := `
+.text 0x00100000
+main:
+    jmp after
+blob: .byte 0x00, 0x00, 0x01, 0x02, 0x03   ; 0x01 0x02 0x03 decodes as add r2,r3
+after:
+    movi r0, 1
+    movi r1, 0
+    syscall
+`
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Case 1: reached code.
+	if classAt(t, agg, bin, bin.Entry) != Code {
+		t.Fatal("entry not classified Code")
+	}
+	// Case 2: the 0x00 bytes are conclusive data.
+	blobAddr := bin.Text().VAddr + 5
+	if classAt(t, agg, bin, blobAddr) != Data {
+		t.Fatalf("undecodable byte class = %v, want Data", classAt(t, agg, bin, blobAddr))
+	}
+	// Case 3: the decodable-but-unreached bytes are ambiguous.
+	if classAt(t, agg, bin, blobAddr+2) != Ambig {
+		t.Fatalf("ambiguous byte class = %v, want Ambig", classAt(t, agg, bin, blobAddr+2))
+	}
+	if len(agg.AmbigInsts) == 0 {
+		t.Fatal("expected ambiguous instructions")
+	}
+	// The whole blob is one fixed range.
+	found := false
+	for _, r := range agg.Fixed {
+		if r.Contains(blobAddr) && r.Contains(blobAddr+4) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("blob not covered by fixed ranges %+v", agg.Fixed)
+	}
+}
+
+func TestAggregateWarnsOnAmbiguousBranches(t *testing.T) {
+	// Craft raw bytes: reached ret, then an unreached region that decodes
+	// to a direct branch (case 3/4 risk): jmp32 encoding.
+	text := []byte{0xC3}
+	text = append(text, isa.MustEncode(isa.Inst{Op: isa.OpJmp32, Imm: -5})...)
+	bin := &binfmt.Binary{
+		Type:  binfmt.Exec,
+		Entry: 0x00100000,
+		Segments: []binfmt.Segment{
+			{Kind: binfmt.Text, VAddr: 0x00100000, Data: text},
+		},
+	}
+	agg, err := Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Warnings) == 0 {
+		t.Fatal("expected a conservative-handling warning")
+	}
+	joined := strings.Join(agg.Warnings, "\n")
+	if !strings.Contains(joined, "ambiguous") {
+		t.Fatalf("warnings = %q", joined)
+	}
+}
+
+func TestDisassembleNoText(t *testing.T) {
+	bin := &binfmt.Binary{Type: binfmt.Exec}
+	if _, err := Disassemble(bin); err == nil {
+		t.Fatal("expected error for missing text segment")
+	}
+}
+
+func TestFullCoverageOfStraightLineProgram(t *testing.T) {
+	src := `
+.text 0x00100000
+main:
+    movi r2, 1
+    addi r2, 2
+    push r2
+    pop r3
+    movi r0, 1
+    movi r1, 0
+    syscall
+`
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range agg.Classes {
+		if c != Code {
+			t.Fatalf("byte %d classified %v, want Code", i, c)
+		}
+	}
+	if len(agg.Fixed) != 0 {
+		t.Fatalf("unexpected fixed ranges %+v", agg.Fixed)
+	}
+}

@@ -1,0 +1,268 @@
+package ir
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/irdb"
+	"zipr/internal/isa"
+)
+
+func testBin() *binfmt.Binary {
+	return &binfmt.Binary{
+		Type:  binfmt.Exec,
+		Entry: 0x1000,
+		Segments: []binfmt.Segment{
+			{Kind: binfmt.Text, VAddr: 0x1000, Data: make([]byte, 64)},
+			{Kind: binfmt.Data, VAddr: 0x2000, Data: make([]byte, 32)},
+		},
+	}
+}
+
+func TestInsertBeforeRedirectsReferences(t *testing.T) {
+	p := NewProgram(testBin())
+	a := p.AddOrig(0x1000, isa.Inst{Op: isa.OpNop})
+	b := p.AddOrig(0x1001, isa.Inst{Op: isa.OpRet})
+	a.Fallthrough = b
+	a.Pinned = true
+	// A branch elsewhere targets a.
+	j := p.NewInst(isa.Inst{Op: isa.OpJmp32})
+	j.Target = a
+
+	displaced := p.InsertBefore(a, isa.Inst{Op: isa.OpPush, Rd: 3})
+	// The node `a` now holds the inserted push; the original nop moved.
+	if a.Inst.Op != isa.OpPush {
+		t.Fatalf("head op = %s, want push", a.Inst.Op.Name())
+	}
+	if displaced.Inst.Op != isa.OpNop {
+		t.Fatalf("displaced op = %s, want nop", displaced.Inst.Op.Name())
+	}
+	if a.Fallthrough != displaced || displaced.Fallthrough != b {
+		t.Fatal("fallthrough chain broken")
+	}
+	if !a.Pinned || displaced.Pinned {
+		t.Fatal("pin must stay on the sequence head")
+	}
+	if j.Target != a {
+		t.Fatal("branch target must now reach the inserted instruction")
+	}
+	if p.ByAddr[0x1000] != a {
+		t.Fatal("address map must still reach the sequence head")
+	}
+}
+
+func TestInsertAfter(t *testing.T) {
+	p := NewProgram(testBin())
+	a := p.AddOrig(0x1000, isa.Inst{Op: isa.OpNop})
+	b := p.AddOrig(0x1001, isa.Inst{Op: isa.OpRet})
+	a.Fallthrough = b
+	n := p.InsertAfter(a, isa.Inst{Op: isa.OpPop, Rd: 1})
+	if a.Fallthrough != n || n.Fallthrough != b {
+		t.Fatal("InsertAfter chain wrong")
+	}
+}
+
+func TestAllocDataAndDefer(t *testing.T) {
+	p := NewProgram(testBin())
+	base := p.DataEnd()
+	if base != 0x2020 {
+		t.Fatalf("DataEnd = %#x, want 0x2020", base)
+	}
+	a1 := p.AllocData(10, 4)
+	if a1 != 0x2020 {
+		t.Fatalf("first alloc = %#x", a1)
+	}
+	a2 := p.AllocData(4, 8)
+	if a2%8 != 0 || a2 < a1+10 {
+		t.Fatalf("aligned alloc = %#x", a2)
+	}
+	d := p.Defer("bitmap", 16, func(*Layout) ([]byte, error) { return make([]byte, 16), nil })
+	if d%4 != 0 {
+		t.Fatalf("deferred addr %#x not aligned", d)
+	}
+	if len(p.Deferred) != 1 || p.Deferred[0].Size != 16 {
+		t.Fatal("deferred blob not registered")
+	}
+	if got := p.DataEnd(); got < d+16 {
+		t.Fatalf("DataEnd %#x does not cover deferred blob", got)
+	}
+}
+
+func TestDataEndWithoutDataSegment(t *testing.T) {
+	bin := testBin()
+	bin.Segments = bin.Segments[:1]
+	p := NewProgram(bin)
+	if got := p.DataEnd(); got != 0x2000 { // text ends 0x1040 -> page up
+		t.Fatalf("DataEnd = %#x, want 0x2000", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewProgram(testBin())
+	a := p.AddOrig(0x1000, isa.Inst{Op: isa.OpJmp32})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	a.Target = p.NewInst(isa.Inst{Op: isa.OpRet})
+	a.AbsTarget = 0x2000
+	if err := p.Validate(); err == nil {
+		t.Fatal("both Target and AbsTarget must be rejected")
+	}
+	a.AbsTarget = 0
+
+	bad := p.NewInst(isa.Inst{Op: isa.OpNop})
+	bad.Pinned = true
+	if err := p.Validate(); err == nil {
+		t.Fatal("pin without OrigAddr must be rejected")
+	}
+	bad.Pinned = false
+
+	a.Fallthrough = bad // jmp32 has no fallthrough
+	if err := p.Validate(); err == nil {
+		t.Fatal("terminator with fallthrough must be rejected")
+	}
+	a.Fallthrough = nil
+
+	p.Fixed = append(p.Fixed, Range{Start: 0x0, End: 0x10})
+	if err := p.Validate(); err == nil {
+		t.Fatal("fixed range outside text must be rejected")
+	}
+}
+
+func TestPinnedInstsSorted(t *testing.T) {
+	p := NewProgram(testBin())
+	for _, a := range []uint32{0x1010, 0x1002, 0x1008} {
+		n := p.AddOrig(a, isa.Inst{Op: isa.OpNop})
+		n.Pinned = true
+	}
+	pins := p.PinnedInsts()
+	if len(pins) != 3 {
+		t.Fatalf("pins = %d", len(pins))
+	}
+	if !sort.SliceIsSorted(pins, func(i, j int) bool { return pins[i].OrigAddr < pins[j].OrigAddr }) {
+		t.Fatal("PinnedInsts not sorted")
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	got := MergeRanges([]Range{
+		{Start: 10, End: 20},
+		{Start: 15, End: 25},
+		{Start: 25, End: 30}, // adjacent: merges
+		{Start: 40, End: 50},
+	})
+	want := []Range{{Start: 10, End: 30}, {Start: 40, End: 50}}
+	if len(got) != len(want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+	if MergeRanges(nil) != nil {
+		t.Fatal("nil input should give nil")
+	}
+}
+
+func TestQuickMergeRangesInvariants(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		var rs []Range
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := uint32(pairs[i]), uint32(pairs[i+1])
+			if a > b {
+				a, b = b, a
+			}
+			rs = append(rs, Range{Start: a, End: b + 1})
+		}
+		merged := MergeRanges(rs)
+		// Invariant 1: sorted, non-overlapping, non-adjacent.
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Start <= merged[i-1].End {
+				return false
+			}
+		}
+		// Invariant 2: coverage preserved both ways.
+		covered := func(set []Range, a uint32) bool {
+			for _, r := range set {
+				if r.Contains(a) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, r := range rs {
+			for _, probe := range []uint32{r.Start, r.End - 1} {
+				if !covered(merged, probe) {
+					return false
+				}
+			}
+		}
+		for _, r := range merged {
+			for _, probe := range []uint32{r.Start, r.End - 1} {
+				if !covered(rs, probe) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeOps(t *testing.T) {
+	r := Range{Start: 10, End: 20}
+	if r.Len() != 10 || !r.Contains(10) || r.Contains(20) || r.Contains(9) {
+		t.Fatal("Range basics wrong")
+	}
+	if !r.Overlaps(Range{Start: 19, End: 25}) || r.Overlaps(Range{Start: 20, End: 25}) {
+		t.Fatal("Overlaps wrong")
+	}
+}
+
+func TestSaveToDB(t *testing.T) {
+	p := NewProgram(testBin())
+	a := p.AddOrig(0x1000, isa.Inst{Op: isa.OpCall})
+	b := p.AddOrig(0x1005, isa.Inst{Op: isa.OpRet})
+	a.Fallthrough = b
+	a.Target = b
+	a.Pinned = true
+	p.Fixed = append(p.Fixed, Range{Start: 0x1020, End: 0x1030})
+	p.Functions = append(p.Functions, &Function{Name: "main", Entry: a, Insts: []*Instruction{a, b}})
+	p.Warnf("test warning %d", 1)
+
+	db := irdb.New()
+	if err := SaveToDB(db, p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT * FROM instructions WHERE pinned = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["orig_addr"].(int64) != 0x1000 {
+		t.Fatalf("pinned query rows = %+v", res.Rows)
+	}
+	if res.Rows[0]["target"].(int64) != b.ID || res.Rows[0]["fallthrough"].(int64) != b.ID {
+		t.Fatal("logical links not persisted")
+	}
+	res, _ = db.Exec("SELECT * FROM functions")
+	if len(res.Rows) != 1 || res.Rows[0]["size"].(int64) != 2 {
+		t.Fatalf("functions rows = %+v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT * FROM fixed_ranges")
+	if len(res.Rows) != 1 || res.Rows[0]["length"].(int64) != 0x10 {
+		t.Fatalf("fixed rows = %+v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT * FROM warnings")
+	if len(res.Rows) != 1 {
+		t.Fatalf("warning rows = %+v", res.Rows)
+	}
+	// Saving twice must fail cleanly (schema exists).
+	if err := SaveToDB(db, p); err == nil {
+		t.Fatal("second save should fail")
+	}
+}

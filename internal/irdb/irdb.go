@@ -1,0 +1,375 @@
+// Package irdb implements the Intermediate Representation Database that
+// mediates communication between the rewriting pipeline's phases, in the
+// role the paper assigns to its SQL-based IRDB: disassembly and analysis
+// write facts about the original program, transformation reads and
+// rewrites them, and reassembly reads the final IR. The engine is a small
+// in-memory relational store with typed schemas, auto-increment primary
+// keys, secondary indexes, and a compact SQL subset (see package file
+// sql.go) for ad-hoc queries by tools.
+package irdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ColType is the type of a column.
+type ColType uint8
+
+// Column types.
+const (
+	Int   ColType = iota + 1 // int64
+	Text                     // string
+	Bytes                    // []byte
+	Bool                     // bool
+)
+
+// Col describes one column of a table.
+type Col struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table. Every table has an implicit auto-increment
+// primary key column "id" of type Int; it must not be redeclared.
+type Schema struct {
+	Name string
+	Cols []Col
+}
+
+// Row is a single record keyed by column name. The "id" key is present
+// on rows returned from the database.
+type Row map[string]any
+
+// Errors returned by database operations.
+var (
+	ErrNoTable   = errors.New("irdb: no such table")
+	ErrNoRow     = errors.New("irdb: no such row")
+	ErrBadColumn = errors.New("irdb: no such column")
+	ErrBadType   = errors.New("irdb: value has wrong type for column")
+	ErrExists    = errors.New("irdb: table already exists")
+)
+
+// DB is an in-memory relational database. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+type table struct {
+	schema  Schema
+	cols    map[string]ColType
+	rows    map[int64]Row
+	order   []int64 // insertion order of live rows
+	nextID  int64
+	indexes map[string]map[any][]int64 // column -> value -> ids
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(s Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, s.Name)
+	}
+	cols := map[string]ColType{"id": Int}
+	for _, c := range s.Cols {
+		if c.Name == "id" {
+			return fmt.Errorf("irdb: table %s redeclares implicit column id", s.Name)
+		}
+		if _, dup := cols[c.Name]; dup {
+			return fmt.Errorf("irdb: table %s duplicates column %s", s.Name, c.Name)
+		}
+		if c.Type < Int || c.Type > Bool {
+			return fmt.Errorf("irdb: table %s column %s has bad type", s.Name, c.Name)
+		}
+		cols[c.Name] = c.Type
+	}
+	db.tables[s.Name] = &table{
+		schema:  s,
+		cols:    cols,
+		rows:    make(map[int64]Row),
+		nextID:  1,
+		indexes: make(map[string]map[any][]int64),
+	}
+	return nil
+}
+
+// CreateIndex builds (and maintains) a secondary index on col.
+func (db *DB) CreateIndex(tableName, col string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	if _, ok := t.cols[col]; !ok {
+		return fmt.Errorf("%w: %s.%s", ErrBadColumn, tableName, col)
+	}
+	idx := make(map[any][]int64)
+	for _, id := range t.order {
+		v := t.rows[id][col]
+		idx[v] = append(idx[v], id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// Tables returns the names of all tables, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkVal normalizes a value to the column's canonical Go type.
+func checkVal(t ColType, v any) (any, error) {
+	switch t {
+	case Int:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case uint32:
+			return int64(x), nil
+		case uint64:
+			return int64(x), nil
+		}
+	case Text:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case Bytes:
+		if b, ok := v.([]byte); ok {
+			return append([]byte(nil), b...), nil
+		}
+	case Bool:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %T", ErrBadType, v)
+}
+
+// zero returns the zero value for a column type.
+func zero(t ColType) any {
+	switch t {
+	case Int:
+		return int64(0)
+	case Text:
+		return ""
+	case Bytes:
+		return []byte(nil)
+	case Bool:
+		return false
+	}
+	return nil
+}
+
+// Insert adds a row and returns its id. Missing columns get zero values;
+// unknown columns are an error.
+func (db *DB) Insert(tableName string, r Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	stored := Row{}
+	for name, v := range r {
+		ct, ok := t.cols[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: %s.%s", ErrBadColumn, tableName, name)
+		}
+		if name == "id" {
+			return 0, errors.New("irdb: cannot insert explicit id")
+		}
+		nv, err := checkVal(ct, v)
+		if err != nil {
+			return 0, fmt.Errorf("column %s: %w", name, err)
+		}
+		stored[name] = nv
+	}
+	for _, c := range t.schema.Cols {
+		if _, ok := stored[c.Name]; !ok {
+			stored[c.Name] = zero(c.Type)
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	stored["id"] = id
+	t.rows[id] = stored
+	t.order = append(t.order, id)
+	for col, idx := range t.indexes {
+		idx[stored[col]] = append(idx[stored[col]], id)
+	}
+	return id, nil
+}
+
+// Get returns a copy of the row with the given id.
+func (db *DB) Get(tableName string, id int64) (Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s id %d", ErrNoRow, tableName, id)
+	}
+	return copyRow(r), nil
+}
+
+func copyRow(r Row) Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Update overwrites the given columns of row id.
+func (db *DB) Update(tableName string, id int64, changes Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("%w: %s id %d", ErrNoRow, tableName, id)
+	}
+	for name, v := range changes {
+		if name == "id" {
+			return errors.New("irdb: cannot update id")
+		}
+		ct, ok := t.cols[name]
+		if !ok {
+			return fmt.Errorf("%w: %s.%s", ErrBadColumn, tableName, name)
+		}
+		nv, err := checkVal(ct, v)
+		if err != nil {
+			return fmt.Errorf("column %s: %w", name, err)
+		}
+		if idx, has := t.indexes[name]; has {
+			removeID(idx, r[name], id)
+			idx[nv] = append(idx[nv], id)
+		}
+		r[name] = nv
+	}
+	return nil
+}
+
+// Delete removes row id.
+func (db *DB) Delete(tableName string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("%w: %s id %d", ErrNoRow, tableName, id)
+	}
+	for col, idx := range t.indexes {
+		removeID(idx, r[col], id)
+	}
+	delete(t.rows, id)
+	for i, v := range t.order {
+		if v == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func removeID(idx map[any][]int64, key any, id int64) {
+	ids := idx[key]
+	for i, v := range ids {
+		if v == id {
+			idx[key] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// Select returns copies of all rows matching pred, in insertion order.
+// A nil pred matches everything.
+func (db *DB) Select(tableName string, pred func(Row) bool) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	var out []Row
+	for _, id := range t.order {
+		r := t.rows[id]
+		if pred == nil || pred(r) {
+			out = append(out, copyRow(r))
+		}
+	}
+	return out, nil
+}
+
+// Lookup uses the index on col (building a scan if none exists) to find
+// rows whose col equals val.
+func (db *DB) Lookup(tableName, col string, val any) ([]Row, error) {
+	db.mu.RLock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		db.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	ct, ok := t.cols[col]
+	if !ok {
+		db.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s.%s", ErrBadColumn, tableName, col)
+	}
+	nv, err := checkVal(ct, val)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	if idx, has := t.indexes[col]; has {
+		ids := idx[nv]
+		out := make([]Row, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, copyRow(t.rows[id]))
+		}
+		db.mu.RUnlock()
+		return out, nil
+	}
+	db.mu.RUnlock()
+	return db.Select(tableName, func(r Row) bool { return r[col] == nv })
+}
+
+// Count returns the number of rows in the table.
+func (db *DB) Count(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	return len(t.rows), nil
+}

@@ -1,0 +1,316 @@
+package irdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	err := db.CreateTable(Schema{
+		Name: "insn",
+		Cols: []Col{
+			{Name: "addr", Type: Int},
+			{Name: "mnem", Type: Text},
+			{Name: "bytes", Type: Bytes},
+			{Name: "pinned", Type: Bool},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	db := newTestDB(t)
+	id, err := db.Insert("insn", Row{"addr": 0x1000, "mnem": "nop", "pinned": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Get("insn", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r["addr"].(int64) != 0x1000 || r["mnem"].(string) != "nop" || r["pinned"].(bool) != true {
+		t.Fatalf("row = %+v", r)
+	}
+	if b, ok := r["bytes"].([]byte); !ok || b != nil {
+		t.Fatalf("missing column default wrong: %+v", r["bytes"])
+	}
+	if err := db.Update("insn", id, Row{"mnem": "ret"}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = db.Get("insn", id)
+	if r["mnem"].(string) != "ret" {
+		t.Fatalf("update failed: %+v", r)
+	}
+	if err := db.Delete("insn", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("insn", id); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
+
+func TestErrorsAPI(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Insert("nope", Row{}); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("insert into missing table: %v", err)
+	}
+	if _, err := db.Insert("insn", Row{"bogus": 1}); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("insert bad column: %v", err)
+	}
+	if _, err := db.Insert("insn", Row{"addr": "str"}); !errors.Is(err, ErrBadType) {
+		t.Fatalf("insert bad type: %v", err)
+	}
+	if _, err := db.Insert("insn", Row{"id": 5}); err == nil {
+		t.Fatal("explicit id should fail")
+	}
+	if err := db.CreateTable(Schema{Name: "insn"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate table: %v", err)
+	}
+	if err := db.CreateTable(Schema{Name: "t2", Cols: []Col{{Name: "id", Type: Int}}}); err == nil {
+		t.Fatal("redeclared id should fail")
+	}
+	if err := db.CreateTable(Schema{Name: "t3", Cols: []Col{{Name: "a", Type: Int}, {Name: "a", Type: Int}}}); err == nil {
+		t.Fatal("duplicate column should fail")
+	}
+	if err := db.Update("insn", 99, Row{"mnem": "x"}); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("update missing row: %v", err)
+	}
+	if err := db.Delete("insn", 99); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("delete missing row: %v", err)
+	}
+}
+
+func TestSelectAndLookupWithIndex(t *testing.T) {
+	db := newTestDB(t)
+	for i := 0; i < 100; i++ {
+		_, err := db.Insert("insn", Row{"addr": 0x1000 + i, "mnem": fmt.Sprintf("op%d", i%10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CreateIndex("insn", "mnem"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Lookup("insn", "mnem", "op3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("lookup returned %d rows, want 10", len(rows))
+	}
+	// Index must track updates and deletes.
+	id := rows[0]["id"].(int64)
+	if err := db.Update("insn", id, Row{"mnem": "renamed"}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.Lookup("insn", "mnem", "op3")
+	if len(rows) != 9 {
+		t.Fatalf("after update lookup = %d rows, want 9", len(rows))
+	}
+	rows, _ = db.Lookup("insn", "mnem", "renamed")
+	if len(rows) != 1 {
+		t.Fatalf("renamed lookup = %d rows, want 1", len(rows))
+	}
+	if err := db.Delete("insn", id); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.Lookup("insn", "mnem", "renamed")
+	if len(rows) != 0 {
+		t.Fatalf("after delete lookup = %d rows, want 0", len(rows))
+	}
+	// Unindexed lookup falls back to a scan.
+	rows, err = db.Lookup("insn", "addr", 0x1001)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("unindexed lookup = %d rows (%v), want 1", len(rows), err)
+	}
+	n, err := db.Count("insn")
+	if err != nil || n != 99 {
+		t.Fatalf("count = %d, want 99", n)
+	}
+}
+
+func TestSelectReturnsCopies(t *testing.T) {
+	db := newTestDB(t)
+	id, _ := db.Insert("insn", Row{"mnem": "nop"})
+	rows, _ := db.Select("insn", nil)
+	rows[0]["mnem"] = "corrupted"
+	r, _ := db.Get("insn", id)
+	if r["mnem"].(string) != "nop" {
+		t.Fatal("Select leaked internal row storage")
+	}
+}
+
+func TestSQLEndToEnd(t *testing.T) {
+	db := New()
+	mustExec := func(q string) Result {
+		t.Helper()
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", q, err)
+		}
+		return res
+	}
+	mustExec("CREATE TABLE funcs (name TEXT, entry INT, leaf BOOL)")
+	mustExec("INSERT INTO funcs (name, entry, leaf) VALUES ('main', 0x1000, FALSE)")
+	mustExec("INSERT INTO funcs (name, entry, leaf) VALUES ('helper', 4112, TRUE)")
+	mustExec("INSERT INTO funcs (name, entry, leaf) VALUES ('exit', 4200, TRUE)")
+
+	res := mustExec("SELECT * FROM funcs WHERE leaf = TRUE")
+	if len(res.Rows) != 2 {
+		t.Fatalf("leaf query = %d rows, want 2", len(res.Rows))
+	}
+	res = mustExec("SELECT name FROM funcs WHERE entry >= 4112 AND entry < 4200")
+	if len(res.Rows) != 1 || res.Rows[0]["name"].(string) != "helper" {
+		t.Fatalf("range query rows = %+v", res.Rows)
+	}
+	if _, has := res.Rows[0]["entry"]; has {
+		t.Fatal("projection leaked unselected column")
+	}
+	res = mustExec("UPDATE funcs SET leaf = FALSE WHERE name = 'helper'")
+	if res.Affected != 1 {
+		t.Fatalf("update affected = %d", res.Affected)
+	}
+	res = mustExec("SELECT * FROM funcs WHERE leaf = TRUE")
+	if len(res.Rows) != 1 {
+		t.Fatalf("after update leaf rows = %d, want 1", len(res.Rows))
+	}
+	res = mustExec("DELETE FROM funcs WHERE entry > 4100")
+	if res.Affected != 2 {
+		t.Fatalf("delete affected = %d, want 2", res.Affected)
+	}
+	res = mustExec("SELECT * FROM funcs")
+	if len(res.Rows) != 1 || res.Rows[0]["name"].(string) != "main" {
+		t.Fatalf("final rows = %+v", res.Rows)
+	}
+}
+
+func TestSQLStrings(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (s TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (s) VALUES ('he llo; world')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT * FROM t WHERE s = 'he llo; world'")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("string match failed: %v, %d rows", err, len(res.Rows))
+	}
+	res, err = db.Exec("SELECT * FROM t WHERE s != 'x'")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("!= failed: %v", err)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"DROP TABLE t",
+		"CREATE TABLE",
+		"CREATE TABLE x (a FLOAT)",
+		"SELECT FROM t",
+		"SELECT * FROM missing",
+		"SELECT nosuch FROM t",
+		"INSERT INTO t (a) VALUES ('notint')",
+		"INSERT INTO t (a) VALUES (1) garbage",
+		"UPDATE t SET",
+		"SELECT * FROM t WHERE a ~ 3",
+		"SELECT * FROM t WHERE 'lit' = a",
+		"INSERT INTO t (a) VALUES ('unterminated",
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := newTestDB(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id, err := db.Insert("insn", Row{"addr": g*1000 + i})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := db.Get("insn", id); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := db.Select("insn", func(r Row) bool { return r["addr"].(int64)%7 == 0 }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n, _ := db.Count("insn")
+	if n != 800 {
+		t.Fatalf("count = %d, want 800", n)
+	}
+}
+
+func TestQuickInsertLookupConsistency(t *testing.T) {
+	// Property: after inserting N rows with arbitrary int keys, Lookup on
+	// an indexed column finds exactly the rows with that key.
+	f := func(keys []int16) bool {
+		db := New()
+		if err := db.CreateTable(Schema{Name: "t", Cols: []Col{{Name: "k", Type: Int}}}); err != nil {
+			return false
+		}
+		if err := db.CreateIndex("t", "k"); err != nil {
+			return false
+		}
+		want := map[int64]int{}
+		for _, k := range keys {
+			if _, err := db.Insert("t", Row{"k": int64(k)}); err != nil {
+				return false
+			}
+			want[int64(k)]++
+		}
+		for k, n := range want {
+			rows, err := db.Lookup("t", "k", k)
+			if err != nil || len(rows) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	db := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := db.CreateTable(Schema{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.Tables()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables() = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoding and decoding of ZVM-32 machine code. Multi-byte immediates are
+// little-endian, as on x86.
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("isa: truncated instruction")
+	ErrBadOpcode = errors.New("isa: unknown opcode")
+	ErrBadReg    = errors.New("isa: register index out of range")
+	ErrBadCc     = errors.New("isa: unknown condition code")
+)
+
+// MaxLen is the longest possible ZVM-32 encoding in bytes.
+const MaxLen = 7
+
+// AppendEncode appends the encoding of in to dst and returns the extended
+// slice. It returns an error when the instruction is malformed (invalid
+// op, register out of range, immediate out of range for the form).
+func AppendEncode(dst []byte, in Inst) ([]byte, error) {
+	if !in.Op.Valid() {
+		return dst, fmt.Errorf("%w: op %d", ErrBadOpcode, in.Op)
+	}
+	info := opTable[in.Op]
+	checkReg := func(r uint8) error {
+		if r >= NumRegs {
+			return fmt.Errorf("%w: r%d", ErrBadReg, r)
+		}
+		return nil
+	}
+	checkImm8 := func() error {
+		if in.Imm < -128 || in.Imm > 127 {
+			return fmt.Errorf("isa: immediate %d out of int8 range for %s", in.Imm, in.Op.Name())
+		}
+		return nil
+	}
+	le32 := func(v int32) []byte {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		return b[:]
+	}
+	switch info.form {
+	case fNone:
+		return append(dst, info.byte), nil
+	case fReg:
+		if err := checkReg(in.Rd); err != nil {
+			return dst, err
+		}
+		return append(dst, info.byte, in.Rd), nil
+	case fImm8, fRel8:
+		if err := checkImm8(); err != nil {
+			return dst, err
+		}
+		return append(dst, info.byte, byte(int8(in.Imm))), nil
+	case fRegReg:
+		if err := checkReg(in.Rd); err != nil {
+			return dst, err
+		}
+		if err := checkReg(in.Rs); err != nil {
+			return dst, err
+		}
+		return append(dst, info.byte, in.Rd, in.Rs), nil
+	case fRegImm8:
+		if err := checkReg(in.Rd); err != nil {
+			return dst, err
+		}
+		if err := checkImm8(); err != nil {
+			return dst, err
+		}
+		return append(dst, info.byte, in.Rd, byte(int8(in.Imm))), nil
+	case fImm32, fRel32:
+		return append(append(dst, info.byte), le32(in.Imm)...), nil
+	case fRegImm32, fRegRel32:
+		if err := checkReg(in.Rd); err != nil {
+			return dst, err
+		}
+		return append(append(dst, info.byte, in.Rd), le32(in.Imm)...), nil
+	case fCc8:
+		if !ValidCc(in.Cc) {
+			return dst, fmt.Errorf("%w: %d", ErrBadCc, in.Cc)
+		}
+		if err := checkImm8(); err != nil {
+			return dst, err
+		}
+		return append(dst, 0x70|uint8(in.Cc), byte(int8(in.Imm))), nil
+	case fCc32:
+		if !ValidCc(in.Cc) {
+			return dst, fmt.Errorf("%w: %d", ErrBadCc, in.Cc)
+		}
+		return append(append(dst, Jcc32Prefix, 0x80|uint8(in.Cc)), le32(in.Imm)...), nil
+	case fMem:
+		if err := checkReg(in.Rd); err != nil {
+			return dst, err
+		}
+		if err := checkReg(in.Rs); err != nil {
+			return dst, err
+		}
+		return append(append(dst, info.byte, in.Rd, in.Rs), le32(in.Imm)...), nil
+	}
+	return dst, fmt.Errorf("%w: op %d", ErrBadOpcode, in.Op)
+}
+
+// Encode returns the encoding of in.
+func Encode(in Inst) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, MaxLen), in)
+}
+
+// MustEncode is Encode for instructions known valid by construction; it
+// panics on error and is intended for internal code generators and tests.
+func MustEncode(in Inst) []byte {
+	b, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode decodes the instruction at the start of b. It returns the
+// instruction and consumes Inst.Len bytes. Errors: ErrTruncated when b is
+// too short, ErrBadOpcode for undefined encodings, ErrBadReg for register
+// bytes >= NumRegs (such byte sequences are data, not code).
+func Decode(b []byte) (Inst, error) {
+	if len(b) == 0 {
+		return Inst{}, ErrTruncated
+	}
+	// Conditional short jumps: 0x70|cc for defined cc only.
+	if b[0]&0xF0 == 0x70 {
+		cc := Cc(b[0] & 0x0F)
+		if ValidCc(cc) {
+			if len(b) < 2 {
+				return Inst{}, ErrTruncated
+			}
+			return Inst{Op: OpJcc8, Cc: cc, Imm: int32(int8(b[1]))}, nil
+		}
+	}
+	// Conditional long jumps: 0x0F 0x80|cc rel32.
+	if b[0] == Jcc32Prefix {
+		if len(b) < 2 {
+			return Inst{}, ErrTruncated
+		}
+		if b[1]&0xF0 != 0x80 {
+			return Inst{}, fmt.Errorf("%w: 0f %02x", ErrBadOpcode, b[1])
+		}
+		cc := Cc(b[1] & 0x0F)
+		if !ValidCc(cc) {
+			return Inst{}, fmt.Errorf("%w: cc %x", ErrBadCc, cc)
+		}
+		if len(b) < 6 {
+			return Inst{}, ErrTruncated
+		}
+		return Inst{Op: OpJcc32, Cc: cc, Imm: int32(binary.LittleEndian.Uint32(b[2:6]))}, nil
+	}
+	op := byteToOp[b[0]]
+	if op == OpInvalid {
+		return Inst{}, fmt.Errorf("%w: %02x", ErrBadOpcode, b[0])
+	}
+	info := opTable[op]
+	n := formLen[info.form]
+	if len(b) < n {
+		return Inst{}, ErrTruncated
+	}
+	reg := func(v byte) (uint8, error) {
+		if v >= NumRegs {
+			return 0, fmt.Errorf("%w: r%d", ErrBadReg, v)
+		}
+		return v, nil
+	}
+	in := Inst{Op: op}
+	var err error
+	switch info.form {
+	case fNone:
+	case fReg:
+		if in.Rd, err = reg(b[1]); err != nil {
+			return Inst{}, err
+		}
+	case fImm8, fRel8:
+		in.Imm = int32(int8(b[1]))
+	case fRegReg:
+		if in.Rd, err = reg(b[1]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs, err = reg(b[2]); err != nil {
+			return Inst{}, err
+		}
+	case fRegImm8:
+		if in.Rd, err = reg(b[1]); err != nil {
+			return Inst{}, err
+		}
+		in.Imm = int32(int8(b[2]))
+	case fImm32, fRel32:
+		in.Imm = int32(binary.LittleEndian.Uint32(b[1:5]))
+	case fRegImm32, fRegRel32:
+		if in.Rd, err = reg(b[1]); err != nil {
+			return Inst{}, err
+		}
+		in.Imm = int32(binary.LittleEndian.Uint32(b[2:6]))
+	case fMem:
+		if in.Rd, err = reg(b[1]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs, err = reg(b[2]); err != nil {
+			return Inst{}, err
+		}
+		in.Imm = int32(binary.LittleEndian.Uint32(b[3:7]))
+	default:
+		return Inst{}, fmt.Errorf("%w: %02x", ErrBadOpcode, b[0])
+	}
+	return in, nil
+}

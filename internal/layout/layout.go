@@ -1,0 +1,98 @@
+// Package layout provides the pluggable code-placement strategies of
+// paper §III. Layout algorithms are plugins over the reassembler's
+// Placer interface: Optimized packs dollops back at their pinned
+// addresses and near their referents to minimize file-size and MaxRSS
+// overhead; Diversity scatters dollops randomly across free space to
+// maximize code-layout diversity at the cost of memory locality.
+package layout
+
+import (
+	"math/rand"
+
+	"zipr/internal/core"
+	"zipr/internal/ir"
+)
+
+// Optimized is the relaxation-style layout (the configuration fielded in
+// CGC): dollops go back at their original pinned locations when the gap
+// allows, and otherwise land as close to the referencing site as
+// possible, preferring pages that already hold pinned references.
+type Optimized struct{}
+
+var _ core.Placer = Optimized{}
+
+// Name implements core.Placer.
+func (Optimized) Name() string { return "optimized" }
+
+// InlinePins implements core.Placer: reserve pin gaps for in-place code.
+func (Optimized) InlinePins() bool { return true }
+
+// Choose picks the fitting block closest to the referencing site; with
+// no hint it best-fits the smallest block to limit fragmentation.
+func (Optimized) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
+	best := -1
+	var bestKey uint64
+	for i, b := range blocks {
+		if int(b.Len()) < size {
+			continue
+		}
+		var key uint64
+		if hint == 0 {
+			key = uint64(b.Len()) // best fit
+		} else {
+			d := int64(b.Start) - int64(hint)
+			if d < 0 {
+				d = -d
+			}
+			key = uint64(d)
+		}
+		if best < 0 || key < bestKey {
+			best, bestKey = i, key
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return blocks[best].Start, true
+}
+
+// Diversity scatters code randomly: every placement decision picks a
+// random fitting block and a random offset inside it, so two rewrites
+// with different seeds produce different layouts of the same program.
+type Diversity struct {
+	rng *rand.Rand
+}
+
+var _ core.Placer = (*Diversity)(nil)
+
+// NewDiversity creates a diversity placer with a deterministic seed.
+func NewDiversity(seed int64) *Diversity {
+	return &Diversity{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements core.Placer.
+func (*Diversity) Name() string { return "diversity" }
+
+// InlinePins implements core.Placer: never pin code in place — in-place
+// code would defeat layout diversity.
+func (*Diversity) InlinePins() bool { return false }
+
+// Choose picks a random fitting block and a random offset within it.
+func (d *Diversity) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
+	var fitting []ir.Range
+	for _, b := range blocks {
+		if int(b.Len()) >= size {
+			fitting = append(fitting, b)
+		}
+	}
+	if len(fitting) == 0 {
+		return 0, false
+	}
+	b := fitting[d.rng.Intn(len(fitting))]
+	slack := int(b.Len()) - size
+	off := 0
+	if slack > 0 {
+		off = d.rng.Intn(slack + 1)
+	}
+	return b.Start + uint32(off), true
+}

@@ -1,0 +1,103 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zipr/internal/ir"
+)
+
+var blocks = []ir.Range{
+	{Start: 0x1000, End: 0x1040}, // 64 bytes
+	{Start: 0x2000, End: 0x2010}, // 16 bytes
+	{Start: 0x3000, End: 0x3400}, // 1024 bytes
+}
+
+func TestOptimizedBestFitWithoutHint(t *testing.T) {
+	addr, ok := Optimized{}.Choose(blocks, 10, 0, 0)
+	if !ok || addr != 0x2000 {
+		t.Fatalf("best fit = %#x, %v; want 0x2000", addr, ok)
+	}
+	addr, ok = Optimized{}.Choose(blocks, 100, 0, 0)
+	if !ok || addr != 0x3000 {
+		t.Fatalf("only fitting = %#x, %v; want 0x3000", addr, ok)
+	}
+}
+
+func TestOptimizedNearestWithHint(t *testing.T) {
+	addr, ok := Optimized{}.Choose(blocks, 10, 0x1080, 0)
+	if !ok || addr != 0x1000 {
+		t.Fatalf("nearest = %#x, %v; want 0x1000", addr, ok)
+	}
+	addr, ok = Optimized{}.Choose(blocks, 10, 0x2fff, 0)
+	if !ok || addr != 0x3000 {
+		t.Fatalf("nearest = %#x, %v; want 0x3000", addr, ok)
+	}
+}
+
+func TestOptimizedNoFit(t *testing.T) {
+	if _, ok := (Optimized{}).Choose(blocks, 5000, 0, 0); ok {
+		t.Fatal("oversized request should not fit")
+	}
+	if _, ok := (Optimized{}).Choose(nil, 1, 0, 0); ok {
+		t.Fatal("no blocks should not fit")
+	}
+}
+
+func TestOptimizedInterface(t *testing.T) {
+	if (Optimized{}).Name() != "optimized" || !(Optimized{}).InlinePins() {
+		t.Fatal("optimized placer metadata wrong")
+	}
+	d := NewDiversity(1)
+	if d.Name() != "diversity" || d.InlinePins() {
+		t.Fatal("diversity placer metadata wrong")
+	}
+}
+
+func TestDiversityAlwaysInBounds(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		d := NewDiversity(seed)
+		sz := int(size%64) + 1
+		addr, ok := d.Choose(blocks, sz, 0, 0)
+		if !ok {
+			return false
+		}
+		for _, b := range blocks {
+			if addr >= b.Start && addr+uint32(sz) <= b.End {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiversityVariesAcrossSeeds(t *testing.T) {
+	seen := map[uint32]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		addr, ok := NewDiversity(seed).Choose(blocks, 8, 0, 0)
+		if !ok {
+			t.Fatal("choose failed")
+		}
+		seen[addr] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("only %d distinct placements across 20 seeds", len(seen))
+	}
+}
+
+func TestDiversityNoFit(t *testing.T) {
+	if _, ok := NewDiversity(1).Choose(blocks, 5000, 0, 0); ok {
+		t.Fatal("oversized request should not fit")
+	}
+}
+
+func TestDiversityDeterministicPerSeed(t *testing.T) {
+	a1, _ := NewDiversity(42).Choose(blocks, 8, 0, 0)
+	a2, _ := NewDiversity(42).Choose(blocks, 8, 0, 0)
+	if a1 != a2 {
+		t.Fatal("same seed produced different placements")
+	}
+}

@@ -1,0 +1,106 @@
+// Package loader maps ZELF executables and their shared libraries into a
+// vm.Machine and resolves imports. ZELF binaries are "prelinked": every
+// binary records the fixed virtual addresses of its segments, so loading
+// is mapping plus GOT patching — the loader looks up each imported symbol
+// in the other loaded binaries' export tables and writes the resolved
+// address into the importer's 4-byte GOT slot. Code then reaches imports
+// with a GOT load followed by an indirect branch, which is why exported
+// addresses must be pinned by the rewriter.
+package loader
+
+import (
+	"fmt"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/vm"
+)
+
+// Load maps exe and every library it (transitively) requires into m,
+// resolves all import tables, and sets the machine's PC to the
+// executable's entry point. libs maps library name to image.
+func Load(m *vm.Machine, exe *binfmt.Binary, libs map[string]*binfmt.Binary) error {
+	loaded := []*binfmt.Binary{}
+	seen := map[string]bool{}
+
+	var need func(b *binfmt.Binary) error
+	need = func(b *binfmt.Binary) error {
+		loaded = append(loaded, b)
+		for _, name := range b.Libs {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			lib, ok := libs[name]
+			if !ok {
+				return fmt.Errorf("loader: missing library %q", name)
+			}
+			if err := need(lib); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := need(exe); err != nil {
+		return err
+	}
+
+	for _, b := range loaded {
+		if err := mapBinary(m, b); err != nil {
+			return err
+		}
+	}
+	if err := resolve(m, loaded); err != nil {
+		return err
+	}
+	m.SetPC(exe.Entry)
+	return nil
+}
+
+func mapBinary(m *vm.Machine, b *binfmt.Binary) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("loader: %w", err)
+	}
+	for _, seg := range b.Segments {
+		perm := vm.PermR
+		switch seg.Kind {
+		case binfmt.Text:
+			perm |= vm.PermX
+		case binfmt.Data:
+			perm |= vm.PermW
+		default:
+			return fmt.Errorf("loader: unknown segment kind %d", seg.Kind)
+		}
+		if err := m.Map(seg.VAddr, len(seg.Data), perm); err != nil {
+			return fmt.Errorf("loader: map segment at %#x: %w", seg.VAddr, err)
+		}
+		if err := m.WriteMem(seg.VAddr, seg.Data); err != nil {
+			return fmt.Errorf("loader: populate segment at %#x: %w", seg.VAddr, err)
+		}
+	}
+	return nil
+}
+
+func resolve(m *vm.Machine, loaded []*binfmt.Binary) error {
+	exports := map[string]uint32{}
+	for _, b := range loaded {
+		for _, e := range b.Exports {
+			if _, dup := exports[e.Name]; dup {
+				return fmt.Errorf("loader: duplicate export %q", e.Name)
+			}
+			exports[e.Name] = e.Addr
+		}
+	}
+	for _, b := range loaded {
+		for _, im := range b.Imports {
+			addr, ok := exports[im.Name]
+			if !ok {
+				return fmt.Errorf("loader: unresolved import %q", im.Name)
+			}
+			slot := []byte{byte(addr), byte(addr >> 8), byte(addr >> 16), byte(addr >> 24)}
+			if err := m.WriteMem(im.GotAddr, slot); err != nil {
+				return fmt.Errorf("loader: write GOT slot for %q: %w", im.Name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+	"zipr/internal/vm"
+)
+
+func mustAssemble(t *testing.T, src string) *binfmt.Binary {
+	t.Helper()
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+const exeSrc = `
+.type exec
+.lib "la"
+.import la_fn, got_a
+.text 0x00100000
+main:
+    movi r1, 4
+    movi r5, got_a
+    load r5, [r5]
+    callr r5
+    movi r0, 1
+    syscall
+.data 0x00200000
+got_a: .word 0
+`
+
+const libASrc = `
+.type lib
+.lib "lb"
+.import lb_fn, got_b
+.text 0x00700000
+fa:
+    push r9
+    movi r9, got_b
+    load r9, [r9]
+    callr r9
+    addi r1, 1
+    pop r9
+    ret
+.export la_fn = fa
+.data 0x00780000
+got_b: .word 0
+`
+
+const libBSrc = `
+.type lib
+.text 0x00710000
+fb:
+    add r1, r1
+    ret
+.export lb_fn = fb
+`
+
+func TestTransitiveLoadingAndResolution(t *testing.T) {
+	exe := mustAssemble(t, exeSrc)
+	la := mustAssemble(t, libASrc)
+	lb := mustAssemble(t, libBSrc)
+
+	m := vm.New(vm.WithMaxSteps(10_000))
+	err := Load(m, exe, map[string]*binfmt.Binary{"la": la, "lb": lb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4*2 (lb) + 1 (la) = 9.
+	if res.ExitCode != 9 {
+		t.Fatalf("exit = %d, want 9", res.ExitCode)
+	}
+}
+
+func TestMissingLibrary(t *testing.T) {
+	exe := mustAssemble(t, exeSrc)
+	m := vm.New()
+	err := Load(m, exe, nil)
+	if err == nil || !strings.Contains(err.Error(), "missing library") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnresolvedImport(t *testing.T) {
+	exe := mustAssemble(t, exeSrc)
+	badLib := mustAssemble(t, `
+.type lib
+.text 0x00700000
+f: ret
+.export wrong_name = f
+`)
+	m := vm.New()
+	err := Load(m, exe, map[string]*binfmt.Binary{"la": badLib})
+	if err == nil || !strings.Contains(err.Error(), "unresolved import") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateExport(t *testing.T) {
+	exe := mustAssemble(t, `
+.type exec
+.lib "l1"
+.lib "l2"
+.text 0x00100000
+main:
+    movi r0, 1
+    movi r1, 0
+    syscall
+`)
+	l1 := mustAssemble(t, ".type lib\n.text 0x00700000\nf: ret\n.export dup = f\n")
+	l2 := mustAssemble(t, ".type lib\n.text 0x00710000\nf: ret\n.export dup = f\n")
+	m := vm.New()
+	err := Load(m, exe, map[string]*binfmt.Binary{"l1": l1, "l2": l2})
+	if err == nil || !strings.Contains(err.Error(), "duplicate export") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverlappingMappings(t *testing.T) {
+	exe := mustAssemble(t, `
+.type exec
+.lib "clash"
+.text 0x00100000
+main:
+    movi r0, 1
+    movi r1, 0
+    syscall
+`)
+	// Library deliberately mapped on top of the executable.
+	clash := mustAssemble(t, ".type lib\n.text 0x00100000\nf: ret\n.export c_fn = f\n")
+	m := vm.New()
+	err := Load(m, exe, map[string]*binfmt.Binary{"clash": clash})
+	if err == nil || !strings.Contains(err.Error(), "map segment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEntrySetAfterLoad(t *testing.T) {
+	exe := mustAssemble(t, `
+.type exec
+.text 0x00100000
+pad: nop
+main:
+    movi r0, 1
+    movi r1, 77
+    syscall
+.entry main
+`)
+	m := vm.New(vm.WithMaxSteps(100))
+	if err := Load(m, exe, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 77 {
+		t.Fatalf("exit = %d: PC not set to entry", res.ExitCode)
+	}
+}

@@ -1,0 +1,549 @@
+// Package synth generates deterministic synthetic ZVM-32 programs and
+// libraries that stand in for the binaries of the paper's evaluation:
+// CGC challenge binaries, libc (large, with a substantial fraction of
+// handwritten-assembly-style irregular code), libjvm (very large) and
+// Apache (executable plus shared libraries). Programs are emitted as
+// assembly source and built with the internal assembler, so the
+// rewriting pipeline sees exactly what a compiler-plus-assembler
+// toolchain would produce — including the constructs that make static
+// rewriting hard: jump tables in data and in text, function-pointer
+// tables, address-shaped immediates, data embedded in text, and
+// PC-relative constant loads.
+//
+// Every generated program is a deterministic input-to-output transducer:
+// it receives input bytes, dispatches work across its function DAG, and
+// transmits a digest. That gives the evaluation a functionality oracle —
+// a rewritten binary is correct iff it produces the original's exact
+// transcript and exit code for every poller input.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+)
+
+// Profile describes the shape of a generated program.
+type Profile struct {
+	// Name seeds label prefixes (and diagnostics).
+	Name string
+	// Lib generates a shared library (exports instead of a main loop).
+	Lib bool
+	// LibName is the soname used for .export prefixes when Lib is set.
+	LibName string
+	// Imports lists "libname:symbol" pairs the program calls through
+	// GOT slots.
+	Imports []string
+
+	// NumFuncs is the number of generated functions.
+	NumFuncs int
+	// OpsMin/OpsMax bound the number of body operations per function.
+	OpsMin, OpsMax int
+	// HandwrittenFrac is the fraction of functions with irregular,
+	// handwritten-assembly-style bodies (in-text data and jump tables,
+	// address immediates).
+	HandwrittenFrac float64
+	// FuncPtrTableFrac is the fraction of functions reachable only
+	// through a function-pointer table in data.
+	FuncPtrTableFrac float64
+	// DataWords sizes the global scratch array.
+	DataWords int
+	// InputLen is how many input bytes main processes per run.
+	InputLen int
+	// LoopIters bounds per-function loop trip counts; higher values mean
+	// more straight-line work per call (lower relative call overhead).
+	LoopIters int
+	// HeapPages makes main allocate and touch this many 4 KiB pages,
+	// giving the program a realistic resident-set baseline.
+	HeapPages int
+	// BigDollops generates few huge straight-line functions (the
+	// pathological-CB shape: large dollops plus many pinned addresses
+	// fragment the address space).
+	BigDollops bool
+	// ColdFuncs adds this many rarely-executed functions (error-path
+	// style: called only when an input byte is 0xFF), interleaved with
+	// the hot code — the workload shape profile-guided layout exists
+	// for.
+	ColdFuncs int
+	// DirectCallAll makes main call every non-table function directly
+	// once per input byte, so the call graph has no fallback
+	// function-pointer table entries (few pinned addresses; lets layout
+	// experiments isolate placement effects from pinned-stub paging).
+	DirectCallAll bool
+	// TextBase/DataBase place the segments (defaults: 0x00100000 /
+	// 0x00400000).
+	TextBase, DataBase uint32
+}
+
+// gen carries generator state.
+type gen struct {
+	rng    *rand.Rand
+	sb     strings.Builder
+	p      Profile
+	label  int
+	called map[int]bool // functions referenced by direct calls
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *gen) newLabel(kind string) string {
+	g.label++
+	return fmt.Sprintf("%s_%s%d", g.p.Name, kind, g.label)
+}
+
+// Generate renders the program's assembly source.
+func Generate(seed int64, p Profile) string {
+	if p.NumFuncs <= 0 {
+		p.NumFuncs = 10
+	}
+	if p.OpsMin <= 0 {
+		p.OpsMin = 6
+	}
+	if p.OpsMax <= p.OpsMin {
+		p.OpsMax = p.OpsMin + 20
+	}
+	if p.DataWords <= 0 {
+		p.DataWords = 64
+	}
+	if p.InputLen <= 0 {
+		p.InputLen = 16
+	}
+	if p.LoopIters <= 0 {
+		p.LoopIters = 8
+	}
+	if p.TextBase == 0 {
+		p.TextBase = 0x00100000
+	}
+	if p.DataBase == 0 {
+		p.DataBase = 0x00400000
+	}
+	if p.Name == "" {
+		p.Name = "prog"
+	}
+	g := &gen{rng: rand.New(rand.NewSource(seed)), p: p, called: map[int]bool{}}
+	g.program()
+	return g.sb.String()
+}
+
+// Build generates and assembles the program.
+func Build(seed int64, p Profile) (*binfmt.Binary, error) {
+	src := Generate(seed, p)
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("synth %s: %w", p.Name, err)
+	}
+	return bin, nil
+}
+
+// funcName names generated function i.
+func (g *gen) funcName(i int) string { return fmt.Sprintf("%s_f%d", g.p.Name, i) }
+
+func (g *gen) program() {
+	p := g.p
+	if p.Lib {
+		g.emit(".type lib")
+	} else {
+		g.emit(".type exec")
+	}
+	seenLib := map[string]bool{}
+	for _, imp := range p.Imports {
+		lib, _, ok := strings.Cut(imp, ":")
+		if ok && !seenLib[lib] {
+			g.emit(".lib \"%s\"", lib)
+			seenLib[lib] = true
+		}
+	}
+	g.emit(".text 0x%08x", p.TextBase)
+
+	// Which functions are only reachable indirectly?
+	tableOnly := map[int]bool{}
+	for i := 1; i < p.NumFuncs; i++ {
+		if g.rng.Float64() < p.FuncPtrTableFrac {
+			tableOnly[i] = true
+		}
+	}
+
+	if !p.Lib {
+		g.main(tableOnly)
+	}
+	handwritten := map[int]bool{}
+	for i := 0; i < p.NumFuncs; i++ {
+		if g.rng.Float64() < p.HandwrittenFrac {
+			handwritten[i] = true
+		}
+	}
+	// Cold functions interleave with hot ones (the realistic layout
+	// profile-guided placement untangles).
+	coldAfter := map[int][]int{}
+	for k := 0; k < p.ColdFuncs; k++ {
+		at := g.rng.Intn(p.NumFuncs)
+		coldAfter[at] = append(coldAfter[at], p.NumFuncs+k)
+	}
+	for i := 0; i < p.NumFuncs; i++ {
+		g.function(i, handwritten[i], tableOnly)
+		for _, c := range coldAfter[i] {
+			g.function(c, false, tableOnly)
+		}
+	}
+	if p.Lib {
+		// Export a deterministic subset of functions.
+		for i := 0; i < p.NumFuncs; i++ {
+			if i%3 == 0 {
+				g.emit(".export %s_x%d = %s", p.LibName, i, g.funcName(i))
+			}
+		}
+	}
+
+	// Data segment: scratch array, I/O buffers, function-pointer table,
+	// GOT slots.
+	g.emit(".data 0x%08x", p.DataBase)
+	g.emit("%s_gdata: .space %d", p.Name, p.DataWords*4)
+	g.emit("%s_inbuf: .space %d", p.Name, (p.InputLen+7)&^7)
+	g.emit("%s_outbuf: .space 64", p.Name)
+	// The function-pointer table holds the table-only functions plus any
+	// function nothing ended up calling: realistic binaries have no dead
+	// code (linkers collect it), and every function must be reachable so
+	// the analysis and the pollers exercise the whole program. Library
+	// exports (every third function) are reachable through the export
+	// table already.
+	var tabbed []int
+	for i := 1; i < p.NumFuncs; i++ {
+		exported := p.Lib && i%3 == 0
+		if tableOnly[i] || (!g.called[i] && !exported) {
+			tabbed = append(tabbed, i)
+		}
+	}
+	if len(tabbed) == 0 {
+		tabbed = []int{p.NumFuncs - 1}
+	}
+	g.emit("%s_ftab:", p.Name)
+	for _, i := range tabbed {
+		g.emit("    .word %s", g.funcName(i))
+	}
+	g.emit("%s_ftabn: .word %d", p.Name, len(tabbed))
+	for _, imp := range p.Imports {
+		lib, sym, _ := strings.Cut(imp, ":")
+		got := fmt.Sprintf("%s_got_%s_%s", p.Name, lib, sym)
+		g.emit("%s: .word 0", got)
+		g.emit(".import %s, %s", sym, got)
+	}
+}
+
+// main emits the entry: read input, per-byte dispatch across direct
+// calls, the function-pointer table and imports, then transmit a digest.
+func (g *gen) main(tableOnly map[int]bool) {
+	p := g.p
+	name := p.Name
+	g.emit(".entry %s_main", name)
+	g.emit("%s_main:", name)
+	// receive(0, inbuf, InputLen)
+	g.emit("    movi r0, 3")
+	g.emit("    movi r1, 0")
+	g.emit("    movi r2, %s_inbuf", name)
+	g.emit("    movi r3, %d", p.InputLen)
+	g.emit("    syscall")
+	g.emit("    mov r10, r0") // bytes read
+	if p.HeapPages > 0 {
+		// allocate(HeapPages * 4096) and touch each page once, giving
+		// the program a realistic resident-set baseline.
+		lab := g.newLabel("heap")
+		g.emit("    movi r0, 5")
+		g.emit("    movi r1, %d", p.HeapPages*4096)
+		g.emit("    syscall")
+		g.emit("    mov r7, r0")
+		g.emit("    movi r5, %d", p.HeapPages)
+		g.emit("%s:", lab)
+		g.emit("    store [r7], r5")
+		g.emit("    addi r7, 4096")
+		g.emit("    dec r5")
+		g.emit("    jnz %s", lab)
+	}
+	g.emit("    movi r9, 0") // checksum
+	g.emit("    movi r8, 0") // index
+	loop := g.newLabel("mainloop")
+	done := g.newLabel("maindone")
+	g.emit("%s:", loop)
+	g.emit("    cmp r8, r10")
+	g.emit("    jae %s", done)
+	// r1 = input byte ^ index
+	g.emit("    movi r2, %s_inbuf", name)
+	g.emit("    add r2, r8")
+	g.emit("    loadb r1, [r2]")
+	g.emit("    xor r1, r8")
+
+	// Dispatch: direct calls to entry functions of the DAG.
+	if p.DirectCallAll {
+		for f := 0; f < p.NumFuncs; f++ {
+			if tableOnly[f] {
+				continue
+			}
+			g.called[f] = true
+			g.emit("    call %s", g.funcName(f))
+			g.emit("    add r9, r1")
+		}
+	} else {
+		directs := 1 + g.rng.Intn(3)
+		for d := 0; d < directs; d++ {
+			f := g.rng.Intn(g.p.NumFuncs)
+			if tableOnly[f] {
+				f = 0
+			}
+			g.called[f] = true
+			g.emit("    call %s", g.funcName(f))
+			g.emit("    add r9, r1")
+		}
+	}
+	if p.ColdFuncs > 0 {
+		// Error-path dispatch: input byte 0xFF routes through every cold
+		// function; training inputs avoid 0xFF, so profiling marks them
+		// cold while static analysis still reaches them.
+		skip := g.newLabel("nocold")
+		g.emit("    movi r2, %s_inbuf", name)
+		g.emit("    add r2, r8")
+		g.emit("    loadb r2, [r2]")
+		g.emit("    cmpi r2, 255")
+		g.emit("    jnz %s", skip)
+		for k := 0; k < p.ColdFuncs; k++ {
+			g.emit("    mov r1, r9")
+			g.emit("    call %s", g.funcName(p.NumFuncs+k))
+			g.emit("    add r9, r1")
+		}
+		g.emit("%s:", skip)
+	}
+	// Indirect call through the function-pointer table, index from the
+	// running checksum.
+	g.emit("    mov r4, r9")
+	g.emit("    movi r5, %s_ftabn", name)
+	g.emit("    load r5, [r5]")
+	g.emit("    mod r4, r5")
+	g.emit("    shli r4, 2")
+	g.emit("    movi r5, %s_ftab", name)
+	g.emit("    add r5, r4")
+	g.emit("    load r5, [r5]")
+	g.emit("    callr r5")
+	g.emit("    add r9, r1")
+	// Imported calls.
+	for _, imp := range p.Imports {
+		lib, sym, _ := strings.Cut(imp, ":")
+		g.emit("    mov r1, r9")
+		g.emit("    andi r1, 0xff")
+		g.emit("    movi r5, %s_got_%s_%s", name, lib, sym)
+		g.emit("    load r5, [r5]")
+		g.emit("    callr r5")
+		g.emit("    add r9, r1")
+	}
+	g.emit("    inc r8")
+	g.emit("    jmp %s", loop)
+	g.emit("%s:", done)
+	// Store digest into outbuf and transmit 8 bytes.
+	g.emit("    movi r2, %s_outbuf", name)
+	g.emit("    store [r2], r9")
+	g.emit("    mov r3, r9")
+	g.emit("    xori r3, 0x5a5a5a5a")
+	g.emit("    store [r2+4], r3")
+	g.emit("    movi r0, 2")
+	g.emit("    movi r1, 1")
+	g.emit("    movi r3, 8")
+	g.emit("    syscall")
+	// terminate(checksum & 0x3f)
+	g.emit("    mov r1, r9")
+	g.emit("    andi r1, 0x3f")
+	g.emit("    movi r0, 1")
+	g.emit("    syscall")
+}
+
+// function emits one function. Regular bodies are compiler-shaped
+// (frame, bounded loops, if/else diamonds, global accesses, DAG calls);
+// handwritten bodies add the irregular constructs.
+func (g *gen) function(i int, handwritten bool, tableOnly map[int]bool) {
+	name := g.funcName(i)
+	g.emit("%s:", name)
+	// Callee-saves go above the frame so frame stores cannot clobber
+	// them; the frame is [sp+0, sp+frame).
+	frame := 16 + 4*g.rng.Intn(16) // 16..76 bytes
+	g.emit("    push r8")
+	g.emit("    push r9")
+	g.emit("    addi sp, -%d", frame)
+	g.emit("    mov r8, r1")
+
+	ops := g.p.OpsMin + g.rng.Intn(g.p.OpsMax-g.p.OpsMin+1)
+	if g.p.BigDollops {
+		ops *= 8
+	}
+	exit := g.newLabel("ret")
+	called := false
+	for k := 0; k < ops; k++ {
+		if g.p.BigDollops && k%4 == 2 {
+			// Address-shaped immediates naming mid-function labels: the
+			// conservative pinning heuristics must pin them, peppering
+			// the function with pinned addresses (the pathological-CB
+			// fragmentation shape from the paper's Fig. 6 discussion).
+			lab := g.newLabel("mid")
+			g.emit("    movi r11, %s", lab)
+			g.emit("%s:", lab)
+		}
+		g.bodyOp(i, frame, exit, tableOnly, &called)
+	}
+	if handwritten {
+		g.handwrittenBlock(i, exit)
+	}
+	g.emit("%s:", exit)
+	g.emit("    mov r1, r8")
+	g.emit("    andi r1, 0xffff")
+	g.emit("    addi sp, %d", frame)
+	g.emit("    pop r9")
+	g.emit("    pop r8")
+	g.emit("    ret")
+}
+
+// callLevels bounds call-chain depth: function i may only call into the
+// next level, so the deepest chain is maxLevels frames regardless of
+// how many functions the program has.
+const maxLevels = 24
+
+// callTarget picks a function the body of i may call, or -1.
+func (g *gen) callTarget(i int, tableOnly map[int]bool) int {
+	n := g.p.NumFuncs
+	levelSize := (n + maxLevels - 1) / maxLevels
+	next := (i/levelSize + 1) * levelSize
+	if next >= n {
+		return -1
+	}
+	j := next + g.rng.Intn(n-next)
+	if tableOnly[j] {
+		return -1
+	}
+	return j
+}
+
+// bodyOp emits one operation of a function body. At most one DAG call is
+// emitted per function (tracked via called) to keep the total work per
+// input byte bounded and measurable.
+func (g *gen) bodyOp(i, frame int, exit string, tableOnly map[int]bool, called *bool) {
+	name := g.p.Name
+	switch g.rng.Intn(12) {
+	case 0, 1: // arithmetic
+		ops := []string{"add", "sub", "xor", "or", "and", "mul"}
+		op := ops[g.rng.Intn(len(ops))]
+		g.emit("    movi r2, %d", 1+g.rng.Intn(1000))
+		g.emit("    %s r8, r2", op)
+	case 2: // shift mix
+		g.emit("    mov r2, r8")
+		g.emit("    shri r2, %d", 1+g.rng.Intn(7))
+		g.emit("    xor r8, r2")
+	case 3: // frame spill/reload
+		off := 4 * g.rng.Intn(frame/4)
+		g.emit("    store [sp+%d], r8", off)
+		g.emit("    movi r2, %d", g.rng.Intn(256))
+		g.emit("    add r8, r2")
+		g.emit("    load r2, [sp+%d]", off)
+		g.emit("    xor r8, r2")
+	case 4: // global read-modify-write, bounded index
+		g.emit("    mov r2, r8")
+		g.emit("    movi r3, %d", g.p.DataWords)
+		g.emit("    mod r2, r3")
+		g.emit("    shli r2, 2")
+		g.emit("    movi r3, %s_gdata", name)
+		g.emit("    add r3, r2")
+		g.emit("    load r4, [r3]")
+		g.emit("    add r4, r8")
+		g.emit("    store [r3], r4")
+		g.emit("    xor r8, r4")
+	case 5, 10, 11: // bounded counted loop (the bulk of per-call work)
+		lab := g.newLabel("loop")
+		g.emit("    movi r5, %d", 2+g.rng.Intn(g.p.LoopIters))
+		g.emit("%s:", lab)
+		g.emit("    add r8, r5")
+		g.emit("    mov r2, r8")
+		g.emit("    shri r2, 3")
+		g.emit("    xor r8, r2")
+		g.emit("    dec r5")
+		g.emit("    jnz %s", lab)
+	case 6: // if/else diamond
+		a, b := g.newLabel("then"), g.newLabel("endif")
+		g.emit("    cmpi r8, %d", g.rng.Intn(4096))
+		g.emit("    jl %s", a)
+		g.emit("    xori r8, 0x1234")
+		g.emit("    jmp %s", b)
+		g.emit("%s:", a)
+		g.emit("    addi r8, 77")
+		g.emit("%s:", b)
+	case 7: // conditional skip (forward branch over a tweak)
+		lab := g.newLabel("skip")
+		g.emit("    cmpi r8, %d", g.rng.Intn(64))
+		g.emit("    jnz %s", lab)
+		g.emit("    xori r8, 0x55")
+		g.emit("%s:", lab)
+	case 8: // DAG call into the next level, at most once per function
+		j := -1
+		if !*called {
+			j = g.callTarget(i, tableOnly)
+		}
+		if j >= 0 {
+			*called = true
+			g.called[j] = true
+			g.emit("    mov r1, r8")
+			g.emit("    call %s", g.funcName(j))
+			g.emit("    add r8, r1")
+		} else {
+			g.emit("    not r8")
+		}
+	case 9: // local short branch (rel8 forms exercised)
+		lab := g.newLabel("near")
+		g.emit("    cmpi8 r8, 0")
+		g.emit("    jz.s %s", lab)
+		g.emit("    inc r8")
+		g.emit("%s:", lab)
+	}
+}
+
+// handwrittenBlock emits the irregular constructs of hand-written
+// assembly: data embedded in text read with loadpc, an in-text jump
+// table driven through jmpr, and a code-address immediate.
+func (g *gen) handwrittenBlock(i int, exit string) {
+	skip := g.newLabel("skip")
+	blob := g.newLabel("blob")
+	tab := g.newLabel("jtab")
+	c0, c1, c2 := g.newLabel("case"), g.newLabel("case"), g.newLabel("case")
+	join := g.newLabel("join")
+
+	// Data in text: constants the code reads PC-relatively.
+	g.emit("    jmp %s", skip)
+	g.emit("%s: .word 0x%x, 0x%x", blob, g.rng.Uint32(), g.rng.Uint32())
+	g.emit("    .asciz \"%s-hw%d\"", g.p.Name, i)
+	g.emit("    .align 4")
+	// Jump table in text: absolute code addresses among the data.
+	g.emit("%s: .word %s, %s, %s", tab, c0, c1, c2)
+	g.emit("%s:", skip)
+	g.emit("    loadpc r2, %s", blob)
+	g.emit("    xor r8, r2")
+	// Computed jump through the in-text table.
+	g.emit("    mov r2, r8")
+	g.emit("    movi r3, 3")
+	g.emit("    mod r2, r3")
+	g.emit("    shli r2, 2")
+	g.emit("    lea r3, %s", tab)
+	g.emit("    add r3, r2")
+	g.emit("    load r3, [r3]")
+	g.emit("    jmpr r3")
+	g.emit("%s:", c0)
+	g.emit("    addi r8, 11")
+	g.emit("    jmp %s", join)
+	g.emit("%s:", c1)
+	g.emit("    addi r8, 23")
+	g.emit("    jmp %s", join)
+	g.emit("%s:", c2)
+	// Address-shaped immediate + indirect jump (the movi-pinning case).
+	g.emit("    movi r3, %s", join)
+	g.emit("    addi r8, 37")
+	g.emit("    jmpr r3")
+	g.emit("%s:", join)
+	g.emit("    cmpi8 r8, 0")
+	g.emit("    jnz %s", exit)
+	g.emit("    inc r8")
+}

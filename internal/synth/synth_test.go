@@ -1,0 +1,165 @@
+package synth
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/loader"
+	"zipr/internal/vm"
+)
+
+func run(t *testing.T, bin *binfmt.Binary, libs map[string]*binfmt.Binary, input []byte) vm.Result {
+	t.Helper()
+	m := vm.New(vm.WithStdin(bytes.NewReader(input)), vm.WithMaxSteps(20_000_000))
+	if err := loader.Load(m, bin, libs); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestGeneratedProgramRunsDeterministically(t *testing.T) {
+	seed, p := CBProfile(0)
+	bin, err := Build(seed, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, p.InputLen)
+	for i := range input {
+		input[i] = byte(i * 7)
+	}
+	r1 := run(t, bin, nil, input)
+	r2 := run(t, bin, nil, input)
+	if r1.ExitCode != r2.ExitCode || !bytes.Equal(r1.Output, r2.Output) {
+		t.Fatal("generated program is nondeterministic")
+	}
+	if len(r1.Output) != 8 {
+		t.Fatalf("output length = %d, want 8", len(r1.Output))
+	}
+	if r1.Steps < 1000 {
+		t.Fatalf("suspiciously little work: %d steps", r1.Steps)
+	}
+}
+
+func TestGeneratedProgramsVaryWithInput(t *testing.T) {
+	seed, p := CBProfile(3)
+	bin, err := Build(seed, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := run(t, bin, nil, bytes.Repeat([]byte{1}, p.InputLen))
+	b := run(t, bin, nil, bytes.Repeat([]byte{2}, p.InputLen))
+	if bytes.Equal(a.Output, b.Output) {
+		t.Fatal("different inputs produced identical outputs")
+	}
+}
+
+func TestCorpusBuildsAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build is slow")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < CorpusSize; i += 7 { // sample the corpus
+		seed, p := CBProfile(i)
+		bin, err := Build(seed, p)
+		if err != nil {
+			t.Fatalf("cb%d: %v", i, err)
+		}
+		input := make([]byte, p.InputLen)
+		rng.Read(input)
+		res := run(t, bin, nil, input)
+		if res.Steps == 0 {
+			t.Fatalf("cb%d did not execute", i)
+		}
+	}
+}
+
+func TestPathologicalProfileShape(t *testing.T) {
+	seed, p := CBProfile(PathologicalCB)
+	if !p.BigDollops {
+		t.Fatal("pathological CB must have big dollops")
+	}
+	bin, err := Build(seed, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, bin, nil, make([]byte, p.InputLen))
+	if res.Steps == 0 {
+		t.Fatal("pathological CB did not run")
+	}
+}
+
+func TestLibraryAndTestDriver(t *testing.T) {
+	lib, err := Build(7, LibcProfile(0.01)) // tiny scaled libc
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Type != binfmt.Lib || len(lib.Exports) == 0 {
+		t.Fatalf("library shape wrong: type=%d exports=%d", lib.Type, len(lib.Exports))
+	}
+	drv, err := Build(8, TestDriverProfile("slibc", []int{0, 3, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, drv, map[string]*binfmt.Binary{"slibc": lib}, []byte("unit-test-input!"))
+	if res.Steps == 0 {
+		t.Fatal("driver did not run")
+	}
+}
+
+func TestApacheProfilesLink(t *testing.T) {
+	exeP, libPs := ApacheProfiles(0.05)
+	libs := map[string]*binfmt.Binary{}
+	for i, lp := range libPs {
+		lib, err := Build(int64(100+i), lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		libs[lp.LibName] = lib
+	}
+	exe, err := Build(99, exeP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, exe, libs, []byte("GET /index.html HTTP/1.0\r\n\r\n"))
+	if res.Steps == 0 {
+		t.Fatal("apache-like stack did not run")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	seed, p := CBProfile(5)
+	if Generate(seed, p) != Generate(seed, p) {
+		t.Fatal("Generate not deterministic")
+	}
+	if Generate(seed, p) == Generate(seed+1, p) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestHandwrittenConstructsPresent(t *testing.T) {
+	src := Generate(1, Profile{Name: "hw", NumFuncs: 8, HandwrittenFrac: 1.0})
+	for _, construct := range []string{"loadpc", "jmpr", ".asciz", ".word", "lea"} {
+		if !strings.Contains(src, construct) {
+			t.Errorf("handwritten source missing %q", construct)
+		}
+	}
+}
+
+func TestStackDepthBounded(t *testing.T) {
+	// Even a large program must stay within the VM stack.
+	bin, err := Build(3, Profile{Name: "deep", NumFuncs: 400, OpsMin: 6, OpsMax: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, bin, nil, bytes.Repeat([]byte{0xFF}, 16))
+	if res.Steps == 0 {
+		t.Fatal("deep program did not run")
+	}
+}

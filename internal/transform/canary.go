@@ -1,0 +1,133 @@
+package transform
+
+import (
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// Canary implements the stack-canary hardening the paper's group applied
+// with Zipr (Hawkins et al., "Dynamic canary randomization"): each
+// protected function pushes a canary word on entry; each return first
+// verifies the word and terminates the program on mismatch. It protects
+// the return address against linear stack overwrites.
+//
+// Like StackPad, the transform assumes register argument passing (no
+// sp-relative access above the frame) and skips functions that end in
+// anything other than plain returns (tail jumps, computed gotos).
+type Canary struct {
+	// Value is the canary word (default 0x7A437A43).
+	Value uint32
+}
+
+var _ Transform = Canary{}
+
+// Name implements Transform.
+func (Canary) Name() string { return "canary" }
+
+// Apply implements Transform.
+func (t Canary) Apply(ctx *Context) error {
+	value := t.Value
+	if value == 0 {
+		value = 0x7A437A43
+	}
+	p := ctx.Prog
+
+	// Shared violation handler.
+	viol := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: violationExitCode})
+	v2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+	v3 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	v4 := p.NewInst(isa.Inst{Op: isa.OpHlt})
+	viol.Fallthrough = v2
+	v2.Fallthrough = v3
+	v3.Fallthrough = v4
+
+	// The function partition also contains fragments rooted at pinned
+	// mid-code addresses (the paper's "functions that share code"
+	// complication). Pushing a canary at a fragment "entry" that sits
+	// between a function's prologue and its epilogue corrupts the stack
+	// discipline, so a function is protected only when its body is
+	// plausibly a complete prologue-to-epilogue unit:
+	//
+	//   - it contains a return but no computed goto;
+	//   - its entry is not the target of any plain (non-call) branch,
+	//     which would mean a loop back over the canary push;
+	//   - no non-entry instruction is pinned (indirect entry past the
+	//     push);
+	//   - its static stack delta (pushes, pops, sp adjustments) is
+	//     balanced — a fragment holding an epilogue without its prologue
+	//     fails this, standing in for the frame analysis real canary
+	//     tools perform.
+	branchTargets := map[*ir.Instruction]bool{}
+	for _, n := range p.Insts {
+		if n.Target != nil && n.Inst.Op != isa.OpCall {
+			branchTargets[n.Target] = true
+		}
+	}
+
+	for _, fn := range ctx.Functions() {
+		if fn.Entry == p.Entry {
+			// The entry chain is not a called function; nothing returns.
+			continue
+		}
+		if branchTargets[fn.Entry] {
+			continue
+		}
+		var rets []*ir.Instruction
+		protectable := true
+		delta := int64(0)
+		for _, n := range fn.Insts {
+			switch n.Inst.Op {
+			case isa.OpRet:
+				rets = append(rets, n)
+			case isa.OpJmpR:
+				protectable = false // computed goto: frame shape unknown
+			case isa.OpPush, isa.OpPushI8, isa.OpPushI32:
+				delta -= 4
+			case isa.OpPop:
+				delta += 4
+			case isa.OpAddI, isa.OpAddI8:
+				if n.Inst.Rd == isa.SP {
+					delta += int64(n.Inst.Imm)
+				}
+			case isa.OpMov, isa.OpMovI:
+				if n.Inst.Rd == isa.SP {
+					protectable = false // wholesale stack switch
+				}
+			}
+			if n != fn.Entry && n.Pinned {
+				// A pinned mid-body instruction means the function can be
+				// entered indirectly past the canary push; the epilogue
+				// check would then fire on legitimate control flow.
+				protectable = false
+			}
+		}
+		if len(rets) == 0 || !protectable || delta != 0 {
+			continue
+		}
+		// Each return: verify and drop the canary first. InsertBefore
+		// makes the check the target of any branch that jumped to the
+		// ret, preserving all paths. Returns are instrumented before the
+		// entry so that a single-instruction function (entry == ret)
+		// ends up with the canary push ahead of the check chain.
+		for _, ret := range rets {
+			displacedRet := p.InsertBefore(ret, isa.Inst{Op: isa.OpPush, Rd: 0})
+			cur := ret // now holds "push r0"
+			add := func(in isa.Inst, target *ir.Instruction) {
+				n := p.NewInst(in)
+				n.Target = target
+				n.Fallthrough = cur.Fallthrough
+				cur.Fallthrough = n
+				cur = n
+			}
+			add(isa.Inst{Op: isa.OpLoad, Rd: 0, Rs: isa.SP, Imm: 4}, nil) // canary word
+			add(isa.Inst{Op: isa.OpCmpI, Rd: 0, Imm: int32(value)}, nil)
+			add(isa.Inst{Op: isa.OpJcc32, Cc: isa.CcNZ}, viol)
+			add(isa.Inst{Op: isa.OpPop, Rd: 0}, nil)
+			add(isa.Inst{Op: isa.OpAddI8, Rd: isa.SP, Imm: 4}, nil) // drop canary
+			_ = displacedRet                                        // the original ret remains the chain tail
+		}
+		// Entry: push the canary below the return address.
+		p.InsertBefore(fn.Entry, isa.Inst{Op: isa.OpPushI32, Imm: int32(value)})
+	}
+	return nil
+}

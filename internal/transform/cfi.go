@@ -1,0 +1,281 @@
+package transform
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// CFI applies the simple control-flow-integrity policy Xandra fielded in
+// CGC: every indirect control transfer (register-indirect jump or call,
+// and every return) is routed through a shared check thunk that verifies
+// the runtime target against a set of legal targets before branching.
+//
+// Legal targets are exactly: pinned original addresses (the only values
+// the original program can hold as code pointers), legal entries into
+// fixed byte ranges, code addresses materialized by the rewriter itself
+// (lea/movi rewrites), and the return sites physically following calls.
+// The set is stored as an open-addressing hash table in the data
+// extension — a few bytes per target, so the file-size cost stays small —
+// and its contents depend on the final code layout, so the transform
+// emits a deferred blob the reassembler fills after placement.
+//
+// The policy is module-local, as with binary-level CFI tools on real
+// systems: targets outside this module's rewritten text span (calls into
+// and returns to other modules through the GOT) pass; non-code
+// destinations still fault on the W^X execute check.
+//
+// Instrumentation contract: flags are treated as dead across indirect
+// control transfers (the same practical assumption binary-level CFI
+// tools make on x86); all registers are preserved.
+type CFI struct{}
+
+var _ Transform = CFI{}
+
+// Name implements Transform.
+func (CFI) Name() string { return "cfi" }
+
+// violationExitCode is the terminate() status on a CFI violation.
+const violationExitCode = 139
+
+// cfiHashK is the Knuth multiplicative-hash constant.
+const cfiHashK uint32 = 2654435761
+
+// cfiMaxProbe bounds linear probing; the fill fails loudly if the table
+// cannot place a target within this many slots (practically impossible
+// at 50% load factor).
+const cfiMaxProbe = 16
+
+// Apply implements Transform.
+func (t CFI) Apply(ctx *Context) error {
+	p := ctx.Prog
+
+	// Collect sites before synthesizing any code so the thunk itself is
+	// not instrumented.
+	var rets, jmprs, callrs []*ir.Instruction
+	calls := 0
+	materialized := 0
+	for _, n := range p.Insts {
+		switch n.Inst.Op {
+		case isa.OpRet:
+			rets = append(rets, n)
+		case isa.OpJmpR:
+			jmprs = append(jmprs, n)
+		case isa.OpCallR:
+			callrs = append(callrs, n)
+		case isa.OpCall:
+			calls++
+		case isa.OpLea, isa.OpMovI, isa.OpPushI32:
+			if n.Target != nil {
+				materialized++
+			}
+		}
+	}
+	if len(rets)+len(jmprs)+len(callrs) == 0 {
+		return nil
+	}
+
+	// Size the target table now (counts are known; only the values are
+	// layout-dependent). callr rewrites add one materialized return
+	// site each.
+	targets := len(p.PinnedInsts()) + len(p.FixedEntries) + calls +
+		materialized + len(callrs) + 8
+	slots := 16
+	for slots < 2*targets {
+		slots *= 2
+	}
+	log2 := 0
+	for 1<<log2 < slots {
+		log2++
+	}
+	// Layout in the data extension: [span:u32][slots × u32]. Slots hold
+	// offset+1 so zero means empty.
+	tableBase := p.Defer("cfi_targets", 4+4*slots, func(l *ir.Layout) ([]byte, error) {
+		return fillCFITable(p, l, slots, log2)
+	})
+
+	thunk := buildCFIThunk(p, p.TextRange().Start, tableBase, slots, log2)
+
+	// ret -> jmp thunk (the return address on the stack is the checked
+	// target; the thunk's final ret performs the actual transfer).
+	for _, n := range rets {
+		n.Inst = isa.Inst{Op: isa.OpJmp32}
+		n.Target = thunk
+		n.Fallthrough = nil
+	}
+	// jmpr rs -> push rs; jmp thunk.
+	for _, n := range jmprs {
+		reg := n.Inst.Rd
+		n.Inst = isa.Inst{Op: isa.OpPush, Rd: reg}
+		j := p.NewInst(isa.Inst{Op: isa.OpJmp32})
+		j.Target = thunk
+		n.Fallthrough = j
+	}
+	// callr rs -> pushi <return site>; push rs; jmp thunk. The pushi
+	// immediate is materialized to the return site's rewritten address,
+	// so the callee's (checked) ret comes back here.
+	for _, n := range callrs {
+		reg := n.Inst.Rd
+		retSite := n.Fallthrough
+		if retSite == nil {
+			return fmt.Errorf("cfi: callr %s has no return site", n)
+		}
+		n.Inst = isa.Inst{Op: isa.OpPushI32}
+		n.Target = retSite
+		push := p.NewInst(isa.Inst{Op: isa.OpPush, Rd: reg})
+		j := p.NewInst(isa.Inst{Op: isa.OpJmp32})
+		j.Target = thunk
+		n.Fallthrough = push
+		push.Fallthrough = j
+	}
+	return nil
+}
+
+// buildCFIThunk synthesizes the shared check routine. On entry the stack
+// holds the candidate target; on success the routine transfers there
+// with all registers restored.
+func buildCFIThunk(p *ir.Program, textBase, tableBase uint32, slots, log2 int) *ir.Instruction {
+	// Violation handler: terminate(139).
+	viol := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: violationExitCode})
+	v2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1}) // SysTerminate
+	v3 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	v4 := p.NewInst(isa.Inst{Op: isa.OpHlt}) // terminate never returns
+	viol.Fallthrough = v2
+	v2.Fallthrough = v3
+	v3.Fallthrough = v4
+
+	type step struct {
+		in   isa.Inst
+		mark string // label for this node
+		to   string // Jcc target label
+	}
+	seq := []step{
+		{in: isa.Inst{Op: isa.OpPush, Rd: 0}},
+		{in: isa.Inst{Op: isa.OpPush, Rd: 1}},
+		{in: isa.Inst{Op: isa.OpPush, Rd: 2}},
+		{in: isa.Inst{Op: isa.OpPush, Rd: 3}},
+		{in: isa.Inst{Op: isa.OpLoad, Rd: 0, Rs: isa.SP, Imm: 16}},          // candidate
+		{in: isa.Inst{Op: isa.OpAddI, Rd: 0, Imm: int32(-int64(textBase))}}, // offset
+		{in: isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: int32(tableBase)}},
+		{in: isa.Inst{Op: isa.OpLoad, Rd: 1, Rs: 1, Imm: 0}}, // span
+		{in: isa.Inst{Op: isa.OpCmp, Rd: 0, Rs: 1}},
+		{in: isa.Inst{Op: isa.OpJcc32, Cc: isa.CcAE}, to: "pass"}, // other module
+		{in: isa.Inst{Op: isa.OpInc, Rd: 0}},                      // stored form: offset+1
+		{in: isa.Inst{Op: isa.OpMov, Rd: 1, Rs: 0}},
+		{in: isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: -1640531535}}, // cfiHashK as int32
+		{in: isa.Inst{Op: isa.OpMul, Rd: 1, Rs: 2}},
+		{in: isa.Inst{Op: isa.OpShrI, Rd: 1, Imm: int32(32 - log2)}}, // home slot
+		{in: isa.Inst{Op: isa.OpMovI, Rd: 3, Imm: 0}},                // probe counter
+		// probe loop
+		{in: isa.Inst{Op: isa.OpMov, Rd: 2, Rs: 1}, mark: "probe"},
+		{in: isa.Inst{Op: isa.OpAdd, Rd: 2, Rs: 3}},
+		{in: isa.Inst{Op: isa.OpAndI, Rd: 2, Imm: int32(slots - 1)}},
+		{in: isa.Inst{Op: isa.OpShlI, Rd: 2, Imm: 2}},
+		{in: isa.Inst{Op: isa.OpAddI, Rd: 2, Imm: int32(tableBase + 4)}},
+		{in: isa.Inst{Op: isa.OpLoad, Rd: 2, Rs: 2, Imm: 0}},
+		{in: isa.Inst{Op: isa.OpCmp, Rd: 2, Rs: 0}},
+		{in: isa.Inst{Op: isa.OpJcc32, Cc: isa.CcZ}, to: "pass"},
+		{in: isa.Inst{Op: isa.OpCmpI8, Rd: 2, Imm: 0}},
+		{in: isa.Inst{Op: isa.OpJcc32, Cc: isa.CcZ}, to: "viol"}, // empty slot: absent
+		{in: isa.Inst{Op: isa.OpInc, Rd: 3}},
+		{in: isa.Inst{Op: isa.OpCmpI8, Rd: 3, Imm: cfiMaxProbe}},
+		{in: isa.Inst{Op: isa.OpJcc32, Cc: isa.CcL}, to: "probe"},
+		{in: isa.Inst{Op: isa.OpJmp32}, to: "viol"}, // probes exhausted
+		{in: isa.Inst{Op: isa.OpPop, Rd: 3}, mark: "pass"},
+		{in: isa.Inst{Op: isa.OpPop, Rd: 2}},
+		{in: isa.Inst{Op: isa.OpPop, Rd: 1}},
+		{in: isa.Inst{Op: isa.OpPop, Rd: 0}},
+		{in: isa.Inst{Op: isa.OpRet}}, // transfer to target
+	}
+	nodes := make([]*ir.Instruction, len(seq))
+	marks := map[string]*ir.Instruction{"viol": viol}
+	for i, s := range seq {
+		nodes[i] = p.NewInst(s.in)
+		if s.mark != "" {
+			marks[s.mark] = nodes[i]
+		}
+		if i > 0 && nodes[i-1].Inst.HasFallthrough() {
+			nodes[i-1].Fallthrough = nodes[i]
+		}
+	}
+	for i, s := range seq {
+		if s.to != "" {
+			nodes[i].Target = marks[s.to]
+		}
+	}
+	return nodes[0]
+}
+
+// fillCFITable computes the legal-target hash table once placement is
+// known.
+func fillCFITable(p *ir.Program, l *ir.Layout, slots, log2 int) ([]byte, error) {
+	span := l.TextEnd - l.TextBase
+	blob := make([]byte, 4+4*slots)
+	binary.LittleEndian.PutUint32(blob, span)
+	table := make([]uint32, slots)
+	insert := func(addr uint32) error {
+		if addr < l.TextBase || addr >= l.TextEnd {
+			return nil // out of module: admitted by the span check
+		}
+		v := addr - l.TextBase + 1 // offset+1; zero means empty
+		h := int(v * cfiHashK >> (32 - log2))
+		for k := 0; k < cfiMaxProbe; k++ {
+			slot := (h + k) & (slots - 1)
+			switch table[slot] {
+			case 0:
+				table[slot] = v
+				return nil
+			case v:
+				return nil // duplicate
+			}
+		}
+		return fmt.Errorf("cfi: target table overflow (%d slots)", slots)
+	}
+	// Pinned original addresses: the only code-pointer values the
+	// original program can produce.
+	for _, a := range l.PinnedAddrs {
+		if err := insert(a); err != nil {
+			return nil, err
+		}
+	}
+	// Legal entries into fixed ranges (in-text jump-table slots,
+	// ambiguous-region return sites): those bytes execute in place and
+	// cannot be instrumented, so the checks must admit them — but only
+	// the addresses the program actually references, not whole ranges.
+	for _, a := range p.FixedEntries {
+		if err := insert(a); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range p.Insts {
+		// Materialized code pointers (including the return sites the
+		// callr rewrite pushes).
+		if n.Target != nil {
+			switch n.Inst.Op {
+			case isa.OpLea, isa.OpMovI, isa.OpPushI32:
+				if a, ok := l.AddrOf(n.Target); ok {
+					if err := insert(a); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Return sites after direct calls: a call pushes the address
+		// physically following it in the *rewritten* layout — which is
+		// a continuation jump, not the logical fallthrough, when a
+		// dollop was split right after the call — so mark M[call]+len.
+		if n.Inst.Op == isa.OpCall {
+			if a, ok := l.AddrOf(n); ok {
+				if err := insert(a + uint32(n.Inst.Len())); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i, v := range table {
+		binary.LittleEndian.PutUint32(blob[4+4*i:], v)
+	}
+	return blob, nil
+}

@@ -1,0 +1,30 @@
+package transform
+
+import "zipr/internal/isa"
+
+// NopElide deletes no-op instructions (alignment padding, compiler
+// artifacts) through the removal half of the user-transform API. It is
+// the paper's "remove instructions" capability in its simplest useful
+// form: rewritten binaries shrink slightly and execute fewer
+// instructions, and the IR normalization proves that deletions compose
+// with pins and branch targets (a branch to a deleted nop lands on the
+// instruction after it; a pinned nop's reference moves with execution).
+type NopElide struct{}
+
+var _ Transform = NopElide{}
+
+// Name implements Transform.
+func (NopElide) Name() string { return "nop-elide" }
+
+// Apply implements Transform.
+func (t NopElide) Apply(ctx *Context) error {
+	for _, n := range ctx.Prog.Insts {
+		if n.Inst.Op != isa.OpNop || n.Deleted || n.Fallthrough == nil {
+			continue
+		}
+		if err := ctx.Delete(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

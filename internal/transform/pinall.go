@@ -1,0 +1,35 @@
+package transform
+
+// PinBlocks pins every basic-block leader (branch and call targets,
+// post-call return sites, function entries), approximating the naïve
+// P ⊇ "all instructions" assignment the paper's §II-A2 discusses: it
+// trivially satisfies B ⊆ P but strips the reassembler of placement
+// freedom, producing a markedly less space-efficient binary. (Pinning
+// literally every instruction is its degenerate limit — every gap equals
+// one instruction length and the only valid layout is the original one —
+// so the ablation uses block leaders, which keeps the comparison
+// meaningful while inflating |P| by an order of magnitude.)
+type PinBlocks struct{}
+
+var _ Transform = PinBlocks{}
+
+// Name implements Transform.
+func (PinBlocks) Name() string { return "pin-blocks" }
+
+// Apply implements Transform.
+func (PinBlocks) Apply(ctx *Context) error {
+	for _, n := range ctx.Prog.Insts {
+		if n.Target != nil && n.Target.OrigAddr != 0 {
+			n.Target.Pinned = true
+		}
+		if n.Inst.IsCall() && n.Fallthrough != nil && n.Fallthrough.OrigAddr != 0 {
+			n.Fallthrough.Pinned = true
+		}
+	}
+	for _, f := range ctx.Prog.Functions {
+		if f.Entry != nil && f.Entry.OrigAddr != 0 {
+			f.Entry.Pinned = true
+		}
+	}
+	return nil
+}

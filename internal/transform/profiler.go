@@ -1,0 +1,61 @@
+package transform
+
+import (
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// Profiler instruments every function entry with an execution counter in
+// the data extension, supporting the paper's program-optimization use
+// case: run the instrumented binary on training inputs, read the
+// counters out of the machine, and feed the hot set to the
+// profile-guided layout. Counter updates preserve all registers; flags
+// are assumed dead at function entry (the standard calling-convention
+// assumption the other transforms also make).
+type Profiler struct {
+	// Counters maps function entry (original address) to the data
+	// address of its 32-bit execution counter; populated by Apply.
+	Counters map[uint32]uint32
+}
+
+var _ Transform = (*Profiler)(nil)
+
+// Name implements Transform.
+func (*Profiler) Name() string { return "profiler" }
+
+// Apply implements Transform.
+func (t *Profiler) Apply(ctx *Context) error {
+	p := ctx.Prog
+	t.Counters = make(map[uint32]uint32)
+	for _, fn := range ctx.Functions() {
+		if fn.Entry == nil || fn.Entry.OrigAddr == 0 {
+			continue
+		}
+		ctr := p.AllocData(4, 4)
+		t.Counters[fn.Entry.OrigAddr] = ctr
+		instrumentCounter(p, fn.Entry, ctr)
+	}
+	return nil
+}
+
+// instrumentCounter prepends a register-preserving increment of the
+// 32-bit counter at addr to the given instruction.
+func instrumentCounter(p *ir.Program, at *ir.Instruction, addr uint32) {
+	// InsertBefore chain: at becomes the first inserted instruction and
+	// the original operation is displaced behind the sequence.
+	p.InsertBefore(at, isa.Inst{Op: isa.OpPush, Rd: 0})
+	cur := at
+	add := func(in isa.Inst) {
+		n := p.NewInst(in)
+		n.Fallthrough = cur.Fallthrough
+		cur.Fallthrough = n
+		cur = n
+	}
+	add(isa.Inst{Op: isa.OpPush, Rd: 1})
+	add(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: int32(addr)})
+	add(isa.Inst{Op: isa.OpLoad, Rd: 1, Rs: 0, Imm: 0})
+	add(isa.Inst{Op: isa.OpInc, Rd: 1})
+	add(isa.Inst{Op: isa.OpStore, Rd: 0, Rs: 1, Imm: 0})
+	add(isa.Inst{Op: isa.OpPop, Rd: 1})
+	add(isa.Inst{Op: isa.OpPop, Rd: 0})
+}

@@ -1,0 +1,105 @@
+package transform
+
+import (
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// StackPad is the paper's Figure-2 example transform: it enlarges stack
+// frame allocations so that stack offsets observed by an attacker differ
+// from the original binary. It locates matching frame allocation /
+// release pairs (`addi sp, -N` / `addi sp, +N` with N >= MinFrame) in
+// each function and grows both by Pad bytes. Functions whose
+// allocations and releases do not pair up are skipped with a warning —
+// the transform must never break semantics.
+//
+// The transform is sound for code that addresses only its own frame
+// through sp (arguments pass in registers), which is the calling
+// convention of the synthetic toolchain — and the common case the
+// paper's example targets.
+type StackPad struct {
+	// Pad is the number of bytes added to each frame (default 64).
+	Pad int32
+	// MinFrame ignores small sp adjustments such as spill slots
+	// (default 16).
+	MinFrame int32
+}
+
+var _ Transform = StackPad{}
+
+// Name implements Transform.
+func (StackPad) Name() string { return "stackpad" }
+
+// Apply implements Transform.
+func (t StackPad) Apply(ctx *Context) error {
+	pad := t.Pad
+	if pad <= 0 {
+		pad = 64
+	}
+	minFrame := t.MinFrame
+	if minFrame <= 0 {
+		minFrame = 16
+	}
+	for _, fn := range ctx.Functions() {
+		var allocs, frees []*ir.Instruction
+		for _, n := range fn.Insts {
+			if !isSPAdjust(n) {
+				continue
+			}
+			switch {
+			case n.Inst.Imm <= -minFrame:
+				allocs = append(allocs, n)
+			case n.Inst.Imm >= minFrame:
+				frees = append(frees, n)
+			}
+		}
+		if len(allocs) == 0 {
+			continue
+		}
+		if !framesPair(allocs, frees) {
+			ctx.Prog.Warnf("stackpad: function %s has unmatched frame adjustments; skipped", fn.Name)
+			continue
+		}
+		for _, n := range allocs {
+			grow(n, -pad)
+		}
+		for _, n := range frees {
+			grow(n, pad)
+		}
+	}
+	return nil
+}
+
+func isSPAdjust(n *ir.Instruction) bool {
+	op := n.Inst.Op
+	return (op == isa.OpAddI || op == isa.OpAddI8) && n.Inst.Rd == isa.SP
+}
+
+// framesPair checks that every allocation size has a matching release
+// size (multisets over magnitudes).
+func framesPair(allocs, frees []*ir.Instruction) bool {
+	counts := map[int32]int{}
+	for _, n := range allocs {
+		counts[-n.Inst.Imm]++
+	}
+	for _, n := range frees {
+		counts[n.Inst.Imm]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// grow adds delta to an sp adjustment, widening addi8 to addi when the
+// new immediate no longer fits in 8 bits — length changes are free in
+// the IR; the reassembler places whatever comes out.
+func grow(n *ir.Instruction, delta int32) {
+	v := n.Inst.Imm + delta
+	n.Inst.Imm = v
+	if n.Inst.Op == isa.OpAddI8 && (v < -128 || v > 127) {
+		n.Inst.Op = isa.OpAddI
+	}
+}

@@ -1,0 +1,58 @@
+package transform
+
+import (
+	"math/rand"
+
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// Stir realizes block-granularity code mixing in the spirit of Wartell
+// et al.'s Binary Stirring, which the paper lists among the transforms
+// applied with Zipr. The diversity layout already scatters *dollops*;
+// Stir additionally breaks long fallthrough chains at random points by
+// splicing in explicit jumps, so dollops become smaller and the placer
+// has far more units to shuffle — finer-grained layout entropy at the
+// cost of extra jump instructions.
+//
+// Combine with Config.Layout = LayoutDiversity for full effect; under
+// the optimized layout the inserted jumps mostly cost a few bytes.
+type Stir struct {
+	// Seed drives the (deterministic) choice of split points.
+	Seed int64
+	// Chance is the per-instruction probability of ending the current
+	// block, in percent (default 12, roughly basic-block granularity).
+	Chance int
+}
+
+var _ Transform = Stir{}
+
+// Name implements Transform.
+func (Stir) Name() string { return "stir" }
+
+// Apply implements Transform.
+func (t Stir) Apply(ctx *Context) error {
+	chance := t.Chance
+	if chance <= 0 {
+		chance = 12
+	}
+	rng := rand.New(rand.NewSource(t.Seed ^ 0x5717))
+	p := ctx.Prog
+	// Snapshot: splicing extends p.Insts while we iterate.
+	snapshot := append([]*ir.Instruction(nil), p.Insts...)
+	for _, node := range snapshot {
+		if node.Fallthrough == nil || node.Deleted {
+			continue
+		}
+		if rng.Intn(100) >= chance {
+			continue
+		}
+		// End the block here: an explicit jump to the logical
+		// fallthrough turns the tail into its own dollop.
+		next := node.Fallthrough
+		j := p.NewInst(isa.Inst{Op: isa.OpJmp32})
+		j.Target = next
+		node.Fallthrough = j
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package transform implements the Transformation phase: mandatory
+// transformations that decouple the IR from original addresses, and the
+// user-transform API the paper describes — iterate functions and
+// instructions, change/replace/remove instructions, insert new code —
+// plus the security transforms used in the evaluation (Null, CFI,
+// stack padding, canaries).
+package transform
+
+import (
+	"fmt"
+
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+)
+
+// Transform is a user-specified transformation over the IR.
+type Transform interface {
+	// Name identifies the transform in logs and stats.
+	Name() string
+	// Apply mutates the program IR.
+	Apply(ctx *Context) error
+}
+
+// Context is the user-transform API: access to the program plus
+// convenience iterators. All mutation goes through the ir.Program
+// methods (InsertBefore/InsertAfter/NewInst/AllocData/Defer).
+type Context struct {
+	Prog *ir.Program
+}
+
+// Functions returns the program's function partition.
+func (c *Context) Functions() []*ir.Function { return c.Prog.Functions }
+
+// Instructions calls fn for every instruction present when iteration
+// starts; instructions added during iteration are not visited.
+func (c *Context) Instructions(fn func(*ir.Instruction)) {
+	snapshot := append([]*ir.Instruction(nil), c.Prog.Insts...)
+	for _, n := range snapshot {
+		fn(n)
+	}
+}
+
+// Apply runs the mandatory transformations followed by the given user
+// transforms, in order.
+func Apply(p *ir.Program, transforms ...Transform) error {
+	if err := Mandatory(p); err != nil {
+		return err
+	}
+	ctx := &Context{Prog: p}
+	for _, t := range transforms {
+		if err := t.Apply(ctx); err != nil {
+			return fmt.Errorf("transform %s: %w", t.Name(), err)
+		}
+	}
+	if err := p.Normalize(); err != nil {
+		return fmt.Errorf("transform: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("transform: IR invalid after transforms: %w", err)
+	}
+	return nil
+}
+
+// Delete removes an instruction through the user-transform API;
+// execution that would have reached it continues at its fallthrough
+// (the removal is spliced out before reassembly).
+func (c *Context) Delete(n *ir.Instruction) error { return c.Prog.Delete(n) }
+
+// Mandatory performs the platform-mandated IR normalizations (paper
+// §II-B1): every span-dependent short branch is widened to its long
+// form so instructions can be placed anywhere in the address space; the
+// layout algorithm is free to re-shorten references it controls.
+func Mandatory(p *ir.Program) error {
+	for _, n := range p.Insts {
+		switch n.Inst.Op {
+		case isa.OpJmp8:
+			n.Inst.Op = isa.OpJmp32
+		case isa.OpJcc8:
+			n.Inst.Op = isa.OpJcc32
+		}
+	}
+	return p.Validate()
+}
+
+// Null is the no-op transformation used throughout the paper's
+// robustness evaluation: any behavioral or size change in a
+// Null-transformed binary is overhead attributable to rewriting itself.
+type Null struct{}
+
+var _ Transform = Null{}
+
+// Name implements Transform.
+func (Null) Name() string { return "null" }
+
+// Apply implements Transform: it does nothing.
+func (Null) Apply(*Context) error { return nil }

@@ -1,0 +1,217 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"zipr/internal/isa"
+)
+
+var bufAddr = int32(int64(StackTop) - 64 - (1 << 32)) // StackTop-64 as int32 bits
+
+// syscallProg builds: set up registers, syscall, then exit(r0 & 0xffff)
+// so tests can observe syscall return values.
+func syscallProg(t *testing.T, setup ...isa.Inst) []byte {
+	t.Helper()
+	insts := append([]isa.Inst{}, setup...)
+	insts = append(insts,
+		isa.Inst{Op: isa.OpSyscall},
+		isa.Inst{Op: isa.OpMov, Rd: 1, Rs: 0},
+		isa.Inst{Op: isa.OpAndI, Rd: 1, Imm: 0xFFFF},
+		isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysTerminate},
+		isa.Inst{Op: isa.OpSyscall},
+	)
+	return prog(t, insts...)
+}
+
+func TestTransmitBadFD(t *testing.T) {
+	code := syscallProg(t,
+		isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysTransmit},
+		isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 7}, // not stdout/stderr
+		isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: bufAddr},
+		isa.Inst{Op: isa.OpMovI, Rd: 3, Imm: 4},
+	)
+	res, err := runProg(t, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(res.ExitCode) != 0xFFFF { // -1 & 0xffff
+		t.Fatalf("bad-fd transmit returned %#x, want -1", uint32(res.ExitCode))
+	}
+	if len(res.Output) != 0 {
+		t.Fatal("bad-fd transmit produced output")
+	}
+}
+
+func TestTransmitToStderrCaptured(t *testing.T) {
+	code := prog(t,
+		isa.Inst{Op: isa.OpMovI, Rd: 5, Imm: bufAddr},
+		isa.Inst{Op: isa.OpMovI, Rd: 6, Imm: 'E'},
+		isa.Inst{Op: isa.OpStoreB, Rd: 5, Rs: 6, Imm: 0},
+		isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysTransmit},
+		isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 2}, // stderr
+		isa.Inst{Op: isa.OpMov, Rd: 2, Rs: 5},
+		isa.Inst{Op: isa.OpMovI, Rd: 3, Imm: 1},
+		isa.Inst{Op: isa.OpSyscall},
+		isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysTerminate},
+		isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 0},
+		isa.Inst{Op: isa.OpSyscall},
+	)
+	res, err := runProg(t, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "E" {
+		t.Fatalf("stderr output = %q", res.Output)
+	}
+}
+
+func TestReceiveBadFD(t *testing.T) {
+	code := syscallProg(t,
+		isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysReceive},
+		isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 3},
+		isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: bufAddr},
+		isa.Inst{Op: isa.OpMovI, Rd: 3, Imm: 4},
+	)
+	res, err := runProg(t, code, WithStdin(strings.NewReader("data")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(res.ExitCode) != 0xFFFF {
+		t.Fatalf("bad-fd receive returned %#x, want -1", uint32(res.ExitCode))
+	}
+}
+
+func TestReceiveShortRead(t *testing.T) {
+	// Ask for 16 bytes with only 3 available: returns 3.
+	code := syscallProg(t,
+		isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysReceive},
+		isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 0},
+		isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: bufAddr},
+		isa.Inst{Op: isa.OpMovI, Rd: 3, Imm: 16},
+	)
+	res, err := runProg(t, code, WithStdin(strings.NewReader("abc")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 3 {
+		t.Fatalf("short read returned %d, want 3", res.ExitCode)
+	}
+}
+
+func TestReceiveNoStdin(t *testing.T) {
+	code := syscallProg(t,
+		isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysReceive},
+		isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 0},
+		isa.Inst{Op: isa.OpMovI, Rd: 2, Imm: bufAddr},
+		isa.Inst{Op: isa.OpMovI, Rd: 3, Imm: 4},
+	)
+	m := New(WithMaxSteps(1000))
+	if err := m.Map(textBase, len(code), PermR|PermX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteMem(textBase, code); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPC(textBase)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("no-stdin receive returned %d, want 0", res.ExitCode)
+	}
+}
+
+func TestAllocateZeroAndHuge(t *testing.T) {
+	for _, size := range []int32{0, 1 << 27} {
+		code := syscallProg(t,
+			isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: SysAllocate},
+			isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: size},
+		)
+		res, err := runProg(t, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != 0 {
+			t.Fatalf("allocate(%d) returned %#x, want 0", size, uint32(res.ExitCode))
+		}
+	}
+}
+
+func TestFdwaitAndDeallocate(t *testing.T) {
+	for _, num := range []int32{SysFdwait, SysDeallocate} {
+		code := syscallProg(t, isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: num})
+		res, err := runProg(t, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != 0 {
+			t.Fatalf("syscall %d returned %d, want 0", num, res.ExitCode)
+		}
+	}
+}
+
+func TestSequentialAllocationsDisjoint(t *testing.T) {
+	// Two allocations must not overlap: write to the first, read after
+	// the second, verify.
+	insts := []isa.Inst{
+		{Op: isa.OpMovI, Rd: 0, Imm: SysAllocate},
+		{Op: isa.OpMovI, Rd: 1, Imm: 4096},
+		{Op: isa.OpSyscall},
+		{Op: isa.OpMov, Rd: 8, Rs: 0},
+		{Op: isa.OpMovI, Rd: 0, Imm: SysAllocate},
+		{Op: isa.OpMovI, Rd: 1, Imm: 4096},
+		{Op: isa.OpSyscall},
+		{Op: isa.OpMov, Rd: 9, Rs: 0},
+		{Op: isa.OpSub, Rd: 9, Rs: 8}, // distance between allocations
+		{Op: isa.OpMov, Rd: 1, Rs: 9},
+		{Op: isa.OpMovI, Rd: 0, Imm: SysTerminate},
+		{Op: isa.OpSyscall},
+	}
+	res, err := runProg(t, prog(t, insts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode < 4096 {
+		t.Fatalf("allocations overlap: distance %d", res.ExitCode)
+	}
+}
+
+func TestTraceRecordsRecentPCs(t *testing.T) {
+	code := prog(t,
+		isa.Inst{Op: isa.OpNop},
+		isa.Inst{Op: isa.OpNop},
+		isa.Inst{Op: isa.OpHlt},
+	)
+	m := New(WithTrace(8))
+	if err := m.Map(textBase, len(code), PermR|PermX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteMem(textBase, code); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPC(textBase)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("hlt should fault")
+	}
+	pcs := m.LastPCs()
+	if len(pcs) != 3 || pcs[0] != textBase || pcs[2] != textBase+2 {
+		t.Fatalf("trace = %#v", pcs)
+	}
+	// Without WithTrace, LastPCs is nil.
+	if New().LastPCs() != nil {
+		t.Fatal("untraced machine returned PCs")
+	}
+}
+
+func TestRegAccessors(t *testing.T) {
+	m := New()
+	m.SetReg(5, 0xDEAD)
+	if m.Reg(5) != 0xDEAD {
+		t.Fatal("SetReg/Reg mismatch")
+	}
+	if m.Reg(isa.SP) != StackTop {
+		t.Fatalf("initial sp = %#x", m.Reg(isa.SP))
+	}
+}

@@ -1,0 +1,151 @@
+package zipr
+
+import (
+	"bytes"
+	"testing"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/loader"
+	"zipr/internal/synth"
+	"zipr/internal/vm"
+)
+
+// pgoWorkload is the error-path-heavy program shape of the PGO example.
+func pgoWorkload(t *testing.T) (*binfmt.Binary, synth.Profile) {
+	t.Helper()
+	profile := synth.Profile{
+		Name:          "pgotest",
+		NumFuncs:      16,
+		OpsMin:        6,
+		OpsMax:        18,
+		LoopIters:     12,
+		ColdFuncs:     80,
+		DirectCallAll: true,
+		HeapPages:     1,
+		InputLen:      24,
+	}
+	bin, err := synth.Build(33, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, profile
+}
+
+// collectProfile instruments, runs the training input, and returns the
+// hot function entries.
+func collectProfile(t *testing.T, orig *binfmt.Binary, training []byte) []uint32 {
+	t.Helper()
+	prof := NewProfiler()
+	instrumented, _, err := RewriteBinary(orig.Clone(), Config{Transforms: []Transform{prof}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(vm.WithStdin(bytes.NewReader(training)), vm.WithMaxSteps(50_000_000))
+	if err := loader.Load(m, instrumented, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Counters) == 0 {
+		t.Fatal("profiler produced no counters")
+	}
+	var hot []uint32
+	for entry, ctr := range prof.Counters {
+		raw, err := m.ReadMem(ctr, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw[0]|raw[1]|raw[2]|raw[3] != 0 {
+			hot = append(hot, entry)
+		}
+	}
+	if len(hot) == 0 || len(hot) == len(prof.Counters) {
+		t.Fatalf("profile did not separate hot from cold: %d/%d hot", len(hot), len(prof.Counters))
+	}
+	return hot
+}
+
+func TestProfileGuidedLayout(t *testing.T) {
+	orig, profile := pgoWorkload(t)
+	training := bytes.Repeat([]byte{0x21}, profile.InputLen)
+	errorInput := append(bytes.Repeat([]byte{0x21}, profile.InputLen-1), 0xFF)
+
+	hot := collectProfile(t, orig, training)
+	pgo, report, err := RewriteBinary(orig.Clone(), Config{
+		Layout:   LayoutProfileGuided,
+		HotFuncs: hot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Layout != "profile-guided" {
+		t.Fatalf("layout = %q", report.Layout)
+	}
+
+	// Behavior identical on both the hot path and the error path.
+	for _, input := range [][]byte{training, errorInput} {
+		want := mustRun(t, orig, nil, string(input))
+		got := mustRun(t, pgo, nil, string(input))
+		if want.ExitCode != got.ExitCode || !bytes.Equal(want.Output, got.Output) {
+			t.Fatalf("diverged on %x: exit %d vs %d", input[:4], want.ExitCode, got.ExitCode)
+		}
+	}
+	// The hot-path working set must shrink against the original.
+	base := mustRun(t, orig, nil, string(training))
+	fast := mustRun(t, pgo, nil, string(training))
+	if fast.PagesTouched >= base.PagesTouched {
+		t.Fatalf("PGO did not reduce hot-path MaxRSS: %d vs %d pages",
+			fast.PagesTouched, base.PagesTouched)
+	}
+}
+
+func TestProfilerCountsAreExact(t *testing.T) {
+	// A direct-call-all program executes every non-table function once
+	// per input byte: counters must equal the input length (for the
+	// functions main calls directly).
+	profile := synth.Profile{
+		Name:          "cnt",
+		NumFuncs:      6,
+		OpsMin:        3,
+		OpsMax:        6,
+		DirectCallAll: true,
+		InputLen:      8,
+	}
+	orig, err := synth.Build(5, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfiler()
+	instrumented, _, err := RewriteBinary(orig.Clone(), Config{Transforms: []Transform{prof}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte{9}, profile.InputLen)
+	m := vm.New(vm.WithStdin(bytes.NewReader(input)), vm.WithMaxSteps(50_000_000))
+	if err := loader.Load(m, instrumented, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The entry function runs exactly once.
+	entryCtr, ok := prof.Counters[orig.Entry]
+	if !ok {
+		t.Fatal("entry function not instrumented")
+	}
+	raw, err := m.ReadMem(entryCtr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24
+	if count != 1 {
+		t.Fatalf("entry counter = %d, want 1", count)
+	}
+	// Instrumentation must not change behavior.
+	want := mustRun(t, orig, nil, string(input))
+	got := mustRun(t, instrumented, nil, string(input))
+	if want.ExitCode != got.ExitCode || !bytes.Equal(want.Output, got.Output) {
+		t.Fatal("profiler changed program behavior")
+	}
+}

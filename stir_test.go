@@ -1,0 +1,94 @@
+package zipr
+
+import (
+	"bytes"
+	"testing"
+
+	"zipr/internal/asm"
+	"zipr/internal/synth"
+)
+
+func TestStirEquivalenceAndGranularity(t *testing.T) {
+	seed, profile := synth.CBProfile(2)
+	orig, err := synth.Build(seed, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte{0x5A}, profile.InputLen)
+	want := mustRun(t, orig, nil, string(input))
+
+	plain, plainReport, err := RewriteBinary(orig.Clone(), Config{
+		Transforms: []Transform{Null()}, Layout: LayoutDiversity, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stirred, stirReport, err := RewriteBinary(orig.Clone(), Config{
+		Transforms: []Transform{Stir(9)}, Layout: LayoutDiversity, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustRun(t, stirred, nil, string(input))
+	if got.ExitCode != want.ExitCode || !bytes.Equal(got.Output, want.Output) {
+		t.Fatalf("stirred binary diverged: exit %d vs %d", got.ExitCode, want.ExitCode)
+	}
+	gotPlain := mustRun(t, plain, nil, string(input))
+	if gotPlain.ExitCode != want.ExitCode {
+		t.Fatalf("plain diversity binary diverged")
+	}
+	// Stirring must produce markedly more (smaller) dollops.
+	if stirReport.Stats.Dollops <= plainReport.Stats.Dollops {
+		t.Fatalf("stir dollops = %d, plain = %d; expected more granularity",
+			stirReport.Stats.Dollops, plainReport.Stats.Dollops)
+	}
+}
+
+func TestStirDeterministicPerSeed(t *testing.T) {
+	orig := asm.MustAssemble(`
+.text 0x00100000
+main:
+    movi r2, 1
+    addi r2, 2
+    addi r2, 3
+    addi r2, 4
+    mov r1, r2
+    movi r0, 1
+    syscall
+`)
+	build := func(stirSeed int64) []byte {
+		rw, _, err := RewriteBinary(orig.Clone(), Config{
+			Transforms: []Transform{Stir(stirSeed)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rw.Text().Data
+	}
+	a, b := build(1), build(1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same stir seed produced different binaries")
+	}
+}
+
+func TestStirWithCFIStacked(t *testing.T) {
+	seed, profile := synth.CBProfile(4)
+	orig, err := synth.Build(seed, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte{7}, profile.InputLen)
+	want := mustRun(t, orig, nil, string(input))
+	rw, _, err := RewriteBinary(orig.Clone(), Config{
+		Transforms: []Transform{Stir(4), CFI()},
+		Layout:     LayoutDiversity,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustRun(t, rw, nil, string(input))
+	if got.ExitCode != want.ExitCode || !bytes.Equal(got.Output, want.Output) {
+		t.Fatal("stir+cfi diverged")
+	}
+}

@@ -1,0 +1,266 @@
+// Package zipr is a static binary rewriter for ZVM-32/ZELF binaries,
+// reproducing "Zipr: Efficient Static Binary Rewriting for Security"
+// (Hawkins, Hiser, Co, Nguyen-Tuong, Davidson — DSN 2017). It rewrites
+// programs and shared libraries without keeping a copy of the original
+// code: the pipeline disassembles the input with two cooperating
+// disassemblers, lifts it to a logical IR with conservative pinned-
+// address analysis, applies mandatory and user transformations, and
+// reassembles the result with the paper's reference/dollop/chain/sled
+// algorithm under a pluggable layout strategy.
+//
+// Basic usage:
+//
+//	out, report, err := zipr.Rewrite(input, zipr.Config{
+//	    Transforms: []zipr.Transform{zipr.CFI()},
+//	})
+//
+// where input and out are serialized ZELF images.
+package zipr
+
+import (
+	"fmt"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/cfg"
+	"zipr/internal/core"
+	"zipr/internal/disasm"
+	"zipr/internal/ir"
+	"zipr/internal/irdb"
+	"zipr/internal/layout"
+	"zipr/internal/transform"
+)
+
+// Transform is a user-specified IR transformation. Construct instances
+// with Null, CFI, StackPad or Canary, or implement the interface for
+// custom transforms (see the internal/transform package for the API the
+// built-ins use).
+type Transform = transform.Transform
+
+// Null returns the no-op transform: the rewritten binary is semantically
+// identical to the original, so any measured difference is rewriting
+// overhead (the paper's robustness baseline).
+func Null() Transform { return transform.Null{} }
+
+// CFI returns the control-flow-integrity transform: indirect jumps,
+// indirect calls and returns are checked against a bitmap of legal
+// targets; violations terminate the program.
+func CFI() Transform { return transform.CFI{} }
+
+// StackPad returns the frame-padding transform (the paper's Figure 2
+// example): matched stack allocations grow by pad bytes.
+func StackPad(pad int32) Transform { return transform.StackPad{Pad: pad} }
+
+// Canary returns the stack-canary transform: protected functions verify
+// a canary word before returning.
+func Canary(value uint32) Transform { return transform.Canary{Value: value} }
+
+// PinBlocks returns the ablation transform that pins every basic-block
+// leader, approximating the paper's naïve "pin everything" baseline for
+// measuring how pinned-address count degrades space efficiency.
+func PinBlocks() Transform { return transform.PinBlocks{} }
+
+// Stir returns the Binary-Stirring-style transform: fallthrough chains
+// are broken at random (seeded) points so the layout can shuffle code at
+// block granularity. Pair with LayoutDiversity.
+func Stir(seed int64) Transform { return transform.Stir{Seed: seed} }
+
+// NopElide returns the peephole transform that deletes no-op padding,
+// demonstrating the instruction-removal half of the transform API.
+func NopElide() Transform { return transform.NopElide{} }
+
+// NewProfiler returns the function-entry profiling transform. After a
+// rewrite the Counters field maps each original function entry to the
+// data address of its 32-bit execution counter; run the instrumented
+// binary on training inputs, read the counters out of the machine, and
+// pass the hot entries as Config.HotFuncs under LayoutProfileGuided.
+func NewProfiler() *transform.Profiler { return &transform.Profiler{} }
+
+// hotRanges converts hot function entries into the original-address
+// spans the profile-guided placer classifies hints against.
+func hotRanges(prog *ir.Program, hotFuncs []uint32) []ir.Range {
+	hotSet := make(map[uint32]bool, len(hotFuncs))
+	for _, a := range hotFuncs {
+		hotSet[a] = true
+	}
+	var ranges []ir.Range
+	for _, f := range prog.Functions {
+		if f.Entry == nil || !hotSet[f.Entry.OrigAddr] {
+			continue
+		}
+		r := ir.Range{Start: f.Entry.OrigAddr, End: f.Entry.OrigAddr + 1}
+		for _, n := range f.Insts {
+			if n.OrigAddr == 0 {
+				continue
+			}
+			if n.OrigAddr < r.Start {
+				r.Start = n.OrigAddr
+			}
+			if end := n.OrigAddr + uint32(n.Inst.Len()); end > r.End {
+				r.End = end
+			}
+		}
+		ranges = append(ranges, r)
+	}
+	return ir.MergeRanges(ranges)
+}
+
+// LayoutKind selects the code-placement strategy (paper §III).
+type LayoutKind string
+
+// Layout strategies.
+const (
+	// LayoutOptimized places code back at pinned addresses and near its
+	// referents, minimizing file-size and MaxRSS overhead (the CGC
+	// configuration, and the default).
+	LayoutOptimized LayoutKind = "optimized"
+	// LayoutDiversity scatters code randomly (seeded) for code-layout
+	// diversity.
+	LayoutDiversity LayoutKind = "diversity"
+	// LayoutProfileGuided packs the functions listed in Config.HotFuncs
+	// densely and pushes cold code away, shrinking the working set of
+	// profile-conforming runs. Collect profiles with NewProfiler.
+	LayoutProfileGuided LayoutKind = "profile-guided"
+)
+
+// Config controls a rewrite.
+type Config struct {
+	// Transforms are applied in order after the mandatory transforms.
+	Transforms []Transform
+	// Layout selects the placement strategy; default LayoutOptimized.
+	Layout LayoutKind
+	// Seed drives LayoutDiversity's randomness.
+	Seed int64
+	// HotFuncs lists original function-entry addresses to treat as hot
+	// under LayoutProfileGuided (e.g. functions whose profiler counters
+	// crossed a threshold).
+	HotFuncs []uint32
+	// CaptureIR stores the constructed IR into Report.IRDB for
+	// inspection with SQL.
+	CaptureIR bool
+	// EmitMap fills Report.AddrMap with the original-to-rewritten
+	// address mapping of every relocated instruction (a linker-map
+	// equivalent, useful for symbolization and debugging).
+	EmitMap bool
+}
+
+// Stats summarizes what the reassembler did; see the paper's §II-C for
+// the vocabulary.
+type Stats struct {
+	Pinned       int // pinned addresses
+	InlinePins   int // pins whose code went back in place
+	Stubs5       int // unconstrained references
+	Stubs2       int // constrained (chained) references
+	Chains       int // chain slots
+	Sleds        int // sleds for dense references
+	SledEntries  int // pinned addresses covered by sleds
+	Dollops      int // dollops placed
+	Splits       int // dollop splits
+	OverflowUsed int // bytes appended past the original text
+	TextGrowth   int // rewritten minus original text bytes
+	FreeLeft     int // unused bytes left inside the original text range
+}
+
+// Report describes a completed rewrite.
+type Report struct {
+	Stats    Stats
+	Layout   string   // placement strategy used
+	Warnings []string // conservative-analysis diagnostics
+	// InputSize and OutputSize are serialized file sizes (the CGC
+	// file-size metric).
+	InputSize, OutputSize int
+	// IRDB holds the constructed IR when Config.CaptureIR is set; query
+	// it with SQL (tables: instructions, functions, fixed_ranges,
+	// warnings).
+	IRDB *irdb.DB
+	// AddrMap maps original instruction addresses to their rewritten
+	// locations when Config.EmitMap is set.
+	AddrMap map[uint32]uint32
+}
+
+// SizeOverhead returns the relative file growth (e.g. 0.03 = +3%).
+func (r *Report) SizeOverhead() float64 {
+	if r.InputSize == 0 {
+		return 0
+	}
+	return float64(r.OutputSize-r.InputSize) / float64(r.InputSize)
+}
+
+// Rewrite rewrites a serialized ZELF image and returns the rewritten
+// image plus a report.
+func Rewrite(input []byte, cfgv Config) ([]byte, *Report, error) {
+	bin, err := binfmt.Unmarshal(input)
+	if err != nil {
+		return nil, nil, fmt.Errorf("zipr: %w", err)
+	}
+	out, report, err := RewriteBinary(bin, cfgv)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := out.Marshal()
+	if err != nil {
+		return nil, nil, fmt.Errorf("zipr: %w", err)
+	}
+	report.InputSize = len(input)
+	report.OutputSize = len(data)
+	return data, report, nil
+}
+
+// RewriteBinary is Rewrite for in-memory binaries.
+func RewriteBinary(bin *binfmt.Binary, cfgv Config) (*binfmt.Binary, *Report, error) {
+	// Phase 1: IR construction (disassembly, CFG, pinned addresses).
+	agg, err := disasm.Disassemble(bin)
+	if err != nil {
+		return nil, nil, fmt.Errorf("zipr: %w", err)
+	}
+	prog, err := cfg.Build(bin, agg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("zipr: %w", err)
+	}
+	report := &Report{}
+	if cfgv.CaptureIR {
+		db := irdb.New()
+		if err := ir.SaveToDB(db, prog); err != nil {
+			return nil, nil, fmt.Errorf("zipr: %w", err)
+		}
+		report.IRDB = db
+	}
+
+	// Phase 2: transformation (mandatory + user transforms).
+	if err := transform.Apply(prog, cfgv.Transforms...); err != nil {
+		return nil, nil, fmt.Errorf("zipr: %w", err)
+	}
+
+	// Phase 3: reassembly under the selected layout.
+	var placer core.Placer
+	switch cfgv.Layout {
+	case LayoutOptimized, "":
+		placer = layout.Optimized{}
+	case LayoutDiversity:
+		placer = layout.NewDiversity(cfgv.Seed)
+	case LayoutProfileGuided:
+		placer = &layout.ProfileGuided{Hot: hotRanges(prog, cfgv.HotFuncs)}
+	default:
+		return nil, nil, fmt.Errorf("zipr: unknown layout %q", cfgv.Layout)
+	}
+	res, err := core.Reassemble(prog, core.Options{Placer: placer})
+	if err != nil {
+		return nil, nil, fmt.Errorf("zipr: %w", err)
+	}
+	report.Stats = Stats(res.Stats)
+	report.Layout = placer.Name()
+	if cfgv.EmitMap {
+		report.AddrMap = make(map[uint32]uint32)
+		for _, n := range prog.Insts {
+			if n.OrigAddr == 0 {
+				continue
+			}
+			if a, ok := res.Layout.AddrOf(n); ok {
+				report.AddrMap[n.OrigAddr] = a
+			}
+		}
+	}
+	report.Warnings = append(report.Warnings, prog.Warnings...)
+	report.InputSize = bin.FileSize()
+	report.OutputSize = res.Binary.FileSize()
+	return res.Binary, report, nil
+}
