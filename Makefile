@@ -1,0 +1,24 @@
+# Build/test entry points; `make ci` is the full local gate.
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: one iteration of the end-to-end rewrite benches with
+# allocation reporting, enough to catch regressions in the nil-trace
+# zero-overhead contract (compare NoTrace vs Traced allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench 'RewriteNull|RewriteNoTrace|RewriteTraced' -benchtime 1x -benchmem .
+
+ci: build vet race bench

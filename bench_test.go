@@ -356,6 +356,47 @@ func BenchmarkRewriteNull(b *testing.B) {
 	}
 }
 
+// BenchmarkRewriteNoTrace guards the nil-trace contract: run with
+// -benchmem and compare against BenchmarkRewriteTraced — a disabled
+// trace must add zero allocations per rewrite over the untraced
+// pipeline (the instrumentation stays compiled in unconditionally).
+func BenchmarkRewriteNoTrace(b *testing.B) {
+	seed, profile := synth.CBProfile(10)
+	bin, err := synth.Build(seed, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RewriteBinary(bin.Clone(), Config{Transforms: []Transform{Null()}, Trace: nil}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRewriteTraced measures the cost of full per-phase tracing
+// (spans, counters, histograms; no sink) for comparison against
+// BenchmarkRewriteNoTrace.
+func BenchmarkRewriteTraced(b *testing.B) {
+	seed, profile := synth.CBProfile(10)
+	bin, err := synth.Build(seed, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrace()
+		if _, _, err := RewriteBinary(bin.Clone(), Config{Transforms: []Transform{Null()}, Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRewriteCFI measures end-to-end rewrite throughput with CFI.
 func BenchmarkRewriteCFI(b *testing.B) {
 	seed, profile := synth.CBProfile(10)

@@ -27,20 +27,51 @@ import (
 	"zipr/internal/binfmt"
 	"zipr/internal/cgcsim"
 	"zipr/internal/loader"
+	"zipr/internal/obs"
 	"zipr/internal/synth"
 	"zipr/internal/vm"
 )
+
+// phaseAgg, when non-nil, folds a per-rewrite trace from every rewrite
+// the experiments perform; the aggregate table prints after the run.
+var phaseAgg *obs.Agg
 
 func main() {
 	experiment := flag.String("experiment", "all", "all | figs | fig4 | fig5 | fig6 | fig7 | robustness | ablate-pinning | ablate-layout | ablate-sleds | ablate-pgo")
 	n := flag.Int("n", synth.CorpusSize, "number of challenge binaries")
 	scale := flag.Float64("scale", 0.02, "robustness workload scale (1.0 = paper-sized artifacts)")
+	phaseTimes := flag.Bool("phase-times", false, "trace every rewrite and print per-phase timings aggregated across the corpus")
 	flag.Parse()
 
+	if *phaseTimes {
+		phaseAgg = obs.NewAgg()
+	}
 	if err := run(*experiment, *n, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "cgc-eval:", err)
 		os.Exit(1)
 	}
+	if phaseAgg != nil && phaseAgg.Runs() > 0 {
+		fmt.Printf("## Per-phase timings aggregated over %d rewrites\n", phaseAgg.Runs())
+		if err := phaseAgg.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cgc-eval:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// rewriteBinary is the experiments' single entry point into the
+// rewriter; with -phase-times it traces the rewrite and folds the
+// result into phaseAgg (the evaluation is sequential, so no locking).
+func rewriteBinary(b *binfmt.Binary, cfg zipr.Config) (*binfmt.Binary, *zipr.Report, error) {
+	if phaseAgg != nil {
+		tr := obs.New()
+		cfg.Trace = tr
+		defer func() {
+			tr.Close()
+			phaseAgg.AddTrace(tr)
+		}()
+	}
+	return zipr.RewriteBinary(b, cfg)
 }
 
 func run(experiment string, n int, scale float64) error {
@@ -88,7 +119,7 @@ func min(a, b int) int {
 // rewriteWith builds a cgcsim.RewriteFunc for a transform set and layout.
 func rewriteWith(layoutKind zipr.LayoutKind, tfs ...zipr.Transform) cgcsim.RewriteFunc {
 	return func(b *binfmt.Binary) (*binfmt.Binary, error) {
-		out, _, err := zipr.RewriteBinary(b, zipr.Config{Transforms: tfs, Layout: layoutKind})
+		out, _, err := rewriteBinary(b, zipr.Config{Transforms: tfs, Layout: layoutKind})
 		return out, err
 	}
 }
@@ -207,7 +238,7 @@ func robustnessLib(name string, seed int64, profile synth.Profile) error {
 	origSize := lib.FileSize()
 
 	t0 := time.Now()
-	rlib, _, err := zipr.RewriteBinary(lib.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
+	rlib, _, err := rewriteBinary(lib.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
@@ -244,7 +275,7 @@ func robustnessApache(scale float64) error {
 		libBins[lp.LibName] = lib
 		totalSize += lib.FileSize()
 		t0 := time.Now()
-		rlib, _, err := zipr.RewriteBinary(lib.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
+		rlib, _, err := rewriteBinary(lib.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
 		if err != nil {
 			return fmt.Errorf("apache lib %s: %w", lp.LibName, err)
 		}
@@ -258,7 +289,7 @@ func robustnessApache(scale float64) error {
 	}
 	totalSize += exe.FileSize()
 	t0 := time.Now()
-	rexe, _, err := zipr.RewriteBinary(exe.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
+	rexe, _, err := rewriteBinary(exe.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
 	if err != nil {
 		return fmt.Errorf("apache exe: %w", err)
 	}
@@ -355,7 +386,7 @@ func runAblatePGO() error {
 	errorInput := append(bytes.Repeat([]byte{0x42}, profile.InputLen-1), 0xFF)
 
 	prof := zipr.NewProfiler()
-	instrumented, _, err := zipr.RewriteBinary(orig.Clone(), zipr.Config{
+	instrumented, _, err := rewriteBinary(orig.Clone(), zipr.Config{
 		Transforms: []zipr.Transform{prof},
 	})
 	if err != nil {
@@ -378,7 +409,7 @@ func runAblatePGO() error {
 			hot = append(hot, entry)
 		}
 	}
-	pgo, _, err := zipr.RewriteBinary(orig.Clone(), zipr.Config{
+	pgo, _, err := rewriteBinary(orig.Clone(), zipr.Config{
 		Layout: zipr.LayoutProfileGuided, HotFuncs: hot,
 	})
 	if err != nil {
@@ -450,7 +481,7 @@ func runAblateSleds() error {
 		if err != nil {
 			return err
 		}
-		rw, rep, err := zipr.RewriteBinary(bin.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
+		rw, rep, err := rewriteBinary(bin.Clone(), zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
 		if err != nil {
 			return err
 		}

@@ -2,13 +2,18 @@
 //
 // Usage:
 //
-//	zipr [-transforms null,cfi,stackpad,canary] [-layout optimized|diversity]
-//	     [-seed N] [-pad N] [-stats] [-sql "SELECT ..."] input.zelf output.zelf
+//	zipr [-transforms null,cfi,stackpad,canary] [-layout optimized|diversity|profile-guided]
+//	     [-seed N] [-pad N] [-stats] [-phase-times] [-trace-out trace.jsonl]
+//	     [-sql "SELECT ..."] input.zelf output.zelf
 //
 // The -sql flag runs a query against the captured IR database after
 // construction (tables: instructions, functions, fixed_ranges,
 // warnings) and prints the rows, which is handy for inspecting what the
 // analysis concluded about a binary.
+//
+// -phase-times prints a per-phase wall-time and memory-delta table for
+// the rewrite; -trace-out writes the same data (every span, counter,
+// gauge and histogram) as JSON-lines for offline analysis.
 package main
 
 import (
@@ -56,8 +61,23 @@ func verifyPair(origImage, newImage []byte, inputPath string) (string, error) {
 	case !bytes.Equal(want.Output, got.Output):
 		return "", fmt.Errorf("verify: transcripts differ (%d vs %d bytes)", len(want.Output), len(got.Output))
 	}
-	return fmt.Sprintf("verify: transcripts identical (exit %d, %d output bytes, %d vs %d instructions)",
-		want.ExitCode, len(want.Output), want.Steps, got.Steps), nil
+	// Transcripts match; report execution-cost deltas so rewriting
+	// overhead (extra reference jumps, touched pages, dispatch code) is
+	// visible, not just behavioral parity.
+	delta := func(orig, new uint64) string {
+		if orig == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.2f%%", 100*(float64(new)-float64(orig))/float64(orig))
+	}
+	return fmt.Sprintf("verify: transcripts identical (exit %d, %d output bytes)\n"+
+		"verify: original  steps=%d pages=%d syscalls=%d memops=%d\n"+
+		"verify: rewritten steps=%d (%s) pages=%d (%s) syscalls=%d memops=%d (%s)",
+		want.ExitCode, len(want.Output),
+		want.Steps, want.PagesTouched, want.Syscalls, want.MemOps,
+		got.Steps, delta(want.Steps, got.Steps),
+		got.PagesTouched, delta(uint64(want.PagesTouched), uint64(got.PagesTouched)),
+		got.Syscalls, got.MemOps, delta(want.MemOps, got.MemOps)), nil
 }
 
 func main() {
@@ -69,11 +89,13 @@ func main() {
 
 func run() error {
 	transforms := flag.String("transforms", "null", "comma-separated: null,cfi,stackpad,canary")
-	layoutFlag := flag.String("layout", "optimized", "optimized | diversity")
+	layoutFlag := flag.String("layout", "optimized", "optimized | diversity | profile-guided")
 	seed := flag.Int64("seed", 1, "diversity layout seed")
 	pad := flag.Int("pad", 64, "stackpad padding bytes")
 	stats := flag.Bool("stats", false, "print reassembly statistics")
 	warns := flag.Bool("warnings", false, "print analysis warnings")
+	phaseTimes := flag.Bool("phase-times", false, "print a per-phase wall-time and memory-delta table")
+	traceOut := flag.String("trace-out", "", "write the phase trace and metrics as JSON-lines to this file")
 	sql := flag.String("sql", "", "run an SQL query against the captured IR")
 	mapOut := flag.String("map", "", "write an original->rewritten address map to this file")
 	verify := flag.String("verify-input", "", "run original and rewritten binaries on this input file and compare transcripts")
@@ -104,12 +126,30 @@ func run() error {
 			return fmt.Errorf("unknown transform %q", name)
 		}
 	}
+	var sinks []zipr.TraceSink
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		sinks = append(sinks, zipr.NewJSONLSink(f))
+	}
+	if *phaseTimes {
+		sinks = append(sinks, zipr.NewTableSink(os.Stdout))
+	}
+	var tr *zipr.Trace
+	if len(sinks) > 0 {
+		tr = zipr.NewTrace(sinks...)
+	}
 	cfg := zipr.Config{
 		Transforms: tfs,
 		Layout:     zipr.LayoutKind(*layoutFlag),
 		Seed:       *seed,
 		CaptureIR:  *sql != "",
 		EmitMap:    *mapOut != "",
+		Trace:      tr,
 	}
 	out, report, err := zipr.Rewrite(input, cfg)
 	if err != nil {
@@ -121,6 +161,17 @@ func run() error {
 	fmt.Printf("%s: %d -> %d bytes (%+.2f%%), layout %s\n",
 		flag.Arg(1), report.InputSize, report.OutputSize,
 		report.SizeOverhead()*100, report.Layout)
+	if tr != nil {
+		if err := tr.Close(); err != nil {
+			return err
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("%s: phase trace written\n", *traceOut)
+		}
+	}
 	if *stats {
 		s := report.Stats
 		fmt.Printf("pins %d (inline %d, 5-byte %d, 2-byte %d, chains %d, sleds %d/%d entries)\n",

@@ -21,16 +21,26 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 
 	"zipr/internal/binfmt"
 	"zipr/internal/disasm"
 	"zipr/internal/ir"
 	"zipr/internal/isa"
+	"zipr/internal/obs"
 )
 
 // Build lifts the aggregated disassembly of bin into a logical IR
 // program with pinned addresses.
 func Build(bin *binfmt.Binary, agg disasm.Aggregated) (*ir.Program, error) {
+	return BuildTraced(bin, agg, nil)
+}
+
+// BuildTraced is Build with spans for IR lifting, pin analysis and
+// function partitioning plus pin-provenance counters emitted to tr; a
+// nil trace disables instrumentation.
+func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.Program, error) {
+	sp := tr.Start("lift")
 	p := ir.NewProgram(bin)
 	p.Fixed = append(p.Fixed, agg.Fixed...)
 	p.Warnings = append(p.Warnings, agg.Warnings...)
@@ -108,17 +118,25 @@ func Build(bin *binfmt.Binary, agg disasm.Aggregated) (*ir.Program, error) {
 		}
 	}
 	p.Fixed = ir.MergeRanges(append(p.Fixed, extraFixed...))
+	sp.End()
 
+	sp = tr.Start("pin-analysis")
 	// recordTarget notes an address the program may reach indirectly:
 	// relocatable instructions get pinned (a reference is planted at
 	// their original address); addresses inside fixed ranges are
 	// recorded as legal entries (the bytes there never move).
+	var pinsBy map[string]int64
+	if tr.Enabled() {
+		pinsBy = make(map[string]int64)
+	}
 	pinNode := func(a uint32, why string) {
 		if n, ok := p.ByAddr[a]; ok {
 			if !n.Pinned {
 				n.Pinned = true
+				if pinsBy != nil {
+					pinsBy[why]++
+				}
 			}
-			_ = why
 			return
 		}
 		if text.Contains(a) && inFixed(a) {
@@ -202,10 +220,28 @@ func Build(bin *binfmt.Binary, agg disasm.Aggregated) (*ir.Program, error) {
 		}
 		p.FixedEntries = out
 	}
+	sp.End()
 
+	sp = tr.Start("partition-functions")
 	buildFunctions(p, addrs)
+	sp.End()
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if tr.Enabled() {
+		var pinned int64
+		for _, n := range p.Insts {
+			if n.Pinned {
+				pinned++
+			}
+		}
+		tr.Add("cfg.insts", int64(len(p.Insts)))
+		tr.Add("cfg.pins", pinned)
+		tr.Add("cfg.fixed-entries", int64(len(p.FixedEntries)))
+		tr.Add("cfg.functions", int64(len(p.Functions)))
+		for why, n := range pinsBy {
+			tr.Add("cfg.pins."+strings.ReplaceAll(why, " ", "-"), n)
+		}
 	}
 	return p, nil
 }

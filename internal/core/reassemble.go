@@ -28,10 +28,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"zipr/internal/binfmt"
 	"zipr/internal/ir"
 	"zipr/internal/isa"
+	"zipr/internal/obs"
 )
 
 // Placer is the pluggable code-layout strategy (paper §III implements
@@ -52,6 +54,10 @@ type Placer interface {
 // Options configures reassembly.
 type Options struct {
 	Placer Placer
+	// Trace receives the reassembly sub-phase spans (pin planting,
+	// chaining, sled construction, dollop placement, patch/emit) and the
+	// reassembler's counters and histograms; nil disables tracing.
+	Trace *obs.Trace
 }
 
 // Stats reports what the reassembler did.
@@ -101,6 +107,7 @@ type inlineRegion struct {
 type reassembler struct {
 	p      *ir.Program
 	placer Placer
+	tr     *obs.Trace
 	text   ir.Range
 
 	image    []byte // rewritten text image, starting at text.Start
@@ -130,9 +137,14 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	text := p.TextRange()
+	placer := opts.Placer
+	if opts.Trace != nil {
+		placer = newTracedPlacer(placer, opts.Trace)
+	}
 	r := &reassembler{
 		p:        p,
-		placer:   opts.Placer,
+		placer:   placer,
+		tr:       opts.Trace,
 		text:     text,
 		image:    make([]byte, text.Len()),
 		imageEnd: text.End,
@@ -145,20 +157,106 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 	if err := r.planPins(); err != nil {
 		return nil, err
 	}
-	if err := r.processWork(); err != nil {
+	sp := r.tr.Start("dollop-placement")
+	err := r.processWork()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
-	if err := r.finishInlines(); err != nil {
+	sp = r.tr.Start("inline-fixups")
+	err = r.finishInlines()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
+	sp = r.tr.Start("patch-emit")
 	bin, layout, err := r.emit()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	r.stats.TextGrowth = int(r.imageEnd - text.End)
 	r.stats.OverflowUsed = int(r.imageEnd - r.overflow)
 	r.stats.FreeLeft = r.fs.TotalFree()
+	r.flushMetrics()
 	return &Result{Binary: bin, Stats: r.stats, Layout: layout}, nil
+}
+
+// flushMetrics exports the reassembler's end state to the trace: every
+// Stats field as a counter, the free-range fragmentation histogram, and
+// image-size gauges.
+func (r *reassembler) flushMetrics() {
+	if !r.tr.Enabled() {
+		return
+	}
+	s := r.stats
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"stats.pinned", s.Pinned},
+		{"stats.inline-pins", s.InlinePins},
+		{"stats.stubs5", s.Stubs5},
+		{"stats.stubs2", s.Stubs2},
+		{"stats.chains", s.Chains},
+		{"stats.sleds", s.Sleds},
+		{"stats.sled-entries", s.SledEntries},
+		{"stats.dollops", s.Dollops},
+		{"stats.splits", s.Splits},
+		{"stats.overflow-bytes", s.OverflowUsed},
+		{"stats.text-growth", s.TextGrowth},
+		{"stats.free-left", s.FreeLeft},
+	} {
+		r.tr.Add(c.name, int64(c.v))
+	}
+	blocks := r.fs.Blocks()
+	r.tr.Add("reassemble.free-ranges", int64(len(blocks)))
+	for _, b := range blocks {
+		r.tr.Observe("reassemble.free-range-bytes", int64(b.Len()))
+	}
+	r.tr.SetGauge("reassemble.image-bytes", int64(len(r.image)))
+	r.tr.SetGauge("reassemble.placed-insts", int64(len(r.m)))
+}
+
+// tracedPlacer wraps a Placer with per-placer placement-decision
+// counters (keys are precomputed so hot Choose calls do not build
+// strings).
+type tracedPlacer struct {
+	inner             Placer
+	tr                *obs.Trace
+	callsKey, fitsKey string
+	missKey, bytesKey string
+}
+
+func newTracedPlacer(inner Placer, tr *obs.Trace) *tracedPlacer {
+	prefix := "placer." + inner.Name()
+	return &tracedPlacer{
+		inner:    inner,
+		tr:       tr,
+		callsKey: prefix + ".choose-calls",
+		fitsKey:  prefix + ".choose-fits",
+		missKey:  prefix + ".choose-misses",
+		bytesKey: prefix + ".request-bytes",
+	}
+}
+
+// Name implements Placer.
+func (p *tracedPlacer) Name() string { return p.inner.Name() }
+
+// InlinePins implements Placer.
+func (p *tracedPlacer) InlinePins() bool { return p.inner.InlinePins() }
+
+// Choose implements Placer, counting decisions.
+func (p *tracedPlacer) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
+	addr, ok := p.inner.Choose(blocks, size, hint, origin)
+	p.tr.Add(p.callsKey, 1)
+	if ok {
+		p.tr.Add(p.fitsKey, 1)
+	} else {
+		p.tr.Add(p.missKey, 1)
+	}
+	p.tr.Observe(p.bytesKey, int64(size))
+	return addr, ok
 }
 
 // inFixed reports whether addr is inside a fixed range.
@@ -221,6 +319,7 @@ func (r *reassembler) planPins() error {
 	// Inline pins reserve only 5 bytes here — enough for a fallback
 	// reference — and grow into the remaining contiguous free space in
 	// pass 3, after chains and dispatch blobs have taken what they need.
+	sp := r.tr.Start("pin-planting")
 	for i := 0; i < len(pins); i++ {
 		a := pins[i].OrigAddr
 		if !r.text.Contains(a) {
@@ -262,26 +361,54 @@ func (r *reassembler) planPins() error {
 		}
 	}
 
-	// Pass 2: chains and sled dispatch allocate from what is left.
+	sp.End()
+
+	// Pass 2: chains and sled dispatch allocate from what is left. The
+	// per-call cost is too fine-grained for individual spans, so the
+	// loop accumulates wall time per kind and records two aggregate
+	// sub-phase spans afterwards.
+	traced := r.tr.Enabled()
+	var chainWall, sledWall time.Duration
+	var chainN, sledN int
 	for _, pl := range plans {
 		switch pl.kind {
 		case kindStub5:
 			r.jmps = append(r.jmps, jmpWrite{at: pl.addr, size: 5, target: pl.target})
 			r.work = append(r.work, workItem{target: pl.target, hint: pl.addr})
 		case kindStub2:
+			var t0 time.Time
+			if traced {
+				t0 = time.Now()
+			}
 			if err := r.chain(pl.addr, pl.target, 0); err != nil {
 				return err
 			}
+			if traced {
+				chainWall += time.Since(t0)
+				chainN++
+			}
 		case kindSled:
+			var t0 time.Time
+			if traced {
+				t0 = time.Now()
+			}
 			if err := r.emitSled(pl.sled); err != nil {
 				return err
 			}
+			if traced {
+				sledWall += time.Since(t0)
+				sledN++
+			}
 		}
 	}
+	r.tr.Record("chaining", chainWall, chainN)
+	r.tr.Record("sled-construction", sledWall, sledN)
 
 	// Pass 3: inline regions grow from their 5-byte headers into the
 	// contiguous free space that remains after them (bounded implicitly
 	// by the next carved pin site, chain slot, or fixed range).
+	sp = r.tr.Start("inline-reserve")
+	defer sp.End()
 	for _, pl := range plans {
 		if pl.kind != kindInline {
 			continue
@@ -421,6 +548,7 @@ func (r *reassembler) placeRaw(code []byte, hint uint32) (uint32, error) {
 
 // allocOverflow extends the text image past the original end.
 func (r *reassembler) allocOverflow(n int) uint32 {
+	r.tr.Add("reassemble.overflow-allocs", 1)
 	addr := r.imageEnd
 	r.image = append(r.image, make([]byte, n)...)
 	r.imageEnd += uint32(n)
@@ -448,15 +576,25 @@ func (r *reassembler) processWork() error {
 			return err
 		}
 	}
+	var rounds, hits int
 	for len(r.work) > 0 {
 		item := r.work[len(r.work)-1]
 		r.work = r.work[:len(r.work)-1]
+		rounds++
 		if _, placed := r.m[item.target]; placed {
+			// The dollop containing this reference target is already
+			// placed (placement cache hit): the round resolves for free.
+			hits++
 			continue
 		}
 		if err := r.placeDollop(item.target, item.hint); err != nil {
 			return err
 		}
+	}
+	if r.tr.Enabled() {
+		r.tr.Add("reassemble.worklist.rounds", int64(rounds))
+		r.tr.Add("reassemble.worklist.cache-hits", int64(hits))
+		r.tr.Add("reassemble.worklist.cache-misses", int64(rounds-hits))
 	}
 	return nil
 }

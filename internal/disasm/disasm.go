@@ -23,6 +23,7 @@ import (
 	"zipr/internal/binfmt"
 	"zipr/internal/ir"
 	"zipr/internal/isa"
+	"zipr/internal/obs"
 )
 
 // Class classifies one byte of the text segment.
@@ -285,11 +286,45 @@ func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 
 // Disassemble runs both disassemblers on bin and aggregates the result.
 func Disassemble(bin *binfmt.Binary) (Aggregated, error) {
+	return DisassembleTraced(bin, nil)
+}
+
+// DisassembleTraced is Disassemble with per-stage spans (linear sweep,
+// recursive traversal, code/data disambiguation) and classification
+// metrics emitted to tr; a nil trace disables instrumentation.
+func DisassembleTraced(bin *binfmt.Binary, tr *obs.Trace) (Aggregated, error) {
 	text := bin.Text()
 	if text == nil {
 		return Aggregated{}, fmt.Errorf("disasm: binary has no text segment")
 	}
+	sp := tr.Start("linear-sweep")
 	lin := LinearSweep(text.Data, text.VAddr)
+	sp.End()
+	sp = tr.Start("recursive-traversal")
 	rec := RecursiveTraversal(bin)
-	return Aggregate(bin, lin, rec), nil
+	sp.End()
+	sp = tr.Start("disambiguate")
+	agg := Aggregate(bin, lin, rec)
+	sp.End()
+	if tr.Enabled() {
+		var code, data, ambig int64
+		for _, c := range agg.Classes {
+			switch c {
+			case Code:
+				code++
+			case Data:
+				data++
+			case Ambig:
+				ambig++
+			}
+		}
+		tr.SetGauge("disasm.bytes.code", code)
+		tr.SetGauge("disasm.bytes.data", data)
+		tr.SetGauge("disasm.bytes.ambiguous", ambig)
+		tr.Add("disasm.insts", int64(len(agg.Insts)))
+		tr.Add("disasm.ambig-insts", int64(len(agg.AmbigInsts)))
+		tr.Add("disasm.fixed-ranges", int64(len(agg.Fixed)))
+		tr.Add("disasm.warnings", int64(len(agg.Warnings)))
+	}
+	return agg, nil
 }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one line of the JSON-lines trace format. Type selects which
+// fields are meaningful:
+//
+//	span    — Name, Path, Depth, Count, StartNS, WallNS, Allocs, Bytes, HeapLive
+//	counter — Name, Value
+//	gauge   — Name, Value
+//	hist    — Name, Count, Sum, Hist (bucket label -> count)
+type Event struct {
+	Type     string           `json:"type"`
+	Name     string           `json:"name"`
+	Path     string           `json:"path,omitempty"`
+	Depth    int              `json:"depth,omitempty"`
+	Count    int64            `json:"count,omitempty"`
+	StartNS  int64            `json:"start_ns,omitempty"`
+	WallNS   int64            `json:"wall_ns,omitempty"`
+	Allocs   uint64           `json:"allocs,omitempty"`
+	Bytes    uint64           `json:"bytes,omitempty"`
+	HeapLive int64            `json:"heap_live,omitempty"`
+	Value    int64            `json:"value,omitempty"`
+	Sum      int64            `json:"sum,omitempty"`
+	Hist     map[string]int64 `json:"hist,omitempty"`
+}
+
+// Events flattens the snapshot into the JSONL schema: spans first (tree
+// preorder, paths slash-joined), then counters, gauges and histograms
+// sorted by name.
+func (snap *Snapshot) Events() []Event {
+	var evs []Event
+	var walk func(prefix string, spans []*Span)
+	walk = func(prefix string, spans []*Span) {
+		for _, s := range spans {
+			path := s.Name
+			if prefix != "" {
+				path = prefix + "/" + s.Name
+			}
+			evs = append(evs, Event{
+				Type:     "span",
+				Name:     s.Name,
+				Path:     path,
+				Depth:    s.Depth,
+				Count:    s.Count,
+				StartNS:  s.Start.Nanoseconds(),
+				WallNS:   s.Wall.Nanoseconds(),
+				Allocs:   s.Allocs,
+				Bytes:    s.Bytes,
+				HeapLive: s.HeapLive,
+			})
+			walk(path, s.Children)
+		}
+	}
+	walk("", snap.Spans)
+	for _, name := range sortedKeys(snap.Metrics.Counters) {
+		evs = append(evs, Event{Type: "counter", Name: name, Value: snap.Metrics.Counters[name]})
+	}
+	for _, name := range sortedKeys(snap.Metrics.Gauges) {
+		evs = append(evs, Event{Type: "gauge", Name: name, Value: snap.Metrics.Gauges[name]})
+	}
+	histNames := make([]string, 0, len(snap.Metrics.Hists))
+	for name := range snap.Metrics.Hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := snap.Metrics.Hists[name]
+		buckets := make(map[string]int64)
+		for i, c := range h.Buckets {
+			if c != 0 {
+				buckets[BucketLabel(i)] = c
+			}
+		}
+		evs = append(evs, Event{Type: "hist", Name: name, Count: h.Count, Sum: h.Sum, Hist: buckets})
+	}
+	return evs
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// jsonlSink writes one Event per line.
+type jsonlSink struct {
+	w io.Writer
+}
+
+// NewJSONL returns a sink emitting the trace as JSON-lines to w.
+func NewJSONL(w io.Writer) Sink { return jsonlSink{w: w} }
+
+// Emit implements Sink.
+func (s jsonlSink) Emit(snap *Snapshot) error {
+	enc := json.NewEncoder(s.w)
+	for _, ev := range snap.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON-lines trace back into events (the consumer
+// side of NewJSONL, used by tests and offline aggregation).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var evs []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: jsonl: %w", err)
+	}
+	return evs, nil
+}

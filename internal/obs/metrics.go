@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Metrics is the typed counter/gauge/histogram store of a Trace, and
+// the unit of cross-run aggregation (see Merge).
+type Metrics struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]*Hist
+}
+
+// NewMetrics creates an empty metric store.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]*Hist),
+	}
+}
+
+// Merge folds o into m: counters and histograms sum; gauges keep the
+// maximum (gauges record level/peak quantities — free bytes, image
+// size — so an aggregate over a corpus keeps the worst case).
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	for k, v := range o.Counters {
+		m.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		if cur, ok := m.Gauges[k]; !ok || v > cur {
+			m.Gauges[k] = v
+		}
+	}
+	for k, h := range o.Hists {
+		dst := m.Hists[k]
+		if dst == nil {
+			dst = &Hist{}
+			m.Hists[k] = dst
+		}
+		dst.Merge(h)
+	}
+}
+
+// histBuckets is the bucket count of Hist: bucket 0 holds values <= 0,
+// bucket i >= 1 holds values with bit length i, i.e. [2^(i-1), 2^i).
+const histBuckets = 33
+
+// Hist is a power-of-two-bucket histogram (fragment sizes, span counts:
+// quantities whose distribution shape matters more than exact values).
+type Hist struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Observe adds one value.
+func (h *Hist) Observe(v int64) {
+	h.Count++
+	h.Sum += v
+	h.Buckets[bucketOf(v)]++
+}
+
+// Merge adds o's observations to h.
+func (h *Hist) Merge(o *Hist) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// bucketOf returns the bucket index for v.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLabel names bucket i: "<=0", "1", "2-3", "4-7", ...
+func BucketLabel(i int) string {
+	switch {
+	case i <= 0:
+		return "<=0"
+	case i == 1:
+		return "1"
+	default:
+		lo := int64(1) << (i - 1)
+		return fmt.Sprintf("%d-%d", lo, lo*2-1)
+	}
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := New()
+	root := tr.Start("rewrite")
+	a := tr.Start("disassemble")
+	a.End()
+	b := tr.Start("reassemble")
+	tr.Record("chaining", 5*time.Millisecond, 3)
+	tr.Record("sled-construction", 0, 0)
+	b.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("roots = %d, want 1", len(snap.Spans))
+	}
+	r := snap.Spans[0]
+	if r.Name != "rewrite" || r.Depth != 0 || !r.ended {
+		t.Fatalf("root = %+v", r)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(r.Children))
+	}
+	if r.Children[0].Name != "disassemble" || r.Children[1].Name != "reassemble" {
+		t.Fatalf("children out of order: %s, %s", r.Children[0].Name, r.Children[1].Name)
+	}
+	if d := r.Children[0].Depth; d != 1 {
+		t.Fatalf("child depth = %d, want 1", d)
+	}
+	re := r.Children[1]
+	if len(re.Children) != 2 {
+		t.Fatalf("reassemble children = %d, want 2", len(re.Children))
+	}
+	chain := re.Children[0]
+	if chain.Name != "chaining" || chain.Count != 3 || chain.Wall != 5*time.Millisecond {
+		t.Fatalf("chaining record = %+v", chain)
+	}
+	// Zero-count records stay visible so phase tables always list every
+	// sub-phase.
+	if sled := re.Children[1]; sled.Name != "sled-construction" || sled.Count != 0 {
+		t.Fatalf("sled record = %+v", sled)
+	}
+	if r.Wall < re.Wall {
+		t.Fatalf("parent wall %v < child wall %v", r.Wall, re.Wall)
+	}
+}
+
+func TestEndClosesNestedOpenSpans(t *testing.T) {
+	tr := New()
+	outer := tr.Start("outer")
+	inner := tr.Start("inner")
+	outer.End() // ends inner too
+	if !inner.ended {
+		t.Fatal("inner span not ended by enclosing End")
+	}
+	// A second End is a no-op, and new spans become fresh roots.
+	inner.End()
+	tr.Start("next").End()
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 2 || snap.Spans[1].Name != "next" {
+		t.Fatalf("roots = %v", spanNames(snap.Spans))
+	}
+}
+
+func TestCloseEndsOpenSpansAndEmits(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONL(&buf))
+	tr.Start("rewrite")
+	tr.Start("reassemble") // both left open, as an error path would
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if !snap.Spans[0].ended || !snap.Spans[0].Children[0].ended {
+		t.Fatal("Close left spans open")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Close emitted nothing to the sink")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New()
+	root := tr.Start("rewrite")
+	sp := tr.Start("disassemble")
+	sp.End()
+	root.End()
+	tr.Add("rewrite.count", 1)
+	tr.Add("stats.pinned", 42)
+	tr.SetGauge("rewrite.input-bytes", 4096)
+	tr.Observe("reassemble.free-range-bytes", 6)
+	tr.Observe("reassemble.free-range-bytes", 100)
+
+	var buf bytes.Buffer
+	if err := NewJSONL(&buf).Emit(tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byPath := map[string]Event{}
+	byName := map[string]Event{}
+	for _, ev := range evs {
+		switch ev.Type {
+		case "span":
+			byPath[ev.Path] = ev
+		default:
+			byName[ev.Type+":"+ev.Name] = ev
+		}
+	}
+	if _, ok := byPath["rewrite"]; !ok {
+		t.Fatal("missing root span event")
+	}
+	child, ok := byPath["rewrite/disassemble"]
+	if !ok {
+		t.Fatalf("missing child span path; have %v", byPath)
+	}
+	if child.Depth != 1 || child.Count != 1 {
+		t.Fatalf("child event = %+v", child)
+	}
+	if ev := byName["counter:stats.pinned"]; ev.Value != 42 {
+		t.Fatalf("counter event = %+v", ev)
+	}
+	if ev := byName["gauge:rewrite.input-bytes"]; ev.Value != 4096 {
+		t.Fatalf("gauge event = %+v", ev)
+	}
+	h := byName["hist:reassemble.free-range-bytes"]
+	if h.Count != 2 || h.Sum != 106 {
+		t.Fatalf("hist event = %+v", h)
+	}
+	if h.Hist["4-7"] != 1 || h.Hist["64-127"] != 1 {
+		t.Fatalf("hist buckets = %v", h.Hist)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Counters["c"] = 3
+	b.Counters["c"] = 4
+	b.Counters["only-b"] = 1
+	a.Gauges["g"] = 10
+	b.Gauges["g"] = 7 // merged gauge keeps the peak
+	b.Gauges["peak"] = 99
+	ha := &Hist{}
+	ha.Observe(1)
+	a.Hists["h"] = ha
+	hb := &Hist{}
+	hb.Observe(5)
+	b.Hists["h"] = hb
+
+	a.Merge(b)
+	if a.Counters["c"] != 7 || a.Counters["only-b"] != 1 {
+		t.Fatalf("counters = %v", a.Counters)
+	}
+	if a.Gauges["g"] != 10 || a.Gauges["peak"] != 99 {
+		t.Fatalf("gauges = %v", a.Gauges)
+	}
+	h := a.Hists["h"]
+	if h.Count != 2 || h.Sum != 6 {
+		t.Fatalf("hist = %+v", h)
+	}
+	a.Merge(nil) // nil merge is a no-op
+	if a.Counters["c"] != 7 {
+		t.Fatalf("nil merge changed counters: %v", a.Counters)
+	}
+}
+
+func TestBucketing(t *testing.T) {
+	cases := []struct {
+		v     int64
+		label string
+	}{
+		{-5, "<=0"}, {0, "<=0"}, {1, "1"}, {2, "2-3"}, {3, "2-3"},
+		{4, "4-7"}, {7, "4-7"}, {8, "8-15"}, {1024, "1024-2047"},
+	}
+	for _, c := range cases {
+		if got := BucketLabel(bucketOf(c.v)); got != c.label {
+			t.Errorf("BucketLabel(bucketOf(%d)) = %q, want %q", c.v, got, c.label)
+		}
+	}
+}
+
+func TestAggFoldsRuns(t *testing.T) {
+	agg := NewAgg()
+	for i := 0; i < 3; i++ {
+		tr := New()
+		root := tr.Start("rewrite")
+		tr.Start("disassemble").End()
+		root.End()
+		tr.Add("rewrite.count", 1)
+		tr.SetGauge("rewrite.input-bytes", int64(1000*(i+1)))
+		agg.AddTrace(tr)
+	}
+	agg.AddTrace(nil) // ignored
+	if agg.Runs() != 3 {
+		t.Fatalf("runs = %d, want 3", agg.Runs())
+	}
+	if got := agg.Metrics().Counters["rewrite.count"]; got != 3 {
+		t.Fatalf("merged counter = %d, want 3", got)
+	}
+	if got := agg.Metrics().Gauges["rewrite.input-bytes"]; got != 3000 {
+		t.Fatalf("merged gauge = %d, want peak 3000", got)
+	}
+	var buf bytes.Buffer
+	if err := agg.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rewrite", "  disassemble", "(aggregated over 3 runs)", "rewrite.count"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableSinkRendersPhases(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewTable(&buf))
+	root := tr.Start("rewrite")
+	tr.Start("disassemble").End()
+	root.End()
+	tr.Observe("reassemble.free-range-bytes", 12)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase", "rewrite", "disassemble", "histograms:", "8-15:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "aggregated over") {
+		t.Errorf("single-run table should not claim aggregation:\n%s", out)
+	}
+}
+
+// TestDisabledTraceZeroAllocs locks in the nil-trace contract: leaving
+// instrumentation in the pipeline costs nothing when tracing is off.
+func TestDisabledTraceZeroAllocs(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("phase")
+		tr.Add("counter", 1)
+		tr.SetGauge("gauge", 2)
+		tr.Observe("hist", 3)
+		tr.Record("record", time.Millisecond, 1)
+		sp.End()
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func spanNames(spans []*Span) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	return names
+}

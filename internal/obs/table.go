@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Agg accumulates per-phase totals across one or more trace snapshots —
+// a whole corpus of rewrites — so timing tables can be regenerated from
+// structured data instead of ad-hoc stopwatches. Same-named spans at
+// the same tree position fold together (count, wall and memory deltas
+// sum); metrics merge per Metrics.Merge.
+type Agg struct {
+	runs int
+	root *aggNode
+	met  *Metrics
+}
+
+// aggNode is one folded phase in the aggregate tree.
+type aggNode struct {
+	name   string
+	count  int64
+	wall   time.Duration
+	allocs uint64
+	bytes  uint64
+	heap   int64
+	order  []string
+	kids   map[string]*aggNode
+}
+
+func newAggNode(name string) *aggNode {
+	return &aggNode{name: name, kids: make(map[string]*aggNode)}
+}
+
+func (n *aggNode) child(name string) *aggNode {
+	k := n.kids[name]
+	if k == nil {
+		k = newAggNode(name)
+		n.kids[name] = k
+		n.order = append(n.order, name)
+	}
+	return k
+}
+
+// NewAgg creates an empty aggregator.
+func NewAgg() *Agg {
+	return &Agg{root: newAggNode(""), met: NewMetrics()}
+}
+
+// Runs returns how many snapshots have been folded in.
+func (a *Agg) Runs() int { return a.runs }
+
+// Metrics returns the merged metric families.
+func (a *Agg) Metrics() *Metrics { return a.met }
+
+// Add folds a snapshot into the aggregate.
+func (a *Agg) Add(snap *Snapshot) {
+	a.runs++
+	a.fold(a.root, snap.Spans)
+	a.met.Merge(snap.Metrics)
+}
+
+// AddTrace snapshots t (closing nothing) and folds it in. Nil traces
+// are ignored.
+func (a *Agg) AddTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	a.Add(t.Snapshot())
+}
+
+func (a *Agg) fold(into *aggNode, spans []*Span) {
+	for _, s := range spans {
+		k := into.child(s.Name)
+		k.count += s.Count
+		k.wall += s.Wall
+		k.allocs += s.Allocs
+		k.bytes += s.Bytes
+		k.heap += s.HeapLive
+		a.fold(k, s.Children)
+	}
+}
+
+// WriteTable renders the aggregated phase-time table followed by the
+// merged counters, gauges and histograms.
+func (a *Agg) WriteTable(w io.Writer) error {
+	fmt.Fprintf(w, "%-38s %7s %11s %11s %11s %11s\n",
+		"phase", "count", "wall", "allocs", "bytes", "live-heap")
+	var walk func(n *aggNode, depth int) // declaration split for recursion
+	walk = func(n *aggNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(w, "%-38s %7d %11s %11d %11s %11s\n",
+			indent+n.name, n.count, fmtWall(n.wall), n.allocs,
+			humanBytes(n.bytes), humanBytesSigned(n.heap))
+		for _, name := range n.order {
+			walk(n.kids[name], depth+1)
+		}
+	}
+	for _, name := range a.root.order {
+		walk(a.root.kids[name], 0)
+	}
+	if a.runs > 1 {
+		fmt.Fprintf(w, "(aggregated over %d runs)\n", a.runs)
+	}
+
+	if len(a.met.Counters) > 0 {
+		fmt.Fprintf(w, "\ncounters:\n")
+		for _, k := range sortedKeys(a.met.Counters) {
+			fmt.Fprintf(w, "  %-44s %12d\n", k, a.met.Counters[k])
+		}
+	}
+	if len(a.met.Gauges) > 0 {
+		fmt.Fprintf(w, "\ngauges:\n")
+		for _, k := range sortedKeys(a.met.Gauges) {
+			fmt.Fprintf(w, "  %-44s %12d\n", k, a.met.Gauges[k])
+		}
+	}
+	if len(a.met.Hists) > 0 {
+		names := make([]string, 0, len(a.met.Hists))
+		for k := range a.met.Hists {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "\nhistograms:\n")
+		for _, k := range names {
+			h := a.met.Hists[k]
+			var sb strings.Builder
+			for i, c := range h.Buckets {
+				if c != 0 {
+					fmt.Fprintf(&sb, " %s:%d", BucketLabel(i), c)
+				}
+			}
+			fmt.Fprintf(w, "  %-30s count=%d sum=%d |%s\n", k, h.Count, h.Sum, sb.String())
+		}
+	}
+	return nil
+}
+
+// tableSink renders a single trace as a phase-time table.
+type tableSink struct {
+	w io.Writer
+}
+
+// NewTable returns a sink printing a human-readable per-phase
+// wall-time and memory-delta table to w.
+func NewTable(w io.Writer) Sink { return tableSink{w: w} }
+
+// Emit implements Sink.
+func (s tableSink) Emit(snap *Snapshot) error {
+	a := NewAgg()
+	a.Add(snap)
+	return a.WriteTable(s.w)
+}
+
+// fmtWall renders a duration at table-friendly precision.
+func fmtWall(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// humanBytes renders a byte count with a binary-prefix unit.
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func humanBytesSigned(n int64) string {
+	if n < 0 {
+		return "-" + humanBytes(uint64(-n))
+	}
+	return "+" + humanBytes(uint64(n))
+}

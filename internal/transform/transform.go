@@ -11,6 +11,7 @@ import (
 
 	"zipr/internal/ir"
 	"zipr/internal/isa"
+	"zipr/internal/obs"
 )
 
 // Transform is a user-specified transformation over the IR.
@@ -43,15 +44,35 @@ func (c *Context) Instructions(fn func(*ir.Instruction)) {
 // Apply runs the mandatory transformations followed by the given user
 // transforms, in order.
 func Apply(p *ir.Program, transforms ...Transform) error {
-	if err := Mandatory(p); err != nil {
+	return ApplyTraced(p, nil, transforms...)
+}
+
+// ApplyTraced is Apply with one span per transformation — "mandatory",
+// then each user transform under its own name, then "normalize" — and
+// per-transform instruction-delta counters emitted to tr; a nil trace
+// disables instrumentation.
+func ApplyTraced(p *ir.Program, tr *obs.Trace, transforms ...Transform) error {
+	sp := tr.Start("mandatory")
+	err := Mandatory(p)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	ctx := &Context{Prog: p}
 	for _, t := range transforms {
-		if err := t.Apply(ctx); err != nil {
+		sp := tr.Start(t.Name())
+		before := len(p.Insts)
+		err := t.Apply(ctx)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("transform %s: %w", t.Name(), err)
 		}
+		if tr.Enabled() {
+			tr.Add("transform."+t.Name()+".insts-delta", int64(len(p.Insts)-before))
+		}
 	}
+	sp = tr.Start("normalize")
+	defer sp.End()
 	if err := p.Normalize(); err != nil {
 		return fmt.Errorf("transform: %w", err)
 	}

@@ -81,6 +81,8 @@ type Machine struct {
 
 	steps    uint64
 	maxSteps uint64
+	syscalls uint64
+	memOps   uint64
 	heapNext uint32
 
 	halted   bool
@@ -192,6 +194,8 @@ type Result struct {
 	ExitCode     int32  // argument of terminate()
 	Steps        uint64 // retired instructions: the CPU metric
 	PagesTouched int    // distinct 4 KiB pages accessed: the MaxRSS metric
+	Syscalls     uint64 // syscall instructions retired
+	MemOps       uint64 // data loads/stores executed (fetches excluded)
 	Output       []byte // everything transmitted to fd 1 and 2
 }
 
@@ -203,6 +207,8 @@ func (m *Machine) result() Result {
 		ExitCode:     m.exitCode,
 		Steps:        m.steps,
 		PagesTouched: len(m.touched),
+		Syscalls:     m.syscalls,
+		MemOps:       m.memOps,
 		Output:       m.stdout,
 	}
 }
@@ -246,6 +252,7 @@ func (m *Machine) access(addr uint32, need Perm) (*page, uint32, error) {
 }
 
 func (m *Machine) load32(addr uint32) (uint32, error) {
+	m.memOps++
 	var v uint32
 	for i := uint32(0); i < 4; i++ {
 		pg, off, err := m.access(addr+i, PermR)
@@ -258,6 +265,7 @@ func (m *Machine) load32(addr uint32) (uint32, error) {
 }
 
 func (m *Machine) store32(addr, v uint32) error {
+	m.memOps++
 	for i := uint32(0); i < 4; i++ {
 		pg, off, err := m.access(addr+i, PermW)
 		if err != nil {
@@ -269,6 +277,7 @@ func (m *Machine) store32(addr, v uint32) error {
 }
 
 func (m *Machine) load8(addr uint32) (byte, error) {
+	m.memOps++
 	pg, off, err := m.access(addr, PermR)
 	if err != nil {
 		return 0, err
@@ -277,6 +286,7 @@ func (m *Machine) load8(addr uint32) (byte, error) {
 }
 
 func (m *Machine) store8(addr uint32, v byte) error {
+	m.memOps++
 	pg, off, err := m.access(addr, PermW)
 	if err != nil {
 		return err
@@ -566,6 +576,7 @@ func (m *Machine) nextRand() uint64 {
 // syscall implements the seven DECREE calls. r0 is the call number and
 // receives the result; arguments are r1..r4.
 func (m *Machine) syscall(next uint32) error {
+	m.syscalls++
 	num := m.regs[0]
 	a1, a2, a3 := m.regs[1], m.regs[2], m.regs[3]
 	switch num {

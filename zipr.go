@@ -19,6 +19,7 @@ package zipr
 
 import (
 	"fmt"
+	"io"
 
 	"zipr/internal/binfmt"
 	"zipr/internal/cfg"
@@ -27,8 +28,30 @@ import (
 	"zipr/internal/ir"
 	"zipr/internal/irdb"
 	"zipr/internal/layout"
+	"zipr/internal/obs"
 	"zipr/internal/transform"
 )
+
+// Trace is the observability handle threaded through a rewrite: it
+// records hierarchical per-phase spans (wall clock plus heap deltas),
+// counters and histograms, and emits them to configured sinks on Close.
+// Construct with NewTrace; a nil *Trace disables all instrumentation at
+// zero allocation cost.
+type Trace = obs.Trace
+
+// TraceSink consumes a finished trace (see NewJSONLSink/NewTableSink).
+type TraceSink = obs.Sink
+
+// NewTrace creates a trace emitting to the given sinks on Close.
+func NewTrace(sinks ...TraceSink) *Trace { return obs.New(sinks...) }
+
+// NewJSONLSink returns a trace sink writing one JSON object per span
+// and metric to w (the -trace-out format; parse with obs.ReadJSONL).
+func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONL(w) }
+
+// NewTableSink returns a trace sink printing a human-readable per-phase
+// wall-time and memory-delta table to w (the -phase-times format).
+func NewTableSink(w io.Writer) TraceSink { return obs.NewTable(w) }
 
 // Transform is a user-specified IR transformation. Construct instances
 // with Null, CFI, StackPad or Canary, or implement the interface for
@@ -141,6 +164,12 @@ type Config struct {
 	// address mapping of every relocated instruction (a linker-map
 	// equivalent, useful for symbolization and debugging).
 	EmitMap bool
+	// Trace, when non-nil, records per-phase spans (disassembly, CFG and
+	// pin analysis, each transform by name, the reassembly sub-phases)
+	// plus counters and histograms for this rewrite. The caller owns the
+	// trace: call Trace.Close to flush it to its sinks. A nil Trace
+	// disables instrumentation with no allocation overhead.
+	Trace *Trace
 }
 
 // Stats summarizes what the reassembler did; see the paper's §II-C for
@@ -175,6 +204,9 @@ type Report struct {
 	// AddrMap maps original instruction addresses to their rewritten
 	// locations when Config.EmitMap is set.
 	AddrMap map[uint32]uint32
+	// Trace echoes Config.Trace so report consumers can snapshot the
+	// phase spans and metrics of this rewrite; nil when tracing was off.
+	Trace *Trace
 }
 
 // SizeOverhead returns the relative file growth (e.g. 0.03 = +3%).
@@ -207,26 +239,40 @@ func Rewrite(input []byte, cfgv Config) ([]byte, *Report, error) {
 
 // RewriteBinary is Rewrite for in-memory binaries.
 func RewriteBinary(bin *binfmt.Binary, cfgv Config) (*binfmt.Binary, *Report, error) {
+	tr := cfgv.Trace
+	root := tr.Start("rewrite")
+	defer root.End()
+
 	// Phase 1: IR construction (disassembly, CFG, pinned addresses).
-	agg, err := disasm.Disassemble(bin)
+	sp := tr.Start("disassemble")
+	agg, err := disasm.DisassembleTraced(bin, tr)
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("zipr: %w", err)
 	}
-	prog, err := cfg.Build(bin, agg)
+	sp = tr.Start("cfg-pins")
+	prog, err := cfg.BuildTraced(bin, agg, tr)
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("zipr: %w", err)
 	}
-	report := &Report{}
+	report := &Report{Trace: tr}
 	if cfgv.CaptureIR {
+		sp = tr.Start("capture-ir")
 		db := irdb.New()
-		if err := ir.SaveToDB(db, prog); err != nil {
+		err := ir.SaveToDB(db, prog)
+		sp.End()
+		if err != nil {
 			return nil, nil, fmt.Errorf("zipr: %w", err)
 		}
 		report.IRDB = db
 	}
 
 	// Phase 2: transformation (mandatory + user transforms).
-	if err := transform.Apply(prog, cfgv.Transforms...); err != nil {
+	sp = tr.Start("transform")
+	err = transform.ApplyTraced(prog, tr, cfgv.Transforms...)
+	sp.End()
+	if err != nil {
 		return nil, nil, fmt.Errorf("zipr: %w", err)
 	}
 
@@ -242,7 +288,9 @@ func RewriteBinary(bin *binfmt.Binary, cfgv Config) (*binfmt.Binary, *Report, er
 	default:
 		return nil, nil, fmt.Errorf("zipr: unknown layout %q", cfgv.Layout)
 	}
-	res, err := core.Reassemble(prog, core.Options{Placer: placer})
+	sp = tr.Start("reassemble")
+	res, err := core.Reassemble(prog, core.Options{Placer: placer, Trace: tr})
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("zipr: %w", err)
 	}
@@ -262,5 +310,11 @@ func RewriteBinary(bin *binfmt.Binary, cfgv Config) (*binfmt.Binary, *Report, er
 	report.Warnings = append(report.Warnings, prog.Warnings...)
 	report.InputSize = bin.FileSize()
 	report.OutputSize = res.Binary.FileSize()
+	if tr.Enabled() {
+		tr.Add("rewrite.count", 1)
+		tr.Add("rewrite.warnings", int64(len(report.Warnings)))
+		tr.SetGauge("rewrite.input-bytes", int64(report.InputSize))
+		tr.SetGauge("rewrite.output-bytes", int64(report.OutputSize))
+	}
 	return res.Binary, report, nil
 }
