@@ -15,10 +15,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Bench smoke: one iteration of the end-to-end rewrite benches with
-# allocation reporting, enough to catch regressions in the nil-trace
-# zero-overhead contract (compare NoTrace vs Traced allocs/op).
+# Bench smoke: one iteration of the end-to-end rewrite benches plus the
+# serial-vs-parallel pipeline pairs, with allocation reporting — enough
+# to catch regressions in the nil-trace zero-overhead contract (compare
+# NoTrace vs Traced allocs/op) and in the parallel pipeline's allocation
+# diet (compare DisassembleSerial vs DisassembleParallel, EvalJ1 vs
+# EvalJN). The run is converted to BENCH_pipeline.json (ns/op, allocs/op
+# and the speedup-x metrics, machine-readable) via cmd/benchjson.
+BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN
 bench:
-	$(GO) test -run '^$$' -bench 'RewriteNull|RewriteNoTrace|RewriteTraced' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 
 ci: build vet race bench

@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"sync"
 	"testing"
+	"time"
 
 	"zipr/internal/asm"
 	"zipr/internal/binfmt"
@@ -426,6 +427,103 @@ func BenchmarkDisassemble(b *testing.B) {
 		if _, err := disasm.Disassemble(bin); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDisassembleSerial measures the dual-disassembler stage with
+// the two passes forced back-to-back on one goroutine (the -benchmem
+// allocs/op baseline for the scratch-pool diet).
+func BenchmarkDisassembleSerial(b *testing.B) {
+	seed, profile := synth.CBProfile(10)
+	bin, err := synth.Build(seed, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(bin.Text().Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disasm.DisassembleOpts(bin, disasm.Options{Serial: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisassembleParallel measures the concurrent dual disassembly
+// and reports its speedup over the serial ordering (expect ~1x on one
+// core; the gain shows on a multi-core runner).
+func BenchmarkDisassembleParallel(b *testing.B) {
+	seed, profile := synth.CBProfile(10)
+	bin, err := synth.Build(seed, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialRef := benchWall(b, 3, func() {
+		if _, err := disasm.DisassembleOpts(bin, disasm.Options{Serial: true}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.SetBytes(int64(len(bin.Text().Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disasm.DisassembleOpts(bin, disasm.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSpeedup(b, serialRef)
+}
+
+// BenchmarkEvalJ1 measures corpus evaluation with one worker (the old
+// serial loop).
+func BenchmarkEvalJ1(b *testing.B) {
+	cbs := corpusSample(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cgcsim.EvaluateParallel(cbs, rewriteFunc(LayoutOptimized, Null()), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalJN measures corpus evaluation with the GOMAXPROCS worker
+// pool and reports its speedup over one worker.
+func BenchmarkEvalJN(b *testing.B) {
+	cbs := corpusSample(b)
+	fn := rewriteFunc(LayoutOptimized, Null())
+	serialRef := benchWall(b, 1, func() {
+		if _, err := cgcsim.EvaluateParallel(cbs, fn, 1); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cgcsim.EvaluateParallel(cbs, fn, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSpeedup(b, serialRef)
+}
+
+// benchWall times reps runs of fn outside the benchmark clock and
+// returns the per-run wall time, as the serial reference for speedup
+// metrics.
+func benchWall(b *testing.B, reps int, fn func()) time.Duration {
+	b.Helper()
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(t0) / time.Duration(reps)
+}
+
+// reportSpeedup emits the serial-over-parallel wall-time ratio.
+func reportSpeedup(b *testing.B, serialRef time.Duration) {
+	b.Helper()
+	if per := b.Elapsed() / time.Duration(b.N); per > 0 {
+		b.ReportMetric(float64(serialRef)/float64(per), "speedup-x")
 	}
 }
 

@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a JSON report on stdout, so benchmark runs (the Makefile's bench
+// target) leave a machine-readable artifact instead of a log to grep.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_pipeline.json
+//
+// Every benchmark result line becomes one object holding the iteration
+// count and every reported metric (ns/op, B/op, allocs/op, MB/s, and
+// custom b.ReportMetric units such as speedup-x) keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full converted run.
+type Report struct {
+	Goos, Goarch, Pkg, CPU string   `json:"-"`
+	Env                    struct { // benchmark context header lines
+		Goos   string `json:"goos,omitempty"`
+		Goarch string `json:"goarch,omitempty"`
+		Pkg    string `json:"pkg,omitempty"`
+		CPU    string `json:"cpu,omitempty"`
+	} `json:"env"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var rep Report
+	rep.Benchmarks = []Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Env.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Env.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Env.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.Env.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   100   12345 ns/op   1.5 speedup-x   7 allocs/op
+//
+// into a Result; the -N GOMAXPROCS suffix is stripped from the name.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

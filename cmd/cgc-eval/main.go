@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,13 +35,19 @@ import (
 
 // phaseAgg, when non-nil, folds a per-rewrite trace from every rewrite
 // the experiments perform; the aggregate table prints after the run.
+// Agg locks internally, so parallel corpus evaluation can fold into it.
 var phaseAgg *obs.Agg
+
+// jobs is the -j worker count used for corpus evaluation.
+var jobs int
 
 func main() {
 	experiment := flag.String("experiment", "all", "all | figs | fig4 | fig5 | fig6 | fig7 | robustness | ablate-pinning | ablate-layout | ablate-sleds | ablate-pgo")
 	n := flag.Int("n", synth.CorpusSize, "number of challenge binaries")
 	scale := flag.Float64("scale", 0.02, "robustness workload scale (1.0 = paper-sized artifacts)")
 	phaseTimes := flag.Bool("phase-times", false, "trace every rewrite and print per-phase timings aggregated across the corpus")
+	flag.IntVar(&jobs, "j", runtime.GOMAXPROCS(0),
+		"corpus evaluation workers; results are identical at any count (1 = serial)")
 	flag.Parse()
 
 	if *phaseTimes {
@@ -61,7 +68,8 @@ func main() {
 
 // rewriteBinary is the experiments' single entry point into the
 // rewriter; with -phase-times it traces the rewrite and folds the
-// result into phaseAgg (the evaluation is sequential, so no locking).
+// result into phaseAgg. Evaluation workers call it concurrently: each
+// rewrite gets its own Trace, and phaseAgg.AddTrace locks.
 func rewriteBinary(b *binfmt.Binary, cfg zipr.Config) (*binfmt.Binary, *zipr.Report, error) {
 	if phaseAgg != nil {
 		tr := obs.New()
@@ -127,7 +135,7 @@ func rewriteWith(layoutKind zipr.LayoutKind, tfs ...zipr.Transform) cgcsim.Rewri
 // ---------------------------------------------------------------- figures
 
 func runFigs(n int, which string) error {
-	fmt.Printf("# CGC evaluation: %d challenge binaries, %d pollers each\n", n, cgcsim.PollersPerCB)
+	fmt.Printf("# CGC evaluation: %d challenge binaries, %d pollers each, %d workers\n", n, cgcsim.PollersPerCB, jobs)
 	start := time.Now()
 	cbs, err := cgcsim.Corpus(n)
 	if err != nil {
@@ -145,7 +153,7 @@ func runFigs(n int, which string) error {
 	summaries := map[string]cgcsim.Summary{}
 	for _, cfg := range configs {
 		t0 := time.Now()
-		rows, err := cgcsim.Evaluate(cbs, cfg.fn)
+		rows, err := cgcsim.EvaluateParallel(cbs, cfg.fn, jobs)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.name, err)
 		}
@@ -330,11 +338,11 @@ func runAblatePinning(n int) error {
 	if err != nil {
 		return err
 	}
-	heur, err := cgcsim.Evaluate(cbs, rewriteWith(zipr.LayoutOptimized, zipr.Null()))
+	heur, err := cgcsim.EvaluateParallel(cbs, rewriteWith(zipr.LayoutOptimized, zipr.Null()), jobs)
 	if err != nil {
 		return err
 	}
-	naive, err := cgcsim.Evaluate(cbs, rewriteWith(zipr.LayoutOptimized, zipr.PinBlocks(), zipr.Null()))
+	naive, err := cgcsim.EvaluateParallel(cbs, rewriteWith(zipr.LayoutOptimized, zipr.PinBlocks(), zipr.Null()), jobs)
 	if err != nil {
 		return err
 	}
@@ -352,11 +360,11 @@ func runAblateLayout(n int) error {
 	if err != nil {
 		return err
 	}
-	opt, err := cgcsim.Evaluate(cbs, rewriteWith(zipr.LayoutOptimized, zipr.Null()))
+	opt, err := cgcsim.EvaluateParallel(cbs, rewriteWith(zipr.LayoutOptimized, zipr.Null()), jobs)
 	if err != nil {
 		return err
 	}
-	div, err := cgcsim.Evaluate(cbs, rewriteWith(zipr.LayoutDiversity, zipr.Null()))
+	div, err := cgcsim.EvaluateParallel(cbs, rewriteWith(zipr.LayoutDiversity, zipr.Null()), jobs)
 	if err != nil {
 		return err
 	}

@@ -12,11 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"zipr/internal/binfmt"
 	"zipr/internal/cfg"
 	"zipr/internal/disasm"
+	"zipr/internal/isa"
 )
 
 func main() {
@@ -72,23 +72,18 @@ func run() error {
 		return nil
 	}
 
-	addrs := make([]uint32, 0, len(agg.Insts))
-	for a := range agg.Insts {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	prev := uint32(0)
-	for _, a := range addrs {
+	agg.Insts.All(func(a uint32, in isa.Inst) bool {
 		if prev != 0 && a != prev {
 			fmt.Printf("%#08x  ... %d non-code byte(s) ...\n", prev, a-prev)
 		}
-		in := agg.Insts[a]
 		extra := ""
 		if t, ok := in.TargetAddr(a); ok {
 			extra = fmt.Sprintf("\t; -> %#x", t)
 		}
 		fmt.Printf("%#08x  %s%s\n", a, in.String(), extra)
 		prev = a + uint32(in.Len())
-	}
+		return true
+	})
 	return nil
 }

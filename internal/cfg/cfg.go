@@ -15,6 +15,13 @@
 //     from the entry point, exports, code pointers found by scanning
 //     data (jump tables, function-pointer tables), code-pointer-shaped
 //     absolute immediates, and branch targets of ambiguous regions.
+//
+// The expensive scans (data-segment words, in-text pointers, immediate
+// operands) fan out across GOMAXPROCS workers for large binaries: the
+// workers only *collect* candidate addresses, in shard order, and the
+// pins themselves are applied serially in exactly the order the old
+// single-threaded loop used, so pin sets, warning order and pin-
+// provenance counters are identical at any worker count.
 package cfg
 
 import (
@@ -28,12 +35,98 @@ import (
 	"zipr/internal/ir"
 	"zipr/internal/isa"
 	"zipr/internal/obs"
+	"zipr/internal/par"
 )
 
 // Build lifts the aggregated disassembly of bin into a logical IR
 // program with pinned addresses.
 func Build(bin *binfmt.Binary, agg disasm.Aggregated) (*ir.Program, error) {
 	return BuildTraced(bin, agg, nil)
+}
+
+// scanMinWords is the minimum number of scanned words per worker before
+// the pointer scans bother spawning goroutines.
+const scanMinWords = 16 << 10
+
+// collectTextPtrs scans data for stride-spaced little-endian words that
+// point into text and returns them in scan order. Large inputs shard
+// across workers; per-chunk collection concatenated in chunk order
+// reproduces the serial order exactly.
+func collectTextPtrs(data []byte, stride int, text *binfmt.Segment) []uint32 {
+	if len(data) < 4 {
+		return nil
+	}
+	nWords := (len(data)-4)/stride + 1
+	workers := par.ScaledWorkers(nWords, scanMinWords)
+	if workers == 1 {
+		var out []uint32
+		for off := 0; off+4 <= len(data); off += stride {
+			if v := binary.LittleEndian.Uint32(data[off:]); text.Contains(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	buckets := make([][]uint32, workers)
+	chunks := par.Chunks(workers, nWords, func(c, lo, hi int) {
+		var b []uint32
+		for w := lo; w < hi; w++ {
+			off := w * stride
+			if v := binary.LittleEndian.Uint32(data[off:]); text.Contains(v) {
+				b = append(b, v)
+			}
+		}
+		buckets[c] = b
+	})
+	var out []uint32
+	for c := 0; c < chunks; c++ {
+		out = append(out, buckets[c]...)
+	}
+	return out
+}
+
+// immCand is one candidate pin collected from instruction operands.
+type immCand struct {
+	addr uint32
+	lea  bool // "lea target" provenance instead of "immediate"
+}
+
+// immMinInsts is the minimum instruction count per worker for the
+// operand scan to shard.
+const immMinInsts = 32 << 10
+
+// collectImmCands walks the instruction list for address-shaped
+// absolute immediates and lea instructions that kept absolute targets,
+// sharding across workers for large programs; order matches the serial
+// walk.
+func collectImmCands(insts []*ir.Instruction) []immCand {
+	workers := par.ScaledWorkers(len(insts), immMinInsts)
+	scan := func(lo, hi int) []immCand {
+		var b []immCand
+		for _, node := range insts[lo:hi] {
+			switch node.Inst.Op {
+			case isa.OpMovI, isa.OpPushI32:
+				b = append(b, immCand{addr: uint32(node.Inst.Imm)})
+			case isa.OpLea:
+				if node.AbsTarget != 0 {
+					b = append(b, immCand{addr: node.AbsTarget, lea: true})
+				}
+			}
+		}
+		return b
+	}
+	if workers == 1 {
+		return scan(0, len(insts))
+	}
+	buckets := make([][]immCand, workers)
+	chunks := par.Chunks(workers, len(insts), func(c, lo, hi int) {
+		buckets[c] = scan(lo, hi)
+	})
+	var out []immCand
+	for c := 0; c < chunks; c++ {
+		out = append(out, buckets[c]...)
+	}
+	return out
 }
 
 // BuildTraced is Build with spans for IR lifting, pin analysis and
@@ -46,15 +139,17 @@ func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.
 	p.Warnings = append(p.Warnings, agg.Warnings...)
 	text := bin.Text()
 
-	// Create nodes in address order for deterministic IDs.
-	addrs := make([]uint32, 0, len(agg.Insts))
-	for a := range agg.Insts {
+	// Create nodes in address order for deterministic IDs; the dense
+	// instruction map iterates ascending, so no collect-and-sort pass.
+	n := agg.Insts.Len()
+	p.Insts = make([]*ir.Instruction, 0, n)
+	p.ByAddr = make(map[uint32]*ir.Instruction, n)
+	addrs := make([]uint32, 0, n)
+	agg.Insts.All(func(a uint32, in isa.Inst) bool {
+		p.AddOrig(a, in)
 		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		p.AddOrig(a, agg.Insts[a])
-	}
+		return true
+	})
 
 	inFixed := func(a uint32) bool {
 		for _, r := range p.Fixed {
@@ -157,23 +252,23 @@ func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.
 		pinNode(e.Addr, "export")
 	}
 
-	// Data scan: aligned words in data segments.
+	// Data scan: aligned words in data segments. Workers collect the
+	// words that point into text (everything else is a no-op pin);
+	// applying them in scan order keeps pin provenance deterministic.
 	for si := range bin.Segments {
 		seg := &bin.Segments[si]
 		if seg.Kind != binfmt.Data {
 			continue
 		}
-		for off := 0; off+4 <= len(seg.Data); off += 4 {
-			v := binary.LittleEndian.Uint32(seg.Data[off:])
+		for _, v := range collectTextPtrs(seg.Data, 4, text) {
 			pinNode(v, "data pointer")
 		}
 	}
 	// Fixed text ranges (jump tables and pointers embedded in text):
 	// scan every byte offset, conservatively.
 	for _, r := range p.Fixed {
-		for a := r.Start; a+4 <= r.End; a++ {
-			off := a - text.VAddr
-			v := binary.LittleEndian.Uint32(text.Data[off:])
+		sub := text.Data[r.Start-text.VAddr : r.End-text.VAddr]
+		for _, v := range collectTextPtrs(sub, 1, text) {
 			pinNode(v, "in-text pointer")
 		}
 	}
@@ -182,21 +277,19 @@ func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.
 	// works both as a number and as an indirect target. Lea instructions
 	// that kept an absolute target (possible data, left in place) are
 	// likewise potential indirect-branch targets.
-	for _, node := range p.Insts {
-		switch node.Inst.Op {
-		case isa.OpMovI, isa.OpPushI32:
-			pinNode(uint32(node.Inst.Imm), "immediate")
-		case isa.OpLea:
-			if node.AbsTarget != 0 {
-				pinNode(node.AbsTarget, "lea target")
-			}
+	for _, c := range collectImmCands(p.Insts) {
+		if c.lea {
+			pinNode(c.addr, "lea target")
+		} else {
+			pinNode(c.addr, "immediate")
 		}
 	}
 	// Direct branch targets of instructions decoded in ambiguous ranges,
 	// plus the return sites of calls there: if those bytes really are
 	// code, they execute in place and their control flow must keep
-	// working (including through CFI checks).
-	for a, in := range agg.AmbigInsts {
+	// working (including through CFI checks). The dense map iterates in
+	// address order, so this pass is deterministic too.
+	agg.AmbigInsts.All(func(a uint32, in isa.Inst) bool {
 		if t, ok := in.TargetAddr(a); ok && in.Op != isa.OpLoadPC {
 			pinNode(t, "ambiguous-region branch")
 		}
@@ -207,7 +300,8 @@ func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.
 		case isa.OpMovI, isa.OpPushI32:
 			pinNode(uint32(in.Imm), "ambiguous-region immediate")
 		}
-	}
+		return true
+	})
 
 	// Deduplicate fixed-entry records (the scans revisit addresses).
 	if len(p.FixedEntries) > 1 {

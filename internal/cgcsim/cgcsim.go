@@ -12,6 +12,7 @@ import (
 
 	"zipr/internal/binfmt"
 	"zipr/internal/loader"
+	"zipr/internal/par"
 	"zipr/internal/synth"
 	"zipr/internal/vm"
 )
@@ -27,14 +28,17 @@ type CB struct {
 const PollersPerCB = 4
 
 // Corpus builds the n-binary challenge corpus (use synth.CorpusSize for
-// the paper's 62). Binaries and pollers are deterministic.
+// the paper's 62). Binaries and pollers are deterministic: every CB is
+// derived solely from its index, so construction fans out across
+// workers and fills the slice by index.
 func Corpus(n int) ([]CB, error) {
-	cbs := make([]CB, 0, n)
-	for i := 0; i < n; i++ {
+	cbs := make([]CB, n)
+	workers := par.ScaledWorkers(n, 4)
+	err := par.Each(workers, n, func(i int) error {
 		seed, profile := synth.CBProfile(i)
 		bin, err := synth.Build(seed, profile)
 		if err != nil {
-			return nil, fmt.Errorf("cgcsim: build cb%d: %w", i, err)
+			return fmt.Errorf("cgcsim: build cb%d: %w", i, err)
 		}
 		rng := rand.New(rand.NewSource(seed ^ 0x9E3779B9))
 		pollers := make([][]byte, PollersPerCB)
@@ -43,7 +47,11 @@ func Corpus(n int) ([]CB, error) {
 			rng.Read(in)
 			pollers[pi] = in
 		}
-		cbs = append(cbs, CB{Name: profile.Name, Bin: bin, Pollers: pollers})
+		cbs[i] = CB{Name: profile.Name, Bin: bin, Pollers: pollers}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cbs, nil
 }
@@ -165,28 +173,50 @@ type Row struct {
 	Functional bool
 }
 
-// Evaluate rewrites every CB under rewrite and measures overheads against
-// the unmodified binaries.
+// Evaluate rewrites every CB under rewrite and measures overheads
+// against the unmodified binaries, using one worker per GOMAXPROCS.
+// Equivalent to EvaluateParallel(cbs, rewrite, 0).
 func Evaluate(cbs []CB, rewrite RewriteFunc) ([]Row, error) {
-	rows := make([]Row, 0, len(cbs))
-	for _, cb := range cbs {
+	return EvaluateParallel(cbs, rewrite, 0)
+}
+
+// EvaluateParallel is Evaluate with an explicit worker count (the
+// cgc-eval -j flag); workers <= 0 uses GOMAXPROCS. Each CB's
+// rewrite-and-measure cycle is independent, so the corpus fans out
+// across a bounded pool; rows are written by corpus index, making the
+// result order — and, because each cycle is deterministic, the result
+// values — identical at any worker count. On failure the error for the
+// lowest-index CB is returned, matching the serial loop's first error.
+//
+// The rewrite closure is called concurrently and must be safe for that:
+// the zipr pipeline is, provided closures over a shared *obs.Trace are
+// avoided (give each rewrite its own Trace and fold them into an
+// obs.Agg, which locks).
+func EvaluateParallel(cbs []CB, rewrite RewriteFunc, workers int) ([]Row, error) {
+	rows := make([]Row, len(cbs))
+	err := par.Each(par.Workers(workers, len(cbs)), len(cbs), func(i int) error {
+		cb := &cbs[i]
 		baseM, baseT, err := Measure(cb.Bin, nil, cb.Pollers)
 		if err != nil {
-			return nil, fmt.Errorf("cgcsim: %s baseline: %w", cb.Name, err)
+			return fmt.Errorf("cgcsim: %s baseline: %w", cb.Name, err)
 		}
 		rcb, err := rewrite(cb.Bin.Clone())
 		if err != nil {
-			return nil, fmt.Errorf("cgcsim: %s rewrite: %w", cb.Name, err)
+			return fmt.Errorf("cgcsim: %s rewrite: %w", cb.Name, err)
 		}
 		newM, newT, err := Measure(rcb, nil, cb.Pollers)
 		if err != nil {
-			return nil, fmt.Errorf("cgcsim: %s rewritten run: %w", cb.Name, err)
+			return fmt.Errorf("cgcsim: %s rewritten run: %w", cb.Name, err)
 		}
-		rows = append(rows, Row{
+		rows[i] = Row{
 			Name:       cb.Name,
 			Overheads:  Overhead(baseM, newM),
 			Functional: Equivalent(baseT, newT),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -121,6 +121,13 @@ type reassembler struct {
 	raw      []rawWrite
 	stats    Stats
 	overflow uint32 // first overflow byte (== original text end)
+
+	// chainSeen/chainEpoch implement buildChain's cycle detection with
+	// one reusable map instead of a fresh allocation per dollop: an
+	// instruction is in the current chain iff its entry equals the
+	// current epoch.
+	chainSeen  map[*ir.Instruction]uint64
+	chainEpoch uint64
 }
 
 type rawWrite struct {
@@ -149,8 +156,11 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 		image:    make([]byte, text.Len()),
 		imageEnd: text.End,
 		overflow: text.End,
-		m:        make(map[*ir.Instruction]uint32),
-		inlines:  make(map[uint32]*inlineRegion),
+		// Nearly every instruction ends up placed, so size the placement
+		// map for all of them up front instead of rehashing on the way.
+		m:         make(map[*ir.Instruction]uint32, len(p.Insts)),
+		inlines:   make(map[uint32]*inlineRegion),
+		chainSeen: make(map[*ir.Instruction]uint64, 64),
 	}
 	r.fs = NewFreeSpace(text, p.Fixed)
 
@@ -313,7 +323,12 @@ func (r *reassembler) planPins() error {
 		target *ir.Instruction
 		sled   sledPlan
 	}
-	var plans []pinPlan
+	// One plan per pin (sleds absorb several pins, so this only
+	// over-reserves), and in the common case one reference jump and one
+	// work item per pin.
+	plans := make([]pinPlan, 0, len(pins))
+	r.jmps = make([]jmpWrite, 0, len(pins))
+	r.work = make([]workItem, 0, len(pins)+1)
 
 	// Pass 1: classify every pinned site and carve its header bytes.
 	// Inline pins reserve only 5 bytes here — enough for a fallback
@@ -565,7 +580,7 @@ func (r *reassembler) processWork() error {
 	}
 	// Inline regions are processed in address order for determinism and
 	// so that merge-through-next-pin sees later regions still free.
-	var inlineAddrs []uint32
+	inlineAddrs := make([]uint32, 0, len(r.inlines))
 	for a := range r.inlines {
 		inlineAddrs = append(inlineAddrs, a)
 	}
@@ -602,7 +617,7 @@ func (r *reassembler) processWork() error {
 // finishInlines writes plain references for inline regions whose target
 // ended up placed elsewhere (e.g. swallowed by an earlier dollop).
 func (r *reassembler) finishInlines() error {
-	var addrs []uint32
+	addrs := make([]uint32, 0, len(r.inlines))
 	for a := range r.inlines {
 		addrs = append(addrs, a)
 	}
@@ -634,14 +649,14 @@ func (r *reassembler) finishInlines() error {
 // instruction (nil when the chain ends in a terminator).
 func (r *reassembler) buildChain(t *ir.Instruction) ([]*ir.Instruction, *ir.Instruction) {
 	var insts []*ir.Instruction
-	inCurrent := map[*ir.Instruction]bool{}
+	r.chainEpoch++
 	cur := t
 	for cur != nil {
-		if _, placed := r.m[cur]; placed || inCurrent[cur] {
+		if _, placed := r.m[cur]; placed || r.chainSeen[cur] == r.chainEpoch {
 			return insts, cur
 		}
 		insts = append(insts, cur)
-		inCurrent[cur] = true
+		r.chainSeen[cur] = r.chainEpoch
 		if !cur.Inst.HasFallthrough() {
 			return insts, nil
 		}

@@ -14,11 +14,18 @@
 //  4. A range labeled code actually holds data: this cannot always be
 //     detected; the aggregation stays conservative (case 3) whenever
 //     there is any disagreement, and emits warnings to aid debugging.
+//
+// The two disassemblers are independent until aggregation, so the
+// pipeline runs them concurrently by default (Options.Serial forces the
+// back-to-back order for comparison); the merged Aggregated view is
+// byte-identical either way because aggregation only starts after both
+// have finished.
 package disasm
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"zipr/internal/binfmt"
 	"zipr/internal/ir"
@@ -40,14 +47,14 @@ const (
 // Result is the output of a single disassembler.
 type Result struct {
 	// Insts maps instruction start addresses to decoded instructions.
-	Insts map[uint32]isa.Inst
+	Insts *InstMap
 	// Weak maps addresses decoded only from address-shaped hints (lea
 	// targets, immediates that look like code pointers). Such bytes
 	// might be data — a jump table is indistinguishable from code at a
 	// lea target — so they are never relocated: the aggregator treats
 	// them as code AND data (paper case 3), and CFG construction uses
 	// their decodes only to pin targets conservatively.
-	Weak map[uint32]isa.Inst
+	Weak *InstMap
 	// Classes classifies every byte of text (indexed from text base).
 	Classes []Class
 }
@@ -56,9 +63,15 @@ type Result struct {
 // one byte at a time after undecodable bytes, the way objdump -D works.
 func LinearSweep(text []byte, base uint32) Result {
 	res := Result{
-		Insts:   make(map[uint32]isa.Inst),
+		Insts:   NewInstMap(base, len(text)),
 		Classes: make([]Class, len(text)),
 	}
+	linearSweepInto(&res, text, base)
+	return res
+}
+
+// linearSweepInto runs the sweep into pre-sized result buffers.
+func linearSweepInto(res *Result, text []byte, base uint32) {
 	off := 0
 	for off < len(text) {
 		in, err := isa.Decode(text[off:])
@@ -67,13 +80,25 @@ func LinearSweep(text []byte, base uint32) Result {
 			off++
 			continue
 		}
-		res.Insts[base+uint32(off)] = in
+		res.Insts.Put(base+uint32(off), in)
 		for i := 0; i < in.Len(); i++ {
 			res.Classes[off+i] = Code
 		}
 		off += in.Len()
 	}
-	return res
+}
+
+// visit flags for the recursive traversal, one byte per text offset.
+const (
+	visitedStrong uint8 = 1 << iota
+	visitedWeak
+)
+
+// recState is the recursive traversal's working state: dense visited
+// flags plus the two worklist tiers. It lives in the scratch pool.
+type recState struct {
+	visited      []uint8
+	strong, weak []uint32
 }
 
 // RecursiveTraversal follows control flow from every known entry point.
@@ -92,21 +117,28 @@ func LinearSweep(text []byte, base uint32) Result {
 func RecursiveTraversal(bin *binfmt.Binary) Result {
 	text := bin.Text()
 	res := Result{
-		Insts:   make(map[uint32]isa.Inst),
-		Weak:    make(map[uint32]isa.Inst),
+		Insts:   NewInstMap(text.VAddr, len(text.Data)),
+		Weak:    NewInstMap(text.VAddr, len(text.Data)),
 		Classes: make([]Class, len(text.Data)),
 	}
+	st := &recState{visited: make([]uint8, len(text.Data))}
+	recursiveInto(&res, bin, st)
+	return res
+}
+
+// recursiveInto runs the traversal into pre-sized result buffers.
+func recursiveInto(res *Result, bin *binfmt.Binary, st *recState) {
+	text := bin.Text()
 	inText := func(a uint32) bool { return text.Contains(a) }
 
-	var strong, weak []uint32
 	seedStrong := func(a uint32) {
 		if inText(a) {
-			strong = append(strong, a)
+			st.strong = append(st.strong, a)
 		}
 	}
 	seedWeak := func(a uint32) {
 		if inText(a) {
-			weak = append(weak, a)
+			st.weak = append(st.weak, a)
 		}
 	}
 	if bin.Type == binfmt.Exec {
@@ -131,8 +163,6 @@ func RecursiveTraversal(bin *binfmt.Binary) Result {
 
 	// visit decodes one address, recording flow into the given tier's
 	// worklist; weak traversal never overrides strong coverage.
-	visitedStrong := make(map[uint32]bool)
-	visitedWeak := make(map[uint32]bool)
 	step := func(addr uint32, isStrong bool) {
 		off := addr - text.VAddr
 		in, err := isa.Decode(text.Data[off:])
@@ -141,13 +171,13 @@ func RecursiveTraversal(bin *binfmt.Binary) Result {
 		}
 		flow := seedWeak
 		if isStrong {
-			res.Insts[addr] = in
+			res.Insts.Put(addr, in)
 			for i := 0; i < in.Len(); i++ {
 				res.Classes[int(off)+i] = Code
 			}
 			flow = seedStrong
 		} else {
-			res.Weak[addr] = in
+			res.Weak.Put(addr, in)
 		}
 		if in.HasFallthrough() {
 			flow(addr + uint32(in.Len()))
@@ -167,25 +197,32 @@ func RecursiveTraversal(bin *binfmt.Binary) Result {
 			seedWeak(uint32(in.Imm))
 		}
 	}
-	for len(strong) > 0 {
-		addr := strong[len(strong)-1]
-		strong = strong[:len(strong)-1]
-		if visitedStrong[addr] || !inText(addr) {
+	for len(st.strong) > 0 {
+		addr := st.strong[len(st.strong)-1]
+		st.strong = st.strong[:len(st.strong)-1]
+		if !inText(addr) {
 			continue
 		}
-		visitedStrong[addr] = true
+		off := addr - text.VAddr
+		if st.visited[off]&visitedStrong != 0 {
+			continue
+		}
+		st.visited[off] |= visitedStrong
 		step(addr, true)
 	}
-	for len(weak) > 0 {
-		addr := weak[len(weak)-1]
-		weak = weak[:len(weak)-1]
-		if visitedWeak[addr] || visitedStrong[addr] || !inText(addr) {
+	for len(st.weak) > 0 {
+		addr := st.weak[len(st.weak)-1]
+		st.weak = st.weak[:len(st.weak)-1]
+		if !inText(addr) {
 			continue
 		}
-		visitedWeak[addr] = true
+		off := addr - text.VAddr
+		if st.visited[off]&(visitedWeak|visitedStrong) != 0 {
+			continue
+		}
+		st.visited[off] |= visitedWeak
 		step(addr, false)
 	}
-	return res
 }
 
 // Aggregated is the merged, conservative view consumed by CFG
@@ -193,28 +230,30 @@ func RecursiveTraversal(bin *binfmt.Binary) Result {
 type Aggregated struct {
 	// Insts holds the relocatable instructions (recursive-traversal
 	// coverage), keyed by original address.
-	Insts map[uint32]isa.Inst
+	Insts *InstMap
 	// AmbigInsts holds instructions decoded inside ambiguous (fixed)
 	// ranges; CFG construction pins their direct branch targets.
-	AmbigInsts map[uint32]isa.Inst
+	AmbigInsts *InstMap
 	// Fixed lists text ranges whose bytes must stay at their original
 	// addresses (conclusive data plus ambiguous ranges).
 	Fixed []ir.Range
 	// Classes is the final per-byte classification.
 	Classes []Class
 	// Warnings lists conservative-fallback diagnostics (the paper's
-	// case-4 warnings).
+	// case-4 warnings), in ascending address order.
 	Warnings []string
 }
 
 // Aggregate merges the two disassemblers' views per the four-case
-// policy.
+// policy. The dense instruction maps iterate in address order, so the
+// ambiguous set and the warning list come out deterministic (the old
+// hash-map walk emitted warnings in random order).
 func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 	text := bin.Text()
 	n := len(text.Data)
 	agg := Aggregated{
 		Insts:      recursive.Insts,
-		AmbigInsts: make(map[uint32]isa.Inst),
+		AmbigInsts: NewInstMap(text.VAddr, n),
 		Classes:    make([]Class, n),
 	}
 	// Case 1: recursive coverage is authoritative code.
@@ -234,34 +273,36 @@ func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 	}
 	// Instructions whose linear decode starts inside a non-code byte are
 	// candidates for "both" handling (case 3).
-	for addr, in := range linear.Insts {
+	linear.Insts.All(func(addr uint32, in isa.Inst) bool {
 		off := addr - text.VAddr
 		if agg.Classes[off] == Ambig {
-			agg.AmbigInsts[addr] = in
+			agg.AmbigInsts.Put(addr, in)
 			if in.IsDirectBranch() {
 				agg.Warnings = append(agg.Warnings, fmt.Sprintf(
 					"disasm: ambiguous bytes at %#x decode to %s; treating as code and data",
 					addr, in.String()))
 			}
 		}
-	}
+		return true
+	})
 	// Weak recursive decodes (lea targets and address immediates) join
 	// the ambiguous set: they are plausible entry-aligned decodes, so
 	// CFG construction should pin their targets, but their bytes stay
 	// fixed in place. They also upgrade their bytes to Ambig so fixed
 	// ranges cover them even where the linear sweep misaligned.
-	for addr, in := range recursive.Weak {
+	recursive.Weak.All(func(addr uint32, in isa.Inst) bool {
 		off := addr - text.VAddr
 		if agg.Classes[off] == Code {
-			continue
+			return true
 		}
-		agg.AmbigInsts[addr] = in
+		agg.AmbigInsts.Put(addr, in)
 		for i := 0; i < in.Len() && int(off)+i < n; i++ {
 			if agg.Classes[int(off)+i] != Code {
 				agg.Classes[int(off)+i] = Ambig
 			}
 		}
-	}
+		return true
+	})
 	// Fixed ranges: maximal runs of Data/Ambig bytes.
 	var fixed []ir.Range
 	i := 0
@@ -284,28 +325,121 @@ func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 	return agg
 }
 
+// scratch holds the per-disassembly buffers that do not survive into
+// the Aggregated result: the whole linear-sweep view, the weak tier,
+// the recursive class array, and the traversal state. Pooling them
+// keeps the hot rewrite path on a handful of allocations per binary.
+type scratch struct {
+	linear Result
+	rec    recState
+	weak   *InstMap
+	recCls []Class
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			linear: Result{Insts: &InstMap{}},
+			weak:   &InstMap{},
+		}
+	},
+}
+
+// grow reslices b to n bytes, reallocating only when the pooled backing
+// array is too small.
+func grow[T Class | uint8](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+// Options configures a disassembly run.
+type Options struct {
+	// Serial forces the two disassemblers to run back-to-back on the
+	// calling goroutine instead of concurrently. The output is identical
+	// either way; the knob exists for benchmarking and debugging.
+	Serial bool
+	// Trace receives per-stage spans and classification metrics; nil
+	// disables instrumentation.
+	Trace *obs.Trace
+}
+
 // Disassemble runs both disassemblers on bin and aggregates the result.
 func Disassemble(bin *binfmt.Binary) (Aggregated, error) {
-	return DisassembleTraced(bin, nil)
+	return DisassembleOpts(bin, Options{})
 }
 
 // DisassembleTraced is Disassemble with per-stage spans (linear sweep,
 // recursive traversal, code/data disambiguation) and classification
 // metrics emitted to tr; a nil trace disables instrumentation.
 func DisassembleTraced(bin *binfmt.Binary, tr *obs.Trace) (Aggregated, error) {
+	return DisassembleOpts(bin, Options{Trace: tr})
+}
+
+// DisassembleOpts runs the two disassemblers — concurrently unless
+// opts.Serial — and aggregates their views. Both modes produce the same
+// Aggregated value: the disassemblers share no state, and aggregation
+// begins only after both complete.
+func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
+	tr := opts.Trace
 	text := bin.Text()
 	if text == nil {
 		return Aggregated{}, fmt.Errorf("disasm: binary has no text segment")
 	}
-	sp := tr.Start("linear-sweep")
-	lin := LinearSweep(text.Data, text.VAddr)
-	sp.End()
-	sp = tr.Start("recursive-traversal")
-	rec := RecursiveTraversal(bin)
-	sp.End()
-	sp = tr.Start("disambiguate")
+	n := len(text.Data)
+
+	sc := scratchPool.Get().(*scratch)
+	sc.linear.Insts.reset(text.VAddr, n)
+	sc.linear.Classes = grow(sc.linear.Classes, n)
+	sc.weak.reset(text.VAddr, n)
+	sc.recCls = grow(sc.recCls, n)
+	sc.rec.visited = grow(sc.rec.visited, n)
+	sc.rec.strong = sc.rec.strong[:0]
+	sc.rec.weak = sc.rec.weak[:0]
+
+	lin := sc.linear
+	// The recursive result's strong instructions become Aggregated.Insts
+	// and escape to the caller, so that map is always freshly allocated;
+	// the weak tier and class array are pooled scratch.
+	rec := Result{
+		Insts:   NewInstMap(text.VAddr, n),
+		Weak:    sc.weak,
+		Classes: sc.recCls,
+	}
+
+	if opts.Serial {
+		sp := tr.Start("linear-sweep")
+		linearSweepInto(&lin, text.Data, text.VAddr)
+		sp.End()
+		sp = tr.Start("recursive-traversal")
+		recursiveInto(&rec, bin, &sc.rec)
+		sp.End()
+	} else {
+		// The spans are created detached on this goroutine — in a
+		// deterministic order, attached under the currently open phase —
+		// and ended by the workers (obs documents this as the
+		// concurrent-span pattern).
+		linSp := tr.StartDetached("linear-sweep")
+		recSp := tr.StartDetached("recursive-traversal")
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			linearSweepInto(&lin, text.Data, text.VAddr)
+			linSp.End()
+		}()
+		recursiveInto(&rec, bin, &sc.rec)
+		recSp.End()
+		wg.Wait()
+	}
+
+	sp := tr.Start("disambiguate")
 	agg := Aggregate(bin, lin, rec)
 	sp.End()
+	scratchPool.Put(sc)
 	if tr.Enabled() {
 		var code, data, ambig int64
 		for _, c := range agg.Classes {
@@ -321,8 +455,8 @@ func DisassembleTraced(bin *binfmt.Binary, tr *obs.Trace) (Aggregated, error) {
 		tr.SetGauge("disasm.bytes.code", code)
 		tr.SetGauge("disasm.bytes.data", data)
 		tr.SetGauge("disasm.bytes.ambiguous", ambig)
-		tr.Add("disasm.insts", int64(len(agg.Insts)))
-		tr.Add("disasm.ambig-insts", int64(len(agg.AmbigInsts)))
+		tr.Add("disasm.insts", int64(agg.Insts.Len()))
+		tr.Add("disasm.ambig-insts", int64(agg.AmbigInsts.Len()))
 		tr.Add("disasm.fixed-ranges", int64(len(agg.Fixed)))
 		tr.Add("disasm.warnings", int64(len(agg.Warnings)))
 	}

@@ -21,7 +21,9 @@ func TestLinearSweepResync(t *testing.T) {
 	if res.Classes[0] != Code || res.Classes[1] != Data || res.Classes[2] != Code {
 		t.Fatalf("classes = %v", res.Classes)
 	}
-	if res.Insts[0x1000].Op != isa.OpNop || res.Insts[0x1002].Op != isa.OpRet {
+	i0, _ := res.Insts.Get(0x1000)
+	i2, _ := res.Insts.Get(0x1002)
+	if i0.Op != isa.OpNop || i2.Op != isa.OpRet {
 		t.Fatal("linear sweep missed instructions")
 	}
 }
@@ -54,7 +56,7 @@ after:
 	}
 	// `after` must be reached.
 	afterAddr := text.VAddr + uint32(strOff+5)
-	if _, ok := rec.Insts[afterAddr]; !ok {
+	if !rec.Insts.Has(afterAddr) {
 		t.Fatalf("recursive pass missed post-jump code at %#x", afterAddr)
 	}
 }
@@ -85,7 +87,7 @@ tab: .word handler
 	if !ok {
 		t.Fatal("test setup: no pointer found in data")
 	}
-	if _, found := rec.Insts[handlerAddr]; !found {
+	if !rec.Insts.Has(handlerAddr) {
 		t.Fatalf("recursive pass missed data-pointed handler at %#x", handlerAddr)
 	}
 }
@@ -118,17 +120,17 @@ seed:
 		t.Fatal(err)
 	}
 	rec := RecursiveTraversal(bin)
-	if len(rec.Insts) < 3 {
-		t.Fatalf("expected export coverage, got %d instructions", len(rec.Insts))
+	if rec.Insts.Len() < 3 {
+		t.Fatalf("expected export coverage, got %d instructions", rec.Insts.Len())
 	}
 	// viaimm (second ret, at offset 1) is reached only through an
 	// address-shaped immediate: it must be decoded, but only weakly —
 	// the bytes could just as well be data, so they must not be
 	// relocated (paper case 4 avoidance).
-	if _, ok := rec.Weak[0x00700001]; !ok {
+	if !rec.Weak.Has(0x00700001) {
 		t.Fatal("immediate-seeded code not decoded into the weak tier")
 	}
-	if _, ok := rec.Insts[0x00700001]; ok {
+	if rec.Insts.Has(0x00700001) {
 		t.Fatal("immediate-seeded code must not be classified relocatable")
 	}
 	if rec.Classes[1] == Code {
@@ -168,7 +170,7 @@ after:
 	if classAt(t, agg, bin, blobAddr+2) != Ambig {
 		t.Fatalf("ambiguous byte class = %v, want Ambig", classAt(t, agg, bin, blobAddr+2))
 	}
-	if len(agg.AmbigInsts) == 0 {
+	if agg.AmbigInsts.Len() == 0 {
 		t.Fatal("expected ambiguous instructions")
 	}
 	// The whole blob is one fixed range.

@@ -1,0 +1,99 @@
+package disasm
+
+import (
+	"zipr/internal/isa"
+)
+
+// InstMap is a dense, offset-indexed instruction store over one text
+// range. It replaces the address-keyed hash maps the disassemblers used
+// to rebuild per pass: a single backing array allocation, O(1) lookups
+// without hashing, and — crucially for the parallel pipeline — iteration
+// in ascending address order, so every consumer is deterministic without
+// collect-and-sort.
+//
+// Presence is encoded by the instruction itself: isa.Inst's zero value
+// has Op == OpInvalid, so a zeroed slot is detectably empty.
+type InstMap struct {
+	base  uint32
+	insts []isa.Inst
+	count int
+}
+
+// NewInstMap creates an empty map covering n bytes of text starting at
+// virtual address base.
+func NewInstMap(base uint32, n int) *InstMap {
+	return &InstMap{base: base, insts: make([]isa.Inst, n)}
+}
+
+// reset repurposes the map for a new text range, reusing the backing
+// array when it is large enough (the sync.Pool path).
+func (m *InstMap) reset(base uint32, n int) {
+	m.base = base
+	m.count = 0
+	if cap(m.insts) < n {
+		m.insts = make([]isa.Inst, n)
+		return
+	}
+	m.insts = m.insts[:n]
+	clear(m.insts)
+}
+
+// Base returns the first address the map covers.
+func (m *InstMap) Base() uint32 { return m.base }
+
+// Len returns the number of instructions recorded.
+func (m *InstMap) Len() int {
+	if m == nil {
+		return 0
+	}
+	return m.count
+}
+
+// Put records an instruction starting at addr, replacing any previous
+// entry there. Addresses outside the covered range are ignored.
+func (m *InstMap) Put(addr uint32, in isa.Inst) {
+	off := addr - m.base
+	if off >= uint32(len(m.insts)) {
+		return
+	}
+	if m.insts[off].Op == isa.OpInvalid && in.Op != isa.OpInvalid {
+		m.count++
+	}
+	m.insts[off] = in
+}
+
+// Get returns the instruction starting at addr, if one was recorded.
+func (m *InstMap) Get(addr uint32) (isa.Inst, bool) {
+	if m == nil {
+		return isa.Inst{}, false
+	}
+	off := addr - m.base
+	if off >= uint32(len(m.insts)) || m.insts[off].Op == isa.OpInvalid {
+		return isa.Inst{}, false
+	}
+	return m.insts[off], true
+}
+
+// Has reports whether an instruction starts at addr.
+func (m *InstMap) Has(addr uint32) bool {
+	_, ok := m.Get(addr)
+	return ok
+}
+
+// All calls yield for every recorded instruction in ascending address
+// order, stopping early if yield returns false. The ordered walk is what
+// makes downstream passes (IR node creation, ambiguous-region pinning,
+// warning emission) deterministic by construction.
+func (m *InstMap) All(yield func(addr uint32, in isa.Inst) bool) {
+	if m == nil {
+		return
+	}
+	for off, in := range m.insts {
+		if in.Op == isa.OpInvalid {
+			continue
+		}
+		if !yield(m.base+uint32(off), in) {
+			return
+		}
+	}
+}

@@ -213,7 +213,13 @@ func (p *Program) Defer(name string, size int, fill func(*Layout) ([]byte, error
 
 // PinnedInsts returns all pinned instructions sorted by original address.
 func (p *Program) PinnedInsts() []*Instruction {
-	var out []*Instruction
+	n := 0
+	for _, i := range p.Insts {
+		if i.Pinned {
+			n++
+		}
+	}
+	out := make([]*Instruction, 0, n)
 	for _, i := range p.Insts {
 		if i.Pinned {
 			out = append(out, i)

@@ -25,9 +25,24 @@ import (
 
 // Trace collects spans and metrics for one or more pipeline runs. The
 // zero value is not usable; construct with New. All methods are safe to
-// call on a nil receiver (tracing disabled) and safe for concurrent use,
-// though spans form a single stack: concurrent pipelines should use one
-// Trace each and merge with an Agg.
+// call on a nil receiver (tracing disabled) and safe for concurrent use:
+// counters, gauges and histograms (Add, SetGauge, Observe) may be
+// updated from any goroutine at any time.
+//
+// Spans need one rule because they form a single stack: Start/End pair
+// on the goroutine that owns the current phase. When a phase fans work
+// out to worker goroutines, the coordinator creates one detached span
+// per worker with StartDetached (in a deterministic order, attached
+// under the currently open phase but never pushed on the stack), hands
+// each to its worker, and the worker calls End — and, for nested
+// sub-phases, Span.StartChild — without ever touching the shared stack.
+// Workers must End every detached span before the phase's own End.
+// Concurrent pipelines (whole-binary fan-out) should instead use one
+// Trace each and merge with an Agg, which is also safe to share.
+//
+// Note that span memory deltas diff process-wide runtime.MemStats, so
+// spans running concurrently attribute each other's allocations to
+// themselves; wall clock remains exact per span.
 type Trace struct {
 	mu    sync.Mutex
 	begun time.Time
@@ -63,10 +78,11 @@ type Span struct {
 	HeapLive int64  // live-heap growth across the span (MaxRSS analogue)
 	Children []*Span
 
-	t       *Trace
-	started time.Time
-	m0      memSample
-	ended   bool
+	t        *Trace
+	started  time.Time
+	m0       memSample
+	ended    bool
+	detached bool // not on the open stack; ended individually
 }
 
 // memSample is the slice of runtime.MemStats the spans diff.
@@ -97,6 +113,41 @@ func (t *Trace) Start(name string) *Span {
 	return s
 }
 
+// StartDetached opens a span attached under the innermost open span —
+// like Start — but never pushed onto the open stack, so later Start
+// calls (including other detached spans) attach as its siblings, not
+// its children. This is the worker-goroutine pattern: the coordinator
+// creates the spans in a deterministic order, each worker ends its own,
+// and no worker's span can accidentally nest under another's. Returns
+// nil when the trace is disabled.
+func (t *Trace) StartDetached(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{Name: name, Count: 1, t: t, started: time.Now(), m0: readMem(), detached: true}
+	s.Start = s.started.Sub(t.begun)
+	t.attachLocked(s)
+	return s
+}
+
+// StartChild opens a detached span nested under s, for sub-phases
+// measured inside a worker goroutine that owns s. The child must be
+// ended (by any goroutine) before s's own End. Safe on a nil receiver.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Span{Name: name, Depth: s.Depth + 1, Count: 1, t: t, started: time.Now(), m0: readMem(), detached: true}
+	c.Start = c.started.Sub(t.begun)
+	s.Children = append(s.Children, c)
+	return c
+}
+
 // attachLocked links s under the innermost open span.
 func (t *Trace) attachLocked(s *Span) {
 	if n := len(t.open); n > 0 {
@@ -124,6 +175,15 @@ func (s *Span) End() {
 // stack.
 func (t *Trace) endLocked(s *Span, now time.Time, m1 memSample) {
 	if s.ended {
+		return
+	}
+	if s.detached {
+		// Detached spans live off the stack: finalize just this one.
+		s.Wall = now.Sub(s.started)
+		s.Allocs = m1.mallocs - s.m0.mallocs
+		s.Bytes = m1.totalAlloc - s.m0.totalAlloc
+		s.HeapLive = int64(m1.heapAlloc) - int64(s.m0.heapAlloc)
+		s.ended = true
 		return
 	}
 	idx := -1

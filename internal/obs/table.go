@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -12,8 +13,11 @@ import (
 // a whole corpus of rewrites — so timing tables can be regenerated from
 // structured data instead of ad-hoc stopwatches. Same-named spans at
 // the same tree position fold together (count, wall and memory deltas
-// sum); metrics merge per Metrics.Merge.
+// sum); metrics merge per Metrics.Merge. All methods are safe for
+// concurrent use, so corpus worker pools can fold their per-rewrite
+// traces into one shared aggregate.
 type Agg struct {
+	mu   sync.Mutex
 	runs int
 	root *aggNode
 	met  *Metrics
@@ -51,13 +55,20 @@ func NewAgg() *Agg {
 }
 
 // Runs returns how many snapshots have been folded in.
-func (a *Agg) Runs() int { return a.runs }
+func (a *Agg) Runs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.runs
+}
 
-// Metrics returns the merged metric families.
+// Metrics returns the merged metric families. The returned store is
+// shared: read it only after all folding has finished.
 func (a *Agg) Metrics() *Metrics { return a.met }
 
 // Add folds a snapshot into the aggregate.
 func (a *Agg) Add(snap *Snapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.runs++
 	a.fold(a.root, snap.Spans)
 	a.met.Merge(snap.Metrics)
@@ -87,6 +98,8 @@ func (a *Agg) fold(into *aggNode, spans []*Span) {
 // WriteTable renders the aggregated phase-time table followed by the
 // merged counters, gauges and histograms.
 func (a *Agg) WriteTable(w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	fmt.Fprintf(w, "%-38s %7s %11s %11s %11s %11s\n",
 		"phase", "count", "wall", "allocs", "bytes", "live-heap")
 	var walk func(n *aggNode, depth int) // declaration split for recursion

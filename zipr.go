@@ -29,6 +29,7 @@ import (
 	"zipr/internal/irdb"
 	"zipr/internal/layout"
 	"zipr/internal/obs"
+	"zipr/internal/par"
 	"zipr/internal/transform"
 )
 
@@ -99,30 +100,48 @@ func NopElide() Transform { return transform.NopElide{} }
 func NewProfiler() *transform.Profiler { return &transform.Profiler{} }
 
 // hotRanges converts hot function entries into the original-address
-// spans the profile-guided placer classifies hints against.
+// spans the profile-guided placer classifies hints against. With no hot
+// entries it returns immediately — the common non-PGO configuration
+// used to walk every instruction of every function for nothing. Extent
+// computation is per-function independent, so large programs shard it
+// across workers; results are collected per function index, keeping the
+// output identical to the serial walk.
 func hotRanges(prog *ir.Program, hotFuncs []uint32) []ir.Range {
+	if len(hotFuncs) == 0 {
+		return nil
+	}
 	hotSet := make(map[uint32]bool, len(hotFuncs))
 	for _, a := range hotFuncs {
 		hotSet[a] = true
 	}
-	var ranges []ir.Range
-	for _, f := range prog.Functions {
-		if f.Entry == nil || !hotSet[f.Entry.OrigAddr] {
-			continue
-		}
-		r := ir.Range{Start: f.Entry.OrigAddr, End: f.Entry.OrigAddr + 1}
-		for _, n := range f.Insts {
-			if n.OrigAddr == 0 {
+	extents := make([]ir.Range, len(prog.Functions))
+	workers := par.ScaledWorkers(len(prog.Functions), 64)
+	par.Chunks(workers, len(prog.Functions), func(_, lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			f := prog.Functions[fi]
+			if f.Entry == nil || !hotSet[f.Entry.OrigAddr] {
 				continue
 			}
-			if n.OrigAddr < r.Start {
-				r.Start = n.OrigAddr
+			r := ir.Range{Start: f.Entry.OrigAddr, End: f.Entry.OrigAddr + 1}
+			for _, n := range f.Insts {
+				if n.OrigAddr == 0 {
+					continue
+				}
+				if n.OrigAddr < r.Start {
+					r.Start = n.OrigAddr
+				}
+				if end := n.OrigAddr + uint32(n.Inst.Len()); end > r.End {
+					r.End = end
+				}
 			}
-			if end := n.OrigAddr + uint32(n.Inst.Len()); end > r.End {
-				r.End = end
-			}
+			extents[fi] = r
 		}
-		ranges = append(ranges, r)
+	})
+	var ranges []ir.Range
+	for _, r := range extents {
+		if r.End > r.Start {
+			ranges = append(ranges, r)
+		}
 	}
 	return ir.MergeRanges(ranges)
 }
