@@ -21,10 +21,14 @@ import (
 
 	"zipr/internal/asm"
 	"zipr/internal/binfmt"
+	"zipr/internal/cfg"
 	"zipr/internal/cgcsim"
+	"zipr/internal/core"
 	"zipr/internal/disasm"
+	layoutpkg "zipr/internal/layout"
 	"zipr/internal/loader"
 	"zipr/internal/synth"
+	"zipr/internal/transform"
 	"zipr/internal/vm"
 )
 
@@ -473,6 +477,53 @@ func BenchmarkDisassembleParallel(b *testing.B) {
 	}
 	b.StopTimer()
 	reportSpeedup(b, serialRef)
+}
+
+// BenchmarkPlaceLargeSynth measures the reassembly stage alone on the
+// libc-scale placement-stress workload (≥100k instructions, dense pin
+// clusters) and reports the indexed allocator's speedup over the legacy
+// slice-scanning placer. Disassembly, CFG and transforms run once
+// outside the clock; each iteration is one core.Reassemble, so the
+// number under test is placement cost, not pipeline overhead.
+func BenchmarkPlaceLargeSynth(b *testing.B) {
+	bin, err := synth.Build(77, synth.PlacementStressProfile(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := disasm.Disassemble(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := cfg.Build(bin, agg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := transform.Apply(prog, transform.Null{}); err != nil {
+		b.Fatal(err)
+	}
+	if len(prog.Insts) < 100_000 {
+		b.Fatalf("stress program has only %d instructions, want >= 100k", len(prog.Insts))
+	}
+	reassemble := func(p core.Placer) *core.Result {
+		res, err := core.Reassemble(prog, core.Options{Placer: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	// Reassembly must be repeatable on a shared program for the timing
+	// loop to be meaningful.
+	if a, c := reassemble(layoutpkg.Optimized{}), reassemble(layoutpkg.Optimized{}); !bytes.Equal(a.Binary.Text().Data, c.Binary.Text().Data) {
+		b.Fatal("reassembly of a shared program is not repeatable")
+	}
+	legacyRef := benchWall(b, 1, func() { reassemble(layoutpkg.LegacyOptimized{}) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reassemble(layoutpkg.Optimized{})
+	}
+	b.StopTimer()
+	reportSpeedup(b, legacyRef)
 }
 
 // BenchmarkEvalJ1 measures corpus evaluation with one worker (the old

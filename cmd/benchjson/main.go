@@ -1,20 +1,32 @@
 // Command benchjson converts `go test -bench` text output on stdin into
-// a JSON report on stdout, so benchmark runs (the Makefile's bench
-// target) leave a machine-readable artifact instead of a log to grep.
+// a JSON report, so benchmark runs (the Makefile's bench target) leave a
+// machine-readable artifact instead of a log to grep.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_pipeline.json
+//	go test -run '^$' -bench . -benchmem . | benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
 //
 // Every benchmark result line becomes one object holding the iteration
 // count and every reported metric (ns/op, B/op, allocs/op, MB/s, and
 // custom b.ReportMetric units such as speedup-x) keyed by unit.
+//
+// With -merge FILE, the new run is appended to the runs already in FILE
+// instead of replacing them, producing a trajectory document
+// {"runs": [oldest, ..., newest]} that accumulates one entry per `make
+// bench` across the project's history. A FILE in the old single-run
+// format is wrapped as the trajectory's first entry; a missing FILE
+// starts a fresh trajectory. -o writes the result to a file (atomically
+// enough for the Makefile's read-modify-write of the same path) instead
+// of stdout.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -27,29 +39,67 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Report is the full converted run.
+// Env is the benchmark context header block.
+type Env struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+}
+
+// Report is one converted run.
 type Report struct {
-	Goos, Goarch, Pkg, CPU string   `json:"-"`
-	Env                    struct { // benchmark context header lines
-		Goos   string `json:"goos,omitempty"`
-		Goarch string `json:"goarch,omitempty"`
-		Pkg    string `json:"pkg,omitempty"`
-		CPU    string `json:"cpu,omitempty"`
-	} `json:"env"`
+	Env        Env      `json:"env"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// Trajectory is the accumulated multi-run document -merge maintains.
+type Trajectory struct {
+	Runs []Report `json:"runs"`
+}
+
 func main() {
-	if err := run(); err != nil {
+	mergePath := flag.String("merge", "", "append this run to the runs in `file` (old single-run files are wrapped)")
+	outPath := flag.String("o", "", "write output to `file` instead of stdout")
+	flag.Parse()
+	if err := run(os.Stdin, *mergePath, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var rep Report
-	rep.Benchmarks = []Result{}
-	sc := bufio.NewScanner(os.Stdin)
+func run(in io.Reader, mergePath, outPath string) error {
+	rep, err := parseRun(in)
+	if err != nil {
+		return err
+	}
+	var doc any = rep
+	if mergePath != "" {
+		traj, err := loadTrajectory(mergePath)
+		if err != nil {
+			return err
+		}
+		traj.Runs = append(traj.Runs, *rep)
+		doc = traj
+	}
+	out := io.Writer(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parseRun converts one `go test -bench` text stream into a Report.
+func parseRun(in io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -69,11 +119,31 @@ func run() error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(&rep)
+	return rep, nil
+}
+
+// loadTrajectory reads an existing output file in either format: a
+// trajectory document keeps its runs, an old single-run report becomes
+// the first run, and a missing file yields an empty trajectory.
+func loadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err == nil && traj.Runs != nil {
+		return &traj, nil
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("%s is neither a trajectory nor a single-run report: %w", path, err)
+	}
+	return &Trajectory{Runs: []Report{old}}, nil
 }
 
 // parseLine parses one benchmark result line of the form

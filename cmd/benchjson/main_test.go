@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: zipr
+cpu: Test CPU
+BenchmarkPlaceLargeSynth-8   	       5	 227447474 ns/op	         6.545 speedup-x	42336416 B/op	  368387 allocs/op
+BenchmarkRewriteNull-8       	      10	  12345678 ns/op	        55.00 MB/s
+garbage line that is not a benchmark
+PASS
+`
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFoo-16   100   12345 ns/op   1.5 speedup-x   7 allocs/op")
+	if !ok {
+		t.Fatal("parseLine failed")
+	}
+	if r.Name != "BenchmarkFoo" || r.Iters != 100 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 12345 || r.Metrics["speedup-x"] != 1.5 || r.Metrics["allocs/op"] != 7 {
+		t.Fatalf("metrics = %+v", r.Metrics)
+	}
+	if _, ok := parseLine("BenchmarkBare"); ok {
+		t.Fatal("fieldless line should not parse")
+	}
+}
+
+func TestParseRun(t *testing.T) {
+	rep, err := parseRun(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env.Goos != "linux" || rep.Env.CPU != "Test CPU" {
+		t.Fatalf("env = %+v", rep.Env)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkPlaceLargeSynth" {
+		t.Fatalf("name = %q", rep.Benchmarks[0].Name)
+	}
+}
+
+func TestMergeAccumulatesTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	// First run: no existing file starts a one-run trajectory.
+	if err := run(strings.NewReader(sampleRun), out, out); err != nil {
+		t.Fatal(err)
+	}
+	// Second and third runs append.
+	for i := 0; i < 2; i++ {
+		if err := run(strings.NewReader(sampleRun), out, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 3 {
+		t.Fatalf("trajectory has %d runs, want 3", len(traj.Runs))
+	}
+	for _, r := range traj.Runs {
+		if len(r.Benchmarks) != 2 || r.Env.Goos != "linux" {
+			t.Fatalf("run = %+v", r)
+		}
+	}
+}
+
+func TestMergeWrapsOldSingleRunFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	old := `{"env":{"goos":"linux","cpu":"Old CPU"},"benchmarks":[{"name":"BenchmarkRewriteNull","iters":3,"metrics":{"ns/op":999}}]}`
+	if err := os.WriteFile(out, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleRun), out, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 2 {
+		t.Fatalf("trajectory has %d runs, want 2 (wrapped old + new)", len(traj.Runs))
+	}
+	if traj.Runs[0].Env.CPU != "Old CPU" || traj.Runs[0].Benchmarks[0].Metrics["ns/op"] != 999 {
+		t.Fatalf("old run not preserved: %+v", traj.Runs[0])
+	}
+	if traj.Runs[1].Benchmarks[0].Name != "BenchmarkPlaceLargeSynth" {
+		t.Fatalf("new run wrong: %+v", traj.Runs[1])
+	}
+}
+
+func TestNoMergeWritesSingleRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(sampleRun), "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"zipr/internal/ir"
+)
+
+// FuzzAlloc differentially fuzzes the indexed allocator against the
+// sorted-slice FreeSpace reference. The input bytes drive a sequence of
+// carve/release operations applied to both implementations; after every
+// operation the block lists must be identical, the tree invariants must
+// hold, and a battery of Space queries (parameterized from the same
+// input bytes) must agree.
+func FuzzAlloc(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0x10, 0x00, 8, 0, 0x40, 0x00, 16, 1, 0, 0})
+	f.Add([]byte{0, 0x00, 0x00, 1, 0, 0x01, 0x00, 1, 1, 0, 1, 1, 0, 0})
+	f.Add([]byte{
+		0, 0x00, 0x10, 32, 0, 0x00, 0x30, 32, 0, 0x00, 0x20, 32,
+		1, 0, 1, 1, 0, 0, 1, 0, 0,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole := ir.Range{Start: 0, End: 0x10000}
+		ref := NewFreeSpace(whole, nil)
+		idx := NewAlloc(whole, nil)
+		var carved []ir.Range
+
+		u16 := func(i int) uint32 { return uint32(data[i]) | uint32(data[i+1])<<8 }
+		check := func(op string) {
+			t.Helper()
+			if err := idx.checkInvariants(); err != nil {
+				t.Fatalf("after %s: %v", op, err)
+			}
+			want, got := ref.Blocks(), idx.Blocks()
+			if len(want) != len(got) {
+				t.Fatalf("after %s: %d blocks, reference has %d", op, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("after %s: block %d = %+v, reference %+v", op, i, got[i], want[i])
+				}
+			}
+			if ref.TotalFree() != idx.TotalFree() || ref.NumBlocks() != idx.NumBlocks() {
+				t.Fatalf("after %s: totals diverge", op)
+			}
+		}
+		compareQueries := func(addr uint32, size int) {
+			t.Helper()
+			type q struct {
+				name     string
+				wb, gb   ir.Range
+				wok, gok bool
+			}
+			var qs []q
+			wb, wok := ref.Largest()
+			gb, gok := idx.Largest()
+			qs = append(qs, q{"Largest", wb, gb, wok, gok})
+			wb, wok = ref.LowestFit(size)
+			gb, gok = idx.LowestFit(size)
+			qs = append(qs, q{"LowestFit", wb, gb, wok, gok})
+			wb, wok = ref.HighestFit(size)
+			gb, gok = idx.HighestFit(size)
+			qs = append(qs, q{"HighestFit", wb, gb, wok, gok})
+			wb, wok = ref.BestFit(size)
+			gb, gok = idx.BestFit(size)
+			qs = append(qs, q{"BestFit", wb, gb, wok, gok})
+			wb, wok = ref.NearestFit(addr, size)
+			gb, gok = idx.NearestFit(addr, size)
+			qs = append(qs, q{"NearestFit", wb, gb, wok, gok})
+			wb, wok = ref.BlockStartingAt(addr)
+			gb, gok = idx.BlockStartingAt(addr)
+			qs = append(qs, q{"BlockStartingAt", wb, gb, wok, gok})
+			win := ir.Range{Start: addr, End: addr + uint32(size)*4 + 1}
+			wb, wok = ref.FindWithin(win, uint32(size))
+			gb, gok = idx.FindWithin(win, uint32(size))
+			qs = append(qs, q{"FindWithin", wb, gb, wok, gok})
+			for _, c := range qs {
+				if c.wok != c.gok || (c.wok && c.wb != c.gb) {
+					t.Fatalf("%s(addr=%#x, size=%d) = %+v, %v; reference %+v, %v",
+						c.name, addr, size, c.gb, c.gok, c.wb, c.wok)
+				}
+			}
+		}
+
+		for i := 0; i+3 < len(data); {
+			op := data[i]
+			switch op % 3 {
+			case 0: // carve [addr, addr+size)
+				addr := u16(i + 1)
+				size := uint32(data[i+3]) + 1
+				i += 4
+				r := ir.Range{Start: addr, End: addr + size}
+				refErr := ref.Carve(r)
+				idxErr := idx.Carve(r)
+				if (refErr == nil) != (idxErr == nil) {
+					t.Fatalf("Carve(%+v): err %v, reference err %v", r, idxErr, refErr)
+				}
+				if refErr == nil {
+					carved = append(carved, r)
+				}
+				check(fmt.Sprintf("Carve(%+v)", r))
+			case 1: // release a previously carved range
+				k := int(u16(i + 1))
+				i += 3
+				if len(carved) == 0 {
+					continue
+				}
+				k %= len(carved)
+				r := carved[k]
+				carved = append(carved[:k], carved[k+1:]...)
+				ref.Release(r)
+				idx.Release(r)
+				check(fmt.Sprintf("Release(%+v)", r))
+			default: // query probe
+				addr := u16(i + 1)
+				size := int(data[i+3]) + 1
+				i += 4
+				compareQueries(addr, size)
+			}
+		}
+		// Final sweep: release everything, expect one whole block again.
+		for _, r := range carved {
+			ref.Release(r)
+			idx.Release(r)
+		}
+		check("final release sweep")
+		if idx.NumBlocks() != 1 || idx.TotalFree() != int(whole.Len()) {
+			t.Fatalf("round trip left %d blocks, %d free", idx.NumBlocks(), idx.TotalFree())
+		}
+	})
+}

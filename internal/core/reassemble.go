@@ -45,10 +45,13 @@ type Placer interface {
 	// reserved so code can be placed back at its original location.
 	InlinePins() bool
 	// Choose picks a start address for size bytes out of the free
-	// blocks, or reports that no block fits. hint is the address of the
-	// referencing site and origin the original address of the code being
-	// placed (either may be 0 when unknown).
-	Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool)
+	// space, or reports that no block fits. Placers interrogate space
+	// through its indexed queries (each O(log n)) instead of receiving a
+	// copied block list — at libc/libjvm scale the per-decision copy and
+	// linear scan of the old contract dominated reassembly. hint is the
+	// address of the referencing site and origin the original address of
+	// the code being placed (either may be 0 when unknown).
+	Choose(space Space, size int, hint, origin uint32) (uint32, bool)
 }
 
 // Options configures reassembly.
@@ -112,7 +115,7 @@ type reassembler struct {
 
 	image    []byte // rewritten text image, starting at text.Start
 	imageEnd uint32
-	fs       *FreeSpace
+	fs       *Alloc
 
 	m        map[*ir.Instruction]uint32
 	work     []workItem
@@ -162,7 +165,7 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 		inlines:   make(map[uint32]*inlineRegion),
 		chainSeen: make(map[*ir.Instruction]uint64, 64),
 	}
-	r.fs = NewFreeSpace(text, p.Fixed)
+	r.fs = NewAlloc(text, p.Fixed)
 
 	if err := r.planPins(); err != nil {
 		return nil, err
@@ -194,7 +197,8 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 
 // flushMetrics exports the reassembler's end state to the trace: every
 // Stats field as a counter, the free-range fragmentation histogram, and
-// image-size gauges.
+// free-block-count, fragmentation and image-size gauges — all read
+// straight off the allocator, with no block-list copy.
 func (r *reassembler) flushMetrics() {
 	if !r.tr.Enabled() {
 		return
@@ -219,10 +223,18 @@ func (r *reassembler) flushMetrics() {
 	} {
 		r.tr.Add(c.name, int64(c.v))
 	}
-	blocks := r.fs.Blocks()
-	r.tr.Add("reassemble.free-ranges", int64(len(blocks)))
-	for _, b := range blocks {
+	r.tr.Add("reassemble.free-ranges", int64(r.fs.NumBlocks()))
+	r.fs.Visit(func(b ir.Range) bool {
 		r.tr.Observe("reassemble.free-range-bytes", int64(b.Len()))
+		return true
+	})
+	r.tr.SetGauge("reassemble.free-blocks", int64(r.fs.NumBlocks()))
+	// Fragmentation gauge: the share of free bytes outside the largest
+	// block (0 = one contiguous block, ->100 = shredded).
+	if total := r.fs.TotalFree(); total > 0 {
+		largest, _ := r.fs.Largest()
+		r.tr.SetGauge("reassemble.fragmentation-pct",
+			int64(100-int(largest.Len())*100/total))
 	}
 	r.tr.SetGauge("reassemble.image-bytes", int64(len(r.image)))
 	r.tr.SetGauge("reassemble.placed-insts", int64(len(r.m)))
@@ -257,8 +269,8 @@ func (p *tracedPlacer) Name() string { return p.inner.Name() }
 func (p *tracedPlacer) InlinePins() bool { return p.inner.InlinePins() }
 
 // Choose implements Placer, counting decisions.
-func (p *tracedPlacer) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
-	addr, ok := p.inner.Choose(blocks, size, hint, origin)
+func (p *tracedPlacer) Choose(space Space, size int, hint, origin uint32) (uint32, bool) {
+	addr, ok := p.inner.Choose(space, size, hint, origin)
 	p.tr.Add(p.callsKey, 1)
 	if ok {
 		p.tr.Add(p.fitsKey, 1)
@@ -549,7 +561,7 @@ func (r *reassembler) emitSled(plan sledPlan) error {
 // placeRaw places an opaque code blob (sled dispatch) into free space or
 // the overflow area and returns its address.
 func (r *reassembler) placeRaw(code []byte, hint uint32) (uint32, error) {
-	if addr, ok := r.placer.Choose(r.fs.Blocks(), len(code), hint, 0); ok {
+	if addr, ok := r.placer.Choose(r.fs, len(code), hint, 0); ok {
 		if err := r.fs.Carve(ir.Range{Start: addr, End: addr + uint32(len(code))}); err != nil {
 			return 0, err
 		}
@@ -740,7 +752,7 @@ func (r *reassembler) placeDollop(t *ir.Instruction, hint uint32) error {
 		if !endsClean {
 			want += 5
 		}
-		if addr, ok := r.placer.Choose(r.fs.Blocks(), int(want), hint, rest[0].OrigAddr); ok {
+		if addr, ok := r.placer.Choose(r.fs, int(want), hint, rest[0].OrigAddr); ok {
 			if err := r.fs.Carve(ir.Range{Start: addr, End: addr + want}); err != nil {
 				return err
 			}

@@ -18,29 +18,18 @@ type optPlacer struct{}
 
 func (optPlacer) Name() string     { return "optimized" }
 func (optPlacer) InlinePins() bool { return true }
-func (optPlacer) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
-	best := -1
-	var bestKey uint64
-	for i, b := range blocks {
-		if int(b.Len()) < size {
-			continue
-		}
-		key := uint64(b.Len())
-		if hint != 0 {
-			d := int64(b.Start) - int64(hint)
-			if d < 0 {
-				d = -d
-			}
-			key = uint64(d)
-		}
-		if best < 0 || key < bestKey {
-			best, bestKey = i, key
-		}
+func (optPlacer) Choose(space Space, size int, hint, origin uint32) (uint32, bool) {
+	var b ir.Range
+	var ok bool
+	if hint == 0 {
+		b, ok = space.BestFit(size)
+	} else {
+		b, ok = space.NearestFit(hint, size)
 	}
-	if best < 0 {
+	if !ok {
 		return 0, false
 	}
-	return blocks[best].Start, true
+	return b.Start, true
 }
 
 type divPlacer struct{ rng *rand.Rand }
@@ -49,13 +38,12 @@ func newDivPlacer(seed int64) *divPlacer { return &divPlacer{rng: rand.New(rand.
 
 func (*divPlacer) Name() string     { return "diversity" }
 func (*divPlacer) InlinePins() bool { return false }
-func (d *divPlacer) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
+func (d *divPlacer) Choose(space Space, size int, hint, origin uint32) (uint32, bool) {
 	var fitting []ir.Range
-	for _, b := range blocks {
-		if int(b.Len()) >= size {
-			fitting = append(fitting, b)
-		}
-	}
+	space.VisitFits(size, func(b ir.Range) bool {
+		fitting = append(fitting, b)
+		return true
+	})
 	if len(fitting) == 0 {
 		return 0, false
 	}

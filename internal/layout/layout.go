@@ -4,6 +4,13 @@
 // addresses and near their referents to minimize file-size and MaxRSS
 // overhead; Diversity scatters dollops randomly across free space to
 // maximize code-layout diversity at the cost of memory locality.
+//
+// Placers see free space through core.Space, the allocator's indexed
+// query interface: each placement decision is answered by O(log n)
+// lookups instead of a copy and linear scan of the whole block list,
+// which is what lets placement scale to libc/libjvm-sized inputs. The
+// pre-index slice-scanning implementations survive in legacy.go as the
+// differential-testing and benchmarking reference.
 package layout
 
 import (
@@ -28,39 +35,29 @@ func (Optimized) Name() string { return "optimized" }
 func (Optimized) InlinePins() bool { return true }
 
 // Choose picks the fitting block closest to the referencing site; with
-// no hint it best-fits the smallest block to limit fragmentation.
-func (Optimized) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
-	best := -1
-	var bestKey uint64
-	for i, b := range blocks {
-		if int(b.Len()) < size {
-			continue
-		}
-		var key uint64
-		if hint == 0 {
-			key = uint64(b.Len()) // best fit
-		} else {
-			d := int64(b.Start) - int64(hint)
-			if d < 0 {
-				d = -d
-			}
-			key = uint64(d)
-		}
-		if best < 0 || key < bestKey {
-			best, bestKey = i, key
-		}
+// no hint it best-fits the smallest block to limit fragmentation. Both
+// are single allocator queries (NearestFit is O(log n); the hintless
+// BestFit path does not occur in the pipeline's hot loop).
+func (Optimized) Choose(space core.Space, size int, hint, origin uint32) (uint32, bool) {
+	var b ir.Range
+	var ok bool
+	if hint == 0 {
+		b, ok = space.BestFit(size)
+	} else {
+		b, ok = space.NearestFit(hint, size)
 	}
-	if best < 0 {
+	if !ok {
 		return 0, false
 	}
-	return blocks[best].Start, true
+	return b.Start, true
 }
 
 // Diversity scatters code randomly: every placement decision picks a
 // random fitting block and a random offset inside it, so two rewrites
 // with different seeds produce different layouts of the same program.
 type Diversity struct {
-	rng *rand.Rand
+	rng     *rand.Rand
+	fitting []ir.Range // reused across Choose calls
 }
 
 var _ core.Placer = (*Diversity)(nil)
@@ -78,17 +75,20 @@ func (*Diversity) Name() string { return "diversity" }
 func (*Diversity) InlinePins() bool { return false }
 
 // Choose picks a random fitting block and a random offset within it.
-func (d *Diversity) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
-	var fitting []ir.Range
-	for _, b := range blocks {
-		if int(b.Len()) >= size {
-			fitting = append(fitting, b)
-		}
-	}
-	if len(fitting) == 0 {
+// The fitting blocks are collected through the allocator's pruned
+// iterator (O(k + log n) for k fitting blocks) into a buffer reused
+// across calls; the visit order and random draws match the historical
+// slice scan, so placements per seed are unchanged.
+func (d *Diversity) Choose(space core.Space, size int, hint, origin uint32) (uint32, bool) {
+	d.fitting = d.fitting[:0]
+	space.VisitFits(size, func(b ir.Range) bool {
+		d.fitting = append(d.fitting, b)
+		return true
+	})
+	if len(d.fitting) == 0 {
 		return 0, false
 	}
-	b := fitting[d.rng.Intn(len(fitting))]
+	b := d.fitting[d.rng.Intn(len(d.fitting))]
 	slack := int(b.Len()) - size
 	off := 0
 	if slack > 0 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"zipr/internal/core"
 	"zipr/internal/ir"
 )
 
@@ -13,33 +14,36 @@ var blocks = []ir.Range{
 	{Start: 0x3000, End: 0x3400}, // 1024 bytes
 }
 
+// space indexes the fixture blocks into a fresh allocator.
+func space() *core.Alloc { return core.AllocFromBlocks(blocks) }
+
 func TestOptimizedBestFitWithoutHint(t *testing.T) {
-	addr, ok := Optimized{}.Choose(blocks, 10, 0, 0)
+	addr, ok := Optimized{}.Choose(space(), 10, 0, 0)
 	if !ok || addr != 0x2000 {
 		t.Fatalf("best fit = %#x, %v; want 0x2000", addr, ok)
 	}
-	addr, ok = Optimized{}.Choose(blocks, 100, 0, 0)
+	addr, ok = Optimized{}.Choose(space(), 100, 0, 0)
 	if !ok || addr != 0x3000 {
 		t.Fatalf("only fitting = %#x, %v; want 0x3000", addr, ok)
 	}
 }
 
 func TestOptimizedNearestWithHint(t *testing.T) {
-	addr, ok := Optimized{}.Choose(blocks, 10, 0x1080, 0)
+	addr, ok := Optimized{}.Choose(space(), 10, 0x1080, 0)
 	if !ok || addr != 0x1000 {
 		t.Fatalf("nearest = %#x, %v; want 0x1000", addr, ok)
 	}
-	addr, ok = Optimized{}.Choose(blocks, 10, 0x2fff, 0)
+	addr, ok = Optimized{}.Choose(space(), 10, 0x2fff, 0)
 	if !ok || addr != 0x3000 {
 		t.Fatalf("nearest = %#x, %v; want 0x3000", addr, ok)
 	}
 }
 
 func TestOptimizedNoFit(t *testing.T) {
-	if _, ok := (Optimized{}).Choose(blocks, 5000, 0, 0); ok {
+	if _, ok := (Optimized{}).Choose(space(), 5000, 0, 0); ok {
 		t.Fatal("oversized request should not fit")
 	}
-	if _, ok := (Optimized{}).Choose(nil, 1, 0, 0); ok {
+	if _, ok := (Optimized{}).Choose(core.AllocFromBlocks(nil), 1, 0, 0); ok {
 		t.Fatal("no blocks should not fit")
 	}
 }
@@ -58,7 +62,7 @@ func TestDiversityAlwaysInBounds(t *testing.T) {
 	f := func(seed int64, size uint8) bool {
 		d := NewDiversity(seed)
 		sz := int(size%64) + 1
-		addr, ok := d.Choose(blocks, sz, 0, 0)
+		addr, ok := d.Choose(space(), sz, 0, 0)
 		if !ok {
 			return false
 		}
@@ -77,7 +81,7 @@ func TestDiversityAlwaysInBounds(t *testing.T) {
 func TestDiversityVariesAcrossSeeds(t *testing.T) {
 	seen := map[uint32]bool{}
 	for seed := int64(0); seed < 20; seed++ {
-		addr, ok := NewDiversity(seed).Choose(blocks, 8, 0, 0)
+		addr, ok := NewDiversity(seed).Choose(space(), 8, 0, 0)
 		if !ok {
 			t.Fatal("choose failed")
 		}
@@ -89,14 +93,14 @@ func TestDiversityVariesAcrossSeeds(t *testing.T) {
 }
 
 func TestDiversityNoFit(t *testing.T) {
-	if _, ok := NewDiversity(1).Choose(blocks, 5000, 0, 0); ok {
+	if _, ok := NewDiversity(1).Choose(space(), 5000, 0, 0); ok {
 		t.Fatal("oversized request should not fit")
 	}
 }
 
 func TestDiversityDeterministicPerSeed(t *testing.T) {
-	a1, _ := NewDiversity(42).Choose(blocks, 8, 0, 0)
-	a2, _ := NewDiversity(42).Choose(blocks, 8, 0, 0)
+	a1, _ := NewDiversity(42).Choose(space(), 8, 0, 0)
+	a2, _ := NewDiversity(42).Choose(space(), 8, 0, 0)
 	if a1 != a2 {
 		t.Fatal("same seed produced different placements")
 	}

@@ -51,28 +51,21 @@ func (p *ProfileGuided) isHot(hint, origin uint32) bool {
 
 // Choose implements core.Placer: hot requests take the lowest fitting
 // block bottom-up; cold requests take the highest fitting block
-// top-down.
-func (p *ProfileGuided) Choose(blocks []ir.Range, size int, hint, origin uint32) (uint32, bool) {
-	if len(blocks) == 0 {
-		return 0, false
-	}
+// top-down. Both are single O(log n) allocator queries.
+func (p *ProfileGuided) Choose(space core.Space, size int, hint, origin uint32) (uint32, bool) {
 	if p.isHot(hint, origin) {
-		for _, b := range blocks { // blocks are address-sorted
-			if int(b.Len()) >= size {
-				end := b.Start + uint32(size)
-				if end > p.hotZoneEnd {
-					p.hotZoneEnd = end
-				}
-				return b.Start, true
-			}
+		b, ok := space.LowestFit(size)
+		if !ok {
+			return 0, false
 		}
+		if end := b.Start + uint32(size); end > p.hotZoneEnd {
+			p.hotZoneEnd = end
+		}
+		return b.Start, true
+	}
+	b, ok := space.HighestFit(size)
+	if !ok {
 		return 0, false
 	}
-	for i := len(blocks) - 1; i >= 0; i-- {
-		b := blocks[i]
-		if int(b.Len()) >= size {
-			return b.End - uint32(size), true
-		}
-	}
-	return 0, false
+	return b.End - uint32(size), true
 }

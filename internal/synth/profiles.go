@@ -88,6 +88,30 @@ func JVMProfile(scale float64) Profile {
 	}
 }
 
+// PlacementStressProfile models the placement-stress shape of a
+// libc-scale rewrite: thousands of small functions, so reassembly makes
+// one placement decision per tiny dollop, with a high share of
+// handwritten code and function-pointer tables so dense pin clusters
+// shatter free space into many small blocks. This is the worst case for
+// the placement data structure — scan cost per decision times decision
+// count — and the workload behind BenchmarkPlaceLargeSynth. Scale 1.0
+// yields over 100k instructions.
+func PlacementStressProfile(scale float64) Profile {
+	return Profile{
+		Name:             "splace",
+		Lib:              true,
+		LibName:          "splace",
+		NumFuncs:         scaled(7000, scale),
+		OpsMin:           3,
+		OpsMax:           8,
+		HandwrittenFrac:  0.35,
+		FuncPtrTableFrac: 0.60,
+		DataWords:        512,
+		TextBase:         0x71000000,
+		DataBase:         0x71C00000,
+	}
+}
+
 // ApacheProfiles models the Apache experiment: a main executable plus
 // two app-specific shared libraries, all rewritten together.
 func ApacheProfiles(scale float64) (exe Profile, libs []Profile) {

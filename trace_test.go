@@ -131,6 +131,15 @@ func TestTraceJSONLCoversPipelinePhases(t *testing.T) {
 	if h := hists["reassemble.free-range-bytes"]; h.Count == 0 {
 		t.Error("free-range fragmentation histogram is empty")
 	}
+	// Allocator end-state gauges: block count agrees with the counter,
+	// fragmentation is a percentage.
+	if gauges["reassemble.free-blocks"] != counters["reassemble.free-ranges"] {
+		t.Errorf("gauge reassemble.free-blocks = %d, counter says %d",
+			gauges["reassemble.free-blocks"], counters["reassemble.free-ranges"])
+	}
+	if f := gauges["reassemble.fragmentation-pct"]; f < 0 || f > 100 {
+		t.Errorf("gauge reassemble.fragmentation-pct = %d, want 0..100", f)
+	}
 
 	// Per-placer decision counters carry the placer name.
 	if counters["placer.optimized.choose-calls"] == 0 {

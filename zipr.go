@@ -258,6 +258,15 @@ func Rewrite(input []byte, cfgv Config) ([]byte, *Report, error) {
 
 // RewriteBinary is Rewrite for in-memory binaries.
 func RewriteBinary(bin *binfmt.Binary, cfgv Config) (*binfmt.Binary, *Report, error) {
+	return rewriteBinaryPlacer(bin, cfgv, nil)
+}
+
+// rewriteBinaryPlacer is RewriteBinary with a placer-construction hook:
+// when newPlacer is non-nil it overrides the Config.Layout selection.
+// The hook exists for the byte-identity regression tests, which drive
+// full rewrites with the legacy slice-scanning placers and compare the
+// output against the indexed-allocator versions bit for bit.
+func rewriteBinaryPlacer(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Program) core.Placer) (*binfmt.Binary, *Report, error) {
 	tr := cfgv.Trace
 	root := tr.Start("rewrite")
 	defer root.End()
@@ -297,15 +306,19 @@ func RewriteBinary(bin *binfmt.Binary, cfgv Config) (*binfmt.Binary, *Report, er
 
 	// Phase 3: reassembly under the selected layout.
 	var placer core.Placer
-	switch cfgv.Layout {
-	case LayoutOptimized, "":
-		placer = layout.Optimized{}
-	case LayoutDiversity:
-		placer = layout.NewDiversity(cfgv.Seed)
-	case LayoutProfileGuided:
-		placer = &layout.ProfileGuided{Hot: hotRanges(prog, cfgv.HotFuncs)}
-	default:
-		return nil, nil, fmt.Errorf("zipr: unknown layout %q", cfgv.Layout)
+	if newPlacer != nil {
+		placer = newPlacer(prog)
+	} else {
+		switch cfgv.Layout {
+		case LayoutOptimized, "":
+			placer = layout.Optimized{}
+		case LayoutDiversity:
+			placer = layout.NewDiversity(cfgv.Seed)
+		case LayoutProfileGuided:
+			placer = &layout.ProfileGuided{Hot: hotRanges(prog, cfgv.HotFuncs)}
+		default:
+			return nil, nil, fmt.Errorf("zipr: unknown layout %q", cfgv.Layout)
+		}
 	}
 	sp = tr.Start("reassemble")
 	res, err := core.Reassemble(prog, core.Options{Placer: placer, Trace: tr})
