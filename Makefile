@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the full local gate.
 GO ?= go
 
-.PHONY: build vet test race bench benchsmoke ci
+.PHONY: build vet test race bench benchsmoke fuzzsmoke examples ci
 
 build:
 	$(GO) build ./...
@@ -33,4 +33,20 @@ bench:
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'AllocCarveRelease|FreeSpaceCarveRelease|AllocNearestFit|FreeSpaceNearestFit' -benchtime 1x -benchmem ./internal/core/
 
-ci: build vet race bench benchsmoke
+# Fuzz smoke: replay the committed seed corpora, then fuzz each target
+# for a bounded interval — long enough to catch shallow regressions in
+# the allocator's differential contract and the whole-pipeline
+# transcript-equivalence property, short enough for CI. Crashers are
+# written under testdata/fuzz/ for triage.
+FUZZTIME ?= 30s
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzAlloc$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzPipelineEquivalence$$' -fuzztime $(FUZZTIME) .
+
+# Examples are part of the API contract: each must build and run to
+# completion (exit 0) against the current library surface.
+examples:
+	$(GO) build ./examples/...
+	@set -e; for d in examples/*/; do echo "run $$d"; $(GO) run ./$$d >/dev/null; done
+
+ci: build vet race bench benchsmoke fuzzsmoke examples

@@ -1,0 +1,471 @@
+package zipr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+	"zipr/internal/fault"
+	"zipr/internal/loader"
+	"zipr/internal/obs"
+	"zipr/internal/synth"
+	"zipr/internal/vm"
+)
+
+// The chaos harness enforces the pipeline's fail-closed contract under
+// deterministic fault injection: for every seeded fault schedule, a
+// rewrite must end in exactly one of two states — a rewritten binary
+// whose transcript matches the original on every probed input, or a
+// typed error (ErrorClass != "") with the caller's input bytes intact.
+// Silent divergence and panics are the two forbidden outcomes.
+
+// chaosProfiles are small, analysis-rich program shapes: jump tables,
+// function-pointer tables, handwritten blocks with in-text data — the
+// constructs every fault kind has sites in — at sizes that keep a
+// 240-schedule sweep fast.
+var chaosProfiles = []synth.Profile{
+	{
+		Name: "chaosa", NumFuncs: 10, OpsMin: 4, OpsMax: 10,
+		HandwrittenFrac: 0.2, FuncPtrTableFrac: 0.4,
+		DataWords: 48, InputLen: 4, LoopIters: 3,
+	},
+	{
+		Name: "chaosb", NumFuncs: 16, OpsMin: 6, OpsMax: 14,
+		HandwrittenFrac: 0.4, FuncPtrTableFrac: 0.5,
+		DataWords: 64, InputLen: 4, LoopIters: 2,
+	},
+	{
+		Name: "chaosc", NumFuncs: 12, OpsMin: 4, OpsMax: 12,
+		HandwrittenFrac: 0.1, FuncPtrTableFrac: 0.25,
+		DataWords: 32, InputLen: 4, LoopIters: 4,
+	},
+}
+
+var (
+	chaosOnce sync.Once
+	chaosBins []*binfmt.Binary
+	chaosImgs [][]byte
+)
+
+// chaosCorpus builds (once) the synth corpus and its serialized images.
+func chaosCorpus(t *testing.T) ([]*binfmt.Binary, [][]byte) {
+	t.Helper()
+	chaosOnce.Do(func() {
+		for i, p := range chaosProfiles {
+			bin, err := synth.Build(int64(0xC5+i), p)
+			if err != nil {
+				panic(fmt.Sprintf("synth %s: %v", p.Name, err))
+			}
+			img, err := bin.Marshal()
+			if err != nil {
+				panic(fmt.Sprintf("marshal %s: %v", p.Name, err))
+			}
+			chaosBins = append(chaosBins, bin)
+			chaosImgs = append(chaosImgs, img)
+		}
+	})
+	return chaosBins, chaosImgs
+}
+
+// chaosInputs are the transcript probes (InputLen = 4 in all profiles).
+var chaosInputs = []string{"\x00\x01\x02\x03", "\x7f\xfe\x05\x11"}
+
+// transcriptsMatch runs orig and rewritten on every probe input and
+// reports the first divergence.
+func transcriptsMatch(t *testing.T, orig, rewritten *binfmt.Binary) error {
+	t.Helper()
+	for _, input := range chaosInputs {
+		want := mustRun(t, orig, nil, input)
+		got, err := execute(t, rewritten, nil, input)
+		if err != nil {
+			return fmt.Errorf("input %q: rewritten faulted: %v", input, err)
+		}
+		if want.ExitCode != got.ExitCode {
+			return fmt.Errorf("input %q: exit %d != original %d", input, got.ExitCode, want.ExitCode)
+		}
+		if !bytes.Equal(want.Output, got.Output) {
+			return fmt.Errorf("input %q: output %q != original %q", input, got.Output, want.Output)
+		}
+	}
+	return nil
+}
+
+// chaosStacks and chaosLayouts span the schedule matrix.
+var chaosStacks = []struct {
+	name       string
+	transforms func() []Transform
+}{
+	{"null", func() []Transform { return []Transform{Null()} }},
+	{"cfi", func() []Transform { return []Transform{CFI()} }},
+}
+
+var chaosLayouts = []LayoutKind{LayoutOptimized, LayoutDiversity, LayoutProfileGuided}
+
+// TestChaosScheduleSweep sweeps 40 fault-schedule seeds across both
+// transform stacks and all three layouts — 240 schedules — asserting
+// the no-silent-divergence invariant on every one. To reproduce one
+// failing schedule, run
+//
+//	go test -run 'TestChaosScheduleSweep/seed<N>' .
+//
+// or replay it on a file with `zipr -chaos-seed <N>`.
+func TestChaosScheduleSweep(t *testing.T) {
+	bins, imgs := chaosCorpus(t)
+	var okRewrites, typedErrors int
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			pi := int(seed) % len(bins)
+			orig, img := bins[pi], imgs[pi]
+			snapshot := append([]byte(nil), img...)
+			for _, stack := range chaosStacks {
+				for _, lay := range chaosLayouts {
+					out, _, err := Rewrite(img, Config{
+						Transforms: stack.transforms(),
+						Layout:     lay,
+						Seed:       7,
+						Chaos:      NewFaultInjector(seed),
+					})
+					if !bytes.Equal(img, snapshot) {
+						t.Fatalf("%s/%s: rewrite mutated the caller's input bytes", stack.name, lay)
+					}
+					if err != nil {
+						if ErrorClass(err) == "" {
+							t.Fatalf("%s/%s: untyped error: %v", stack.name, lay, err)
+						}
+						typedErrors++
+						continue
+					}
+					rewritten, uerr := binfmt.Unmarshal(out)
+					if uerr != nil {
+						t.Fatalf("%s/%s: rewrite emitted an unparseable binary: %v", stack.name, lay, uerr)
+					}
+					if derr := transcriptsMatch(t, orig, rewritten); derr != nil {
+						t.Fatalf("%s/%s: silent divergence under fault schedule: %v", stack.name, lay, derr)
+					}
+					okRewrites++
+				}
+			}
+		})
+	}
+	if t.Failed() {
+		return
+	}
+	// The sweep only means something if both contract outcomes occur:
+	// schedules that degrade into a correct binary AND schedules that
+	// fail closed.
+	if okRewrites == 0 || typedErrors == 0 {
+		t.Fatalf("sweep outcomes unbalanced: %d equivalent rewrites, %d typed errors", okRewrites, typedErrors)
+	}
+	t.Logf("240 schedules: %d transcript-equivalent rewrites, %d typed errors", okRewrites, typedErrors)
+}
+
+// TestChaosDeterminism: a fault schedule is a pure function of its
+// seed — re-running the same (seed, config, input) must reproduce the
+// identical output bytes or the identical error.
+func TestChaosDeterminism(t *testing.T) {
+	_, imgs := chaosCorpus(t)
+	for seed := int64(1); seed <= 12; seed++ {
+		cfg := func() Config {
+			return Config{Transforms: []Transform{CFI()}, Chaos: NewFaultInjector(seed)}
+		}
+		outA, _, errA := Rewrite(imgs[0], cfg())
+		outB, _, errB := Rewrite(imgs[0], cfg())
+		switch {
+		case (errA == nil) != (errB == nil):
+			t.Fatalf("seed %d: one run errored (%v), the other did not (%v)", seed, errA, errB)
+		case errA != nil:
+			if errA.Error() != errB.Error() {
+				t.Fatalf("seed %d: errors differ:\n  %v\n  %v", seed, errA, errB)
+			}
+		case !bytes.Equal(outA, outB):
+			t.Fatalf("seed %d: same schedule produced different binaries", seed)
+		}
+	}
+}
+
+// TestChaosDisasmFaultsDegrade: disassembler disagreement and truncated
+// decode are pure evidence reductions — the aggregation's conservative
+// case-3 policy must absorb them, so the rewrite always succeeds and
+// stays transcript-equivalent.
+func TestChaosDisasmFaultsDegrade(t *testing.T) {
+	bins, _ := chaosCorpus(t)
+	for seed := int64(1); seed <= 10; seed++ {
+		inj := fault.NewArmed(seed, fault.DisasmDisagree, fault.DisasmTruncate)
+		rewritten, _, err := RewriteBinary(bins[1].Clone(), Config{
+			Transforms: []Transform{Null()}, Chaos: inj,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: disasm faults must degrade, got error: %v", seed, err)
+		}
+		if derr := transcriptsMatch(t, bins[1], rewritten); derr != nil {
+			t.Fatalf("seed %d: %v", seed, derr)
+		}
+	}
+}
+
+// TestChaosPinFloodDegrades: bogus extra pins are a safe
+// over-approximation; the rewrite must succeed with a strictly larger
+// pin set and stay equivalent.
+func TestChaosPinFloodDegrades(t *testing.T) {
+	bins, _ := chaosCorpus(t)
+	_, baseReport, err := RewriteBinary(bins[0].Clone(), Config{Transforms: []Transform{Null()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flooded bool
+	for seed := int64(1); seed <= 8; seed++ {
+		inj := fault.NewArmed(seed, fault.PinFlood)
+		rewritten, report, err := RewriteBinary(bins[0].Clone(), Config{
+			Transforms: []Transform{Null()}, Chaos: inj,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: pin flood must degrade, got error: %v", seed, err)
+		}
+		if derr := transcriptsMatch(t, bins[0], rewritten); derr != nil {
+			t.Fatalf("seed %d: %v", seed, derr)
+		}
+		if report.Stats.Pinned > baseReport.Stats.Pinned {
+			flooded = true
+		}
+	}
+	if !flooded {
+		t.Fatal("no seed grew the pin set past the baseline")
+	}
+}
+
+// TestChaosEntryLostFailsClosed: losing the entry decode has no
+// conservative fallback; the pipeline must return an error that is both
+// classed (cfg) and marked injected, without panicking.
+func TestChaosEntryLostFailsClosed(t *testing.T) {
+	bins, _ := chaosCorpus(t)
+	inj := fault.NewArmed(3, fault.EntryLost)
+	_, _, err := RewriteBinary(bins[0].Clone(), Config{Transforms: []Transform{Null()}, Chaos: inj})
+	if err == nil {
+		t.Fatal("entry-lost rewrite succeeded")
+	}
+	if !errors.Is(err, ErrCFG) {
+		t.Fatalf("error missing ErrCFG class: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error missing ErrInjected marker: %v", err)
+	}
+	if got := ErrorClass(err); got != "cfg" {
+		t.Fatalf("ErrorClass = %q, want cfg: %v", got, err)
+	}
+}
+
+// TestChaosSectionCorruptFailsClosed: a corrupted image must be
+// rejected by the parser as ErrFormat with the caller's bytes intact —
+// both corruption modes (truncation, broken magic) are constructed to
+// be undetectable-proof.
+func TestChaosSectionCorruptFailsClosed(t *testing.T) {
+	_, imgs := chaosCorpus(t)
+	var fired int
+	for seed := int64(1); seed <= 20; seed++ {
+		inj := fault.NewArmed(seed, fault.SectionCorrupt)
+		snapshot := append([]byte(nil), imgs[0]...)
+		_, _, err := Rewrite(imgs[0], Config{Transforms: []Transform{Null()}, Chaos: inj})
+		if !bytes.Equal(imgs[0], snapshot) {
+			t.Fatalf("seed %d: corruption leaked into the caller's bytes", seed)
+		}
+		if err == nil {
+			t.Fatalf("seed %d: corrupt image rewrote successfully", seed)
+		}
+		if !errors.Is(err, ErrFormat) || ErrorClass(err) != "format" {
+			t.Fatalf("seed %d: want format error, got %q: %v", seed, ErrorClass(err), err)
+		}
+		if errors.Is(err, ErrInjected) {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no seed marked its error injected")
+	}
+}
+
+// TestChaosAllocExhaustDegrades: denied placements must push code onto
+// the split/overflow degradation path, never change behavior.
+func TestChaosAllocExhaustDegrades(t *testing.T) {
+	bins, _ := chaosCorpus(t)
+	_, baseReport, err := RewriteBinary(bins[1].Clone(), Config{Transforms: []Transform{CFI()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degraded bool
+	for seed := int64(1); seed <= 6; seed++ {
+		inj := fault.NewArmed(seed, fault.AllocExhaust)
+		rewritten, report, err := RewriteBinary(bins[1].Clone(), Config{
+			Transforms: []Transform{CFI()}, Chaos: inj,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: alloc exhaustion must degrade, got error: %v", seed, err)
+		}
+		if derr := transcriptsMatch(t, bins[1], rewritten); derr != nil {
+			t.Fatalf("seed %d: %v", seed, derr)
+		}
+		if report.Stats.OverflowUsed > baseReport.Stats.OverflowUsed ||
+			report.Stats.Splits > baseReport.Stats.Splits {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatal("no seed pushed any placement onto the overflow/split path")
+	}
+}
+
+// progDensePins plants a function-pointer table whose targets sit two
+// bytes apart (inc is a 2-byte instruction), so every pin but the last
+// takes the constrained-chain path — the sites ChainUnsat starves.
+const progDensePins = `
+.text 0x00100000
+main:
+    movi r0, 3
+    movi r1, 0
+    movi r2, inbuf
+    movi r3, 1
+    syscall
+    movi r4, inbuf
+    loadb r4, [r4]
+    andi r4, 7
+    shli r4, 2
+    movi r5, tab
+    add r5, r4
+    load r5, [r5]
+    movi r1, 0
+    callr r5
+    call filler
+    movi r0, 1
+    syscall
+t0: inc r1
+t1: inc r1
+t2: inc r1
+t3: inc r1
+t4: inc r1
+t5: inc r1
+t6: inc r1
+t7: inc r1
+    ret
+filler:
+    movi r6, 1
+    movi r7, 2
+    add r6, r7
+    add r6, r7
+    movi r6, 3
+    add r6, r7
+    movi r7, 4
+    add r6, r7
+    movi r6, 5
+    add r6, r7
+    movi r7, 6
+    add r6, r7
+    movi r6, 7
+    add r6, r7
+    movi r7, 8
+    add r6, r7
+    ret
+.data 0x00200000
+tab: .word t0, t1, t2, t3, t4, t5, t6, t7
+inbuf: .space 4
+`
+
+// TestChaosChainUnsat: starved chains either escalate into sleds (and
+// stay equivalent) or fail closed as exhaustion — and at least one seed
+// must actually take the escalation path.
+func TestChaosChainUnsat(t *testing.T) {
+	orig, err := asm.Assemble(progDensePins)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	var escalated bool
+	for seed := int64(1); seed <= 12; seed++ {
+		tr := obs.New()
+		inj := fault.NewArmed(seed, fault.ChainUnsat)
+		rewritten, _, rerr := RewriteBinary(orig.Clone(), Config{
+			Transforms: []Transform{Null()}, Chaos: inj, Trace: tr,
+		})
+		snap := tr.Snapshot()
+		if snap.Metrics.Counters["fault.chain-unsat"] > 0 {
+			escalated = true
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if rerr != nil {
+			if c := ErrorClass(rerr); c != "exhausted" && c != "layout" {
+				t.Fatalf("seed %d: want exhausted/layout error, got %q: %v", seed, c, rerr)
+			}
+			continue
+		}
+		if derr := transcriptsMatch(t, orig, rewritten); derr != nil {
+			t.Fatalf("seed %d: %v", seed, derr)
+		}
+	}
+	if !escalated {
+		t.Fatal("no seed fired a chain-unsat fault")
+	}
+}
+
+// TestChaosTransformMisuse: API misuse must be caught by Normalize/
+// Validate (transform) or by the reassembler's emit pass (layout), or —
+// for provably dead code — degrade into an equivalent binary.
+func TestChaosTransformMisuse(t *testing.T) {
+	bins, _ := chaosCorpus(t)
+	var caught int
+	for seed := int64(1); seed <= 30; seed++ {
+		inj := fault.NewArmed(seed, fault.TransformMisuse)
+		rewritten, _, err := RewriteBinary(bins[1].Clone(), Config{
+			Transforms: []Transform{Null()}, Chaos: inj,
+		})
+		if err != nil {
+			if c := ErrorClass(err); c != "transform" && c != "layout" {
+				t.Fatalf("seed %d: want transform/layout error, got %q: %v", seed, c, err)
+			}
+			caught++
+			continue
+		}
+		if derr := transcriptsMatch(t, bins[1], rewritten); derr != nil {
+			t.Fatalf("seed %d: %v", seed, derr)
+		}
+	}
+	if caught == 0 {
+		t.Fatal("no seed produced a caught misuse")
+	}
+}
+
+// TestChaosOffIsFree: a nil injector must not change the output bytes
+// at all relative to a chaos-free rewrite.
+func TestChaosOffIsFree(t *testing.T) {
+	_, imgs := chaosCorpus(t)
+	plain, _, err := Rewrite(imgs[0], Config{Transforms: []Transform{CFI()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilInj *FaultInjector
+	withNil, _, err := Rewrite(imgs[0], Config{Transforms: []Transform{CFI()}, Chaos: nilInj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, withNil) {
+		t.Fatal("nil injector changed the rewrite output")
+	}
+}
+
+// sanity check that the loader path also reports typed errors.
+func TestLoaderErrorsAreTyped(t *testing.T) {
+	bins, _ := chaosCorpus(t)
+	b := bins[0].Clone()
+	b.Libs = []string{"nope"}
+	m := vm.New()
+	err := loader.Load(m, b, nil)
+	if err == nil {
+		t.Fatal("load of missing library succeeded")
+	}
+	if !errors.Is(err, ErrLoad) || ErrorClass(err) != "load" {
+		t.Fatalf("want load-classed error, got %q: %v", ErrorClass(err), err)
+	}
+}

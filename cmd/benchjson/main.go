@@ -23,11 +23,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -82,18 +84,32 @@ func run(in io.Reader, mergePath, outPath string) error {
 		traj.Runs = append(traj.Runs, *rep)
 		doc = traj
 	}
-	out := io.Writer(os.Stdout)
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	data = append(data, '\n')
+	if outPath == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	// Write through a temp file and rename so a failure mid-write never
+	// truncates an existing trajectory (the Makefile merges into the
+	// same path it reads from).
+	tmp, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), outPath)
 }
 
 // parseRun converts one `go test -bench` text stream into a Report.
@@ -134,6 +150,11 @@ func loadTrajectory(path string) (*Trajectory, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		// An empty or whitespace-only file (e.g. `touch`ed by a CI cache)
+		// is a fresh trajectory, not corruption.
+		return &Trajectory{}, nil
 	}
 	var traj Trajectory
 	if err := json.Unmarshal(data, &traj); err == nil && traj.Runs != nil {

@@ -108,6 +108,82 @@ func TestMergeWrapsOldSingleRunFormat(t *testing.T) {
 	}
 }
 
+// TestMergeMissingFileStartsFresh: merging into a path that does not
+// exist yet must start a one-run trajectory, not error.
+func TestMergeMissingFileStartsFresh(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "does-not-exist-yet.json")
+	if err := run(strings.NewReader(sampleRun), out, out); err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 1 {
+		t.Fatalf("trajectory has %d runs, want 1", len(traj.Runs))
+	}
+}
+
+// TestMergeEmptyFileStartsFresh: an empty or whitespace-only merge file
+// (a CI cache can `touch` the artifact into existence) is a fresh
+// trajectory, not corruption.
+func TestMergeEmptyFileStartsFresh(t *testing.T) {
+	for _, content := range []string{"", "  \n\t\n"} {
+		out := filepath.Join(t.TempDir(), "bench.json")
+		if err := os.WriteFile(out, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(strings.NewReader(sampleRun), out, out); err != nil {
+			t.Fatalf("merge into %q file: %v", content, err)
+		}
+		var traj Trajectory
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &traj); err != nil {
+			t.Fatal(err)
+		}
+		if len(traj.Runs) != 1 {
+			t.Fatalf("trajectory has %d runs, want 1", len(traj.Runs))
+		}
+	}
+}
+
+// TestMergeCorruptFilePreservesBytes: a merge into an unparseable file
+// must error BEFORE touching the output path — the prior bytes are the
+// only copy of the trajectory and must survive the failed run.
+func TestMergeCorruptFilePreservesBytes(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	corrupt := []byte(`{"runs": [{"env":` + "\x00 not json")
+	if err := os.WriteFile(out, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(strings.NewReader(sampleRun), out, out)
+	if err == nil {
+		t.Fatal("merging into a corrupt file succeeded")
+	}
+	data, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !strings.Contains(string(data), "not json") || len(data) != len(corrupt) {
+		t.Fatalf("corrupt file was modified by the failed merge: %q", data)
+	}
+	// The failed run must not leave temp droppings next to the artifact.
+	entries, derr := os.ReadDir(filepath.Dir(out))
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after failed merge: %v", entries)
+	}
+}
+
 func TestNoMergeWritesSingleRun(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	if err := run(strings.NewReader(sampleRun), "", out); err != nil {

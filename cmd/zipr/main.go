@@ -4,7 +4,7 @@
 //
 //	zipr [-transforms null,cfi,stackpad,canary] [-layout optimized|diversity|profile-guided]
 //	     [-seed N] [-pad N] [-stats] [-phase-times] [-trace-out trace.jsonl]
-//	     [-sql "SELECT ..."] input.zelf output.zelf
+//	     [-sql "SELECT ..."] [-chaos-seed N] input.zelf output.zelf
 //
 // The -sql flag runs a query against the captured IR database after
 // construction (tables: instructions, functions, fixed_ranges,
@@ -99,6 +99,7 @@ func run() error {
 	sql := flag.String("sql", "", "run an SQL query against the captured IR")
 	mapOut := flag.String("map", "", "write an original->rewritten address map to this file")
 	verify := flag.String("verify-input", "", "run original and rewritten binaries on this input file and compare transcripts")
+	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off); the run must end in a verified rewrite or a typed error")
 	flag.Parse()
 
 	if flag.NArg() != 2 {
@@ -151,8 +152,15 @@ func run() error {
 		EmitMap:    *mapOut != "",
 		Trace:      tr,
 	}
+	if *chaosSeed != 0 {
+		cfg.Chaos = zipr.NewFaultInjector(*chaosSeed)
+		fmt.Printf("chaos: %s\n", cfg.Chaos.Describe())
+	}
 	out, report, err := zipr.Rewrite(input, cfg)
 	if err != nil {
+		if class := zipr.ErrorClass(err); class != "" {
+			return fmt.Errorf("[%s] %w", class, err)
+		}
 		return err
 	}
 	if err := os.WriteFile(flag.Arg(1), out, 0o644); err != nil {

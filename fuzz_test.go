@@ -1,0 +1,89 @@
+package zipr
+
+// Native-fuzzing form of the pipeline equivalence property: the fuzzer
+// owns the program shape (via a synth seed), the transform stack, the
+// layout, and the program input, and the invariant is the paper's — a
+// rewritten binary's transcript must match the original's on every
+// input. `make fuzzsmoke` runs this for a bounded time in CI;
+// `go test -fuzz FuzzPipelineEquivalence .` explores open-endedly.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zipr/internal/synth"
+)
+
+func FuzzPipelineEquivalence(f *testing.F) {
+	f.Add(int64(1), byte(0x00), byte(0), []byte{0, 1, 2, 3})
+	f.Add(int64(7), byte(0x10), byte(1), []byte{9, 9, 9, 9, 1, 2})
+	f.Add(int64(42), byte(0x1f), byte(2), []byte{0xff, 0x00, 0x7f, 0x80})
+	f.Fuzz(func(t *testing.T, seed int64, stackBits, layoutSel byte, input []byte) {
+		r := rand.New(rand.NewSource(seed))
+		profile := synth.Profile{
+			Name:             "fuzz",
+			NumFuncs:         4 + r.Intn(12),
+			OpsMin:           2 + r.Intn(4),
+			OpsMax:           8 + r.Intn(12),
+			HandwrittenFrac:  r.Float64() * 0.6,
+			FuncPtrTableFrac: r.Float64() * 0.5,
+			DataWords:        16 + r.Intn(128),
+			InputLen:         4 + r.Intn(12),
+			LoopIters:        2 + r.Intn(8),
+		}
+		orig, err := synth.Build(seed, profile)
+		if err != nil {
+			t.Fatalf("synth: %v", err)
+		}
+		var tfs []Transform
+		if stackBits&1 != 0 {
+			tfs = append(tfs, Stir(seed))
+		}
+		if stackBits&2 != 0 {
+			tfs = append(tfs, NopElide())
+		}
+		if stackBits&4 != 0 {
+			tfs = append(tfs, StackPad(32))
+		}
+		if stackBits&8 != 0 {
+			tfs = append(tfs, Canary(uint32(seed)|1))
+		}
+		if stackBits&16 != 0 {
+			tfs = append(tfs, CFI())
+		}
+		if len(tfs) == 0 {
+			tfs = []Transform{Null()}
+		}
+		layouts := []LayoutKind{LayoutOptimized, LayoutDiversity, LayoutProfileGuided}
+		layout := layouts[int(layoutSel)%len(layouts)]
+
+		rw, report, err := RewriteBinary(orig.Clone(), Config{
+			Transforms: tfs,
+			Layout:     layout,
+			Seed:       seed,
+		})
+		if err != nil {
+			t.Fatalf("rewrite (bits=%#x, %s): %v", stackBits, layout, err)
+		}
+
+		// The program reads exactly InputLen bytes; pad or trim the
+		// fuzzed input so both runs see the same transcript-relevant
+		// bytes.
+		in := make([]byte, profile.InputLen)
+		copy(in, input)
+		want, err1 := execute(t, orig, nil, string(in))
+		got, err2 := execute(t, rw, nil, string(in))
+		if err1 != nil {
+			t.Fatalf("original faulted: %v", err1)
+		}
+		if err2 != nil {
+			t.Fatalf("rewritten faulted (bits=%#x, %s, stats %+v): %v",
+				stackBits, layout, report.Stats, err2)
+		}
+		if want.ExitCode != got.ExitCode || !bytes.Equal(want.Output, got.Output) {
+			t.Fatalf("diverged on input %x (bits=%#x, %s): exit %d/%d output %x/%x",
+				in, stackBits, layout, want.ExitCode, got.ExitCode, want.Output, got.Output)
+		}
+	})
+}

@@ -146,8 +146,13 @@ func (b *Binary) Validate() error {
 	segs := make([]Segment, len(b.Segments))
 	copy(segs, b.Segments)
 	sort.Slice(segs, func(i, j int) bool { return segs[i].VAddr < segs[j].VAddr })
-	for i := 1; i < len(segs); i++ {
-		if segs[i-1].End() > segs[i].VAddr {
+	for i := range segs {
+		// A segment whose end wraps the 32-bit address space would make
+		// End() lie to every range check downstream.
+		if uint64(segs[i].VAddr)+uint64(len(segs[i].Data)) > 1<<32 {
+			return fmt.Errorf("binfmt: segment at %#x overflows the address space", segs[i].VAddr)
+		}
+		if i > 0 && segs[i-1].End() > segs[i].VAddr {
 			return fmt.Errorf("binfmt: segments overlap at %#x", segs[i].VAddr)
 		}
 	}
@@ -212,6 +217,19 @@ func (b *Binary) Marshal() ([]byte, error) {
 	buf.WriteByte(byte(b.Type))
 	buf.WriteByte(0)
 	w32(b.Entry)
+	for _, c := range []struct {
+		what string
+		n    int
+	}{
+		{"segments", len(b.Segments)},
+		{"exports", len(b.Exports)},
+		{"imports", len(b.Imports)},
+		{"libs", len(b.Libs)},
+	} {
+		if c.n > 0xFFFF {
+			return nil, fmt.Errorf("binfmt: too many %s (%d)", c.what, c.n)
+		}
+	}
 	w16(uint16(len(b.Segments)))
 	w16(uint16(len(b.Exports)))
 	w16(uint16(len(b.Imports)))

@@ -1,0 +1,204 @@
+package binfmt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// twoSeg returns a minimal two-segment executable whose serialized
+// layout is known: a 20-byte header, then segment records of
+// kind(1)+pad(3)+vaddr(4)+size(4)+data each.
+func twoSeg() *Binary {
+	return &Binary{
+		Type:  Exec,
+		Entry: 0x1000,
+		Segments: []Segment{
+			{Kind: Text, VAddr: 0x1000, Data: []byte{0x90, 0x90, 0xc3}},
+			{Kind: Data, VAddr: 0x2000, Data: make([]byte, 16)},
+		},
+	}
+}
+
+// TestUnmarshalEveryTruncation feeds every strict prefix of a valid
+// image to Unmarshal: each one must return a typed error — the parse
+// consumes the whole image, so no prefix can be silently accepted —
+// and none may panic.
+func TestUnmarshalEveryTruncation(t *testing.T) {
+	good, err := twoSeg().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		b, err := Unmarshal(good[:cut])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes parsed successfully: %+v", cut, len(good), b)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("prefix of %d bytes: untyped error %v", cut, err)
+		}
+	}
+}
+
+// segVAddrOffset returns the byte offset of segment i's vaddr field in
+// a serialized twoSeg image.
+func segVAddrOffset(b *Binary, i int) int {
+	off := 20 // magic+version+type+pad+entry+4 counts
+	for s := 0; s < i; s++ {
+		off += 1 + 3 + 4 + 4 + len(b.Segments[s].Data)
+	}
+	return off + 1 + 3
+}
+
+// TestUnmarshalOverlappingSegments patches a serialized image so the
+// data segment overlaps text: the parser must reject it as corrupt,
+// not hand downstream phases an inconsistent address map.
+func TestUnmarshalOverlappingSegments(t *testing.T) {
+	src := twoSeg()
+	good, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, overlap := range []uint32{0x1000, 0x1001, 0x1002} {
+		img := append([]byte(nil), good...)
+		off := segVAddrOffset(src, 1)
+		img[off] = byte(overlap)
+		img[off+1] = byte(overlap >> 8)
+		img[off+2] = byte(overlap >> 16)
+		img[off+3] = byte(overlap >> 24)
+		_, err := Unmarshal(img)
+		if err == nil {
+			t.Fatalf("overlap at %#x parsed successfully", overlap)
+		}
+		if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "overlap") {
+			t.Fatalf("overlap at %#x: want corrupt/overlap error, got %v", overlap, err)
+		}
+	}
+}
+
+// TestZeroLengthText covers the degenerate text-segment sizes: an
+// executable with an empty text segment can contain no entry point and
+// must fail validation typed; a library with empty text round-trips
+// (nothing to enter, nothing to export) without panicking.
+func TestZeroLengthText(t *testing.T) {
+	exe := &Binary{
+		Type:  Exec,
+		Entry: 0x1000,
+		Segments: []Segment{
+			{Kind: Text, VAddr: 0x1000, Data: nil},
+			{Kind: Data, VAddr: 0x2000, Data: make([]byte, 8)},
+		},
+	}
+	if err := exe.Validate(); err == nil {
+		t.Fatal("executable with zero-length text validated")
+	}
+	if _, err := exe.Marshal(); err == nil {
+		t.Fatal("executable with zero-length text marshaled")
+	}
+
+	lib := &Binary{
+		Type: Lib,
+		Segments: []Segment{
+			{Kind: Text, VAddr: 0x1000, Data: nil},
+		},
+	}
+	img, err := lib.Marshal()
+	if err != nil {
+		t.Fatalf("empty-text library failed to marshal: %v", err)
+	}
+	back, err := Unmarshal(img)
+	if err != nil {
+		t.Fatalf("empty-text library failed to parse: %v", err)
+	}
+	if back.Text() == nil || len(back.Text().Data) != 0 {
+		t.Fatalf("empty text did not round-trip: %+v", back.Text())
+	}
+}
+
+// TestUnmarshalHeaderFlipsNeverPanic flips every header byte through a
+// spread of values: whatever parses must re-marshal, and nothing may
+// panic — the invariant the chaos layer's SectionCorrupt fault depends
+// on.
+func TestUnmarshalHeaderFlipsNeverPanic(t *testing.T) {
+	good, err := twoSeg().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < 20; off++ {
+		for _, mask := range []byte{0x01, 0x80, 0xFF} {
+			img := append([]byte(nil), good...)
+			img[off] ^= mask
+			b, err := Unmarshal(img)
+			if err != nil {
+				continue
+			}
+			if _, merr := b.Marshal(); merr != nil {
+				t.Fatalf("header flip at %d^%#x: parsed but does not re-marshal: %v", off, mask, merr)
+			}
+		}
+	}
+}
+
+// TestValidateSegmentAddressOverflow: a segment whose VAddr+len wraps
+// the 32-bit space must be rejected — End() would otherwise lie to
+// every downstream range check.
+func TestValidateSegmentAddressOverflow(t *testing.T) {
+	b := &Binary{
+		Type:  Exec,
+		Entry: 0xFFFFFFF0,
+		Segments: []Segment{
+			{Kind: Text, VAddr: 0xFFFFFFF0, Data: make([]byte, 32)},
+		},
+	}
+	err := b.Validate()
+	if err == nil {
+		t.Fatal("wrapping segment validated")
+	}
+	if !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("want overflow error, got %v", err)
+	}
+}
+
+// TestMarshalCountGuards: tables whose lengths exceed the format's
+// 16-bit count fields must be rejected at Marshal time instead of
+// silently truncating the counts.
+func TestMarshalCountGuards(t *testing.T) {
+	base := twoSeg()
+	t.Run("libs", func(t *testing.T) {
+		b := base.Clone()
+		b.Libs = make([]string, 0x10000)
+		_, err := b.Marshal()
+		if err == nil || !strings.Contains(err.Error(), "too many libs") {
+			t.Fatalf("want too-many-libs error, got %v", err)
+		}
+	})
+	t.Run("exports", func(t *testing.T) {
+		b := base.Clone()
+		b.Exports = make([]Symbol, 0x10000)
+		for i := range b.Exports {
+			b.Exports[i] = Symbol{Name: fmt.Sprintf("e%d", i), Addr: 0x1000}
+		}
+		_, err := b.Marshal()
+		if err == nil || !strings.Contains(err.Error(), "too many exports") {
+			t.Fatalf("want too-many-exports error, got %v", err)
+		}
+	})
+}
+
+// TestTruncationPreservesInput: Unmarshal must never mutate the bytes
+// it is handed, even on error paths.
+func TestTruncationPreservesInput(t *testing.T) {
+	good, err := twoSeg().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), good...)
+	for cut := 0; cut <= len(good); cut++ {
+		_, _ = Unmarshal(good[:cut])
+	}
+	if !bytes.Equal(good, snapshot) {
+		t.Fatal("Unmarshal mutated its input")
+	}
+}

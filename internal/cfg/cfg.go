@@ -32,16 +32,28 @@ import (
 
 	"zipr/internal/binfmt"
 	"zipr/internal/disasm"
+	"zipr/internal/fault"
 	"zipr/internal/ir"
 	"zipr/internal/isa"
 	"zipr/internal/obs"
 	"zipr/internal/par"
+	"zipr/internal/zerr"
 )
 
 // Build lifts the aggregated disassembly of bin into a logical IR
 // program with pinned addresses.
 func Build(bin *binfmt.Binary, agg disasm.Aggregated) (*ir.Program, error) {
-	return BuildTraced(bin, agg, nil)
+	return BuildOpts(bin, agg, Options{})
+}
+
+// Options configures IR construction.
+type Options struct {
+	// Trace receives per-stage spans and pin-provenance counters; nil
+	// disables instrumentation.
+	Trace *obs.Trace
+	// Inject enables deterministic fault injection (bogus pin floods,
+	// losing the entry point's decode); nil disables it.
+	Inject *fault.Injector
 }
 
 // scanMinWords is the minimum number of scanned words per worker before
@@ -133,6 +145,13 @@ func collectImmCands(insts []*ir.Instruction) []immCand {
 // function partitioning plus pin-provenance counters emitted to tr; a
 // nil trace disables instrumentation.
 func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.Program, error) {
+	return BuildOpts(bin, agg, Options{Trace: tr})
+}
+
+// BuildOpts is Build with full options.
+func BuildOpts(bin *binfmt.Binary, agg disasm.Aggregated, opts Options) (*ir.Program, error) {
+	tr := opts.Trace
+	inj := opts.Inject
 	sp := tr.Start("lift")
 	p := ir.NewProgram(bin)
 	p.Fixed = append(p.Fixed, agg.Fixed...)
@@ -241,10 +260,22 @@ func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.
 
 	// Entry and exports.
 	if bin.Type == binfmt.Exec {
-		if e, ok := p.ByAddr[bin.Entry]; ok {
+		e, ok := p.ByAddr[bin.Entry]
+		injected := ok && inj.Fires(fault.EntryLost, bin.Entry)
+		if injected {
+			// Injected analysis failure: pretend the entry never decoded.
+			// This is the canonical unrecoverable input — there is no
+			// conservative fallback for a program whose entry point the
+			// analysis cannot see — so the phase must fail closed.
+			ok = false
+		}
+		switch {
+		case ok:
 			p.Entry = e
 			pinNode(bin.Entry, "entry")
-		} else {
+		case injected:
+			return nil, fmt.Errorf("cfg: entry %#x is not a decoded instruction (%w)", bin.Entry, zerr.ErrInjected)
+		default:
 			return nil, fmt.Errorf("cfg: entry %#x is not a decoded instruction", bin.Entry)
 		}
 	}
@@ -302,6 +333,24 @@ func BuildTraced(bin *binfmt.Binary, agg disasm.Aggregated, tr *obs.Trace) (*ir.
 		}
 		return true
 	})
+
+	// Injected pin flood: pin-analysis "discovers" bogus indirect-branch
+	// targets at decoded instructions, in seeded clusters so dense runs
+	// stress chain packing and sled escalation downstream. Extra pins are
+	// always *safe* over-approximation (a pin only plants a reference at
+	// an address the instruction already owns); what this exercises is
+	// the layout's ability to satisfy them or fail typed.
+	if inj.Armed(fault.PinFlood) {
+		for i, a := range addrs {
+			if !inj.Fires(fault.PinFlood, a) {
+				continue
+			}
+			run := 1 + inj.Pick(fault.PinFlood, a, 6)
+			for j := i; j < len(addrs) && j < i+run; j++ {
+				pinNode(addrs[j], "fault-injected")
+			}
+		}
+	}
 
 	// Deduplicate fixed-entry records (the scans revisit addresses).
 	if len(p.FixedEntries) > 1 {

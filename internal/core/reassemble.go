@@ -31,9 +31,11 @@ import (
 	"time"
 
 	"zipr/internal/binfmt"
+	"zipr/internal/fault"
 	"zipr/internal/ir"
 	"zipr/internal/isa"
 	"zipr/internal/obs"
+	"zipr/internal/zerr"
 )
 
 // Placer is the pluggable code-layout strategy (paper §III implements
@@ -61,6 +63,10 @@ type Options struct {
 	// chaining, sled construction, dollop placement, patch/emit) and the
 	// reassembler's counters and histograms; nil disables tracing.
 	Trace *obs.Trace
+	// Inject enables deterministic fault injection (allocator
+	// exhaustion, unsatisfiable chains forcing sled escalation); nil
+	// disables it.
+	Inject *fault.Injector
 }
 
 // Stats reports what the reassembler did.
@@ -111,6 +117,7 @@ type reassembler struct {
 	p      *ir.Program
 	placer Placer
 	tr     *obs.Trace
+	inj    *fault.Injector
 	text   ir.Range
 
 	image    []byte // rewritten text image, starting at text.Start
@@ -151,10 +158,18 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 	if opts.Trace != nil {
 		placer = newTracedPlacer(placer, opts.Trace)
 	}
+	if opts.Inject.Armed(fault.AllocExhaust) {
+		// Outermost wrapper: denied placements are visible only through
+		// the injector's own fault counter, exactly as a genuinely full
+		// allocator would be — downstream must take the split/overflow
+		// path either way.
+		placer = &faultPlacer{inner: placer, inj: opts.Inject}
+	}
 	r := &reassembler{
 		p:        p,
 		placer:   placer,
 		tr:       opts.Trace,
+		inj:      opts.Inject,
 		text:     text,
 		image:    make([]byte, text.Len()),
 		imageEnd: text.End,
@@ -281,6 +296,33 @@ func (p *tracedPlacer) Choose(space Space, size int, hint, origin uint32) (uint3
 	return addr, ok
 }
 
+// faultPlacer wraps a Placer with deterministic allocation denial: the
+// AllocExhaust fault makes Choose report "no block fits" for seeded
+// placement decisions, forcing the caller onto its degradation path
+// (dollop splits and the appended overflow area). The site key is the
+// placement sequence number — reassembly runs on a single goroutine, so
+// the sequence is deterministic.
+type faultPlacer struct {
+	inner Placer
+	inj   *fault.Injector
+	seq   uint32
+}
+
+// Name implements Placer.
+func (p *faultPlacer) Name() string { return p.inner.Name() }
+
+// InlinePins implements Placer.
+func (p *faultPlacer) InlinePins() bool { return p.inner.InlinePins() }
+
+// Choose implements Placer, denying seeded decisions.
+func (p *faultPlacer) Choose(space Space, size int, hint, origin uint32) (uint32, bool) {
+	p.seq++
+	if p.inj.Fires(fault.AllocExhaust, p.seq) {
+		return 0, false
+	}
+	return p.inner.Choose(space, size, hint, origin)
+}
+
 // inFixed reports whether addr is inside a fixed range.
 func (r *reassembler) inFixed(addr uint32) bool {
 	for _, f := range r.p.Fixed {
@@ -372,7 +414,7 @@ func (r *reassembler) planPins() error {
 			}
 			plans = append(plans, pinPlan{kind: kindStub5, addr: a, target: pins[i]})
 			r.stats.Stubs5++
-		case gap >= 2:
+		case gap >= 2 && !r.escalatePin(a):
 			if err := r.fs.Carve(ir.Range{Start: a, End: a + 2}); err != nil {
 				return fmt.Errorf("core: pin %#x constrained reference: %w", a, err)
 			}
@@ -452,12 +494,26 @@ func (r *reassembler) planPins() error {
 	return nil
 }
 
+// escalatePin reports whether the ChainUnsat fault forces the pin at a
+// to skip constrained chaining and fall through to sled handling, as if
+// no chain could be satisfied near it. The decision is keyed on the pin
+// address, so it agrees with the slot denial in chain() (both hash the
+// same site). The lazy evaluation in planPins' switch means only pins
+// that would actually chain (2 <= gap < 5) ever consult the injector.
+func (r *reassembler) escalatePin(a uint32) bool {
+	if !r.inj.Fires(fault.ChainUnsat, a) {
+		return false
+	}
+	r.tr.Add("fault.sled-escalations", 1)
+	return true
+}
+
 // chain plants a 2-byte jump at `at` leading (possibly through further
 // 2-byte hops) to a 5-byte slot that can address the whole space
 // (paper §II-C3, span-dependent jump chaining).
 func (r *reassembler) chain(at uint32, target *ir.Instruction, depth int) error {
 	if depth > 8 {
-		return fmt.Errorf("core: chain depth exceeded at %#x", at)
+		return zerr.Tag(zerr.ErrExhausted, fmt.Errorf("core: chain depth exceeded at %#x", at))
 	}
 	// rel8 range from the end of the 2-byte jump.
 	base := at + 2
@@ -465,7 +521,11 @@ func (r *reassembler) chain(at uint32, target *ir.Instruction, depth int) error 
 	if window.Start > base { // underflow
 		window.Start = r.text.Start
 	}
-	if slot, ok := r.fs.FindWithin(window, 5); ok {
+	// The ChainUnsat fault denies the direct 5-byte slot at seeded sites,
+	// forcing the reference through extra 2-byte hops — a deterministic
+	// stand-in for free space too fragmented to hold an unconstrained
+	// jump nearby.
+	if slot, ok := r.fs.FindWithin(window, 5); ok && !r.inj.Fires(fault.ChainUnsat, at) {
 		if err := r.fs.Carve(slot); err != nil {
 			return err
 		}
@@ -479,7 +539,7 @@ func (r *reassembler) chain(at uint32, target *ir.Instruction, depth int) error 
 	// No 5-byte slot in range: hop through another 2-byte jump.
 	hop, ok := r.fs.FindWithin(window, 2)
 	if !ok {
-		return fmt.Errorf("core: no chain space near constrained reference at %#x", at)
+		return zerr.Tag(zerr.ErrExhausted, fmt.Errorf("core: no chain space near constrained reference at %#x", at))
 	}
 	if err := r.fs.Carve(hop); err != nil {
 		return err
@@ -506,7 +566,7 @@ func (r *reassembler) carveSled(pins []*ir.Instruction, i int) (sledPlan, int, e
 		}
 		whole := ir.Range{Start: start, End: tailEnd}
 		if tailEnd > r.text.End {
-			return sledPlan{}, i, fmt.Errorf("core: sled at %#x overruns text segment", start)
+			return sledPlan{}, i, zerr.Tag(zerr.ErrExhausted, fmt.Errorf("core: sled at %#x overruns text segment", start))
 		}
 		for _, f := range r.p.Fixed {
 			if f.Overlaps(whole) {

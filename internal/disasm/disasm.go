@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"zipr/internal/binfmt"
+	"zipr/internal/fault"
 	"zipr/internal/ir"
 	"zipr/internal/isa"
 	"zipr/internal/obs"
@@ -122,12 +123,17 @@ func RecursiveTraversal(bin *binfmt.Binary) Result {
 		Classes: make([]Class, len(text.Data)),
 	}
 	st := &recState{visited: make([]uint8, len(text.Data))}
-	recursiveInto(&res, bin, st)
+	recursiveInto(&res, bin, st, nil)
 	return res
 }
 
-// recursiveInto runs the traversal into pre-sized result buffers.
-func recursiveInto(res *Result, bin *binfmt.Binary, st *recState) {
+// recursiveInto runs the traversal into pre-sized result buffers. A
+// non-nil injector with DisasmDisagree armed demotes seeded data-scan
+// pointers from the strong tier to the weak tier: the functions they
+// reach become "decode but are not provably reached", which downstream
+// phases must handle with the paper's case-3 policy (bytes fixed in
+// place, targets pinned via the ambiguous set).
+func recursiveInto(res *Result, bin *binfmt.Binary, st *recState, inj *fault.Injector) {
 	text := bin.Text()
 	inText := func(a uint32) bool { return text.Contains(a) }
 
@@ -157,6 +163,10 @@ func recursiveInto(res *Result, bin *binfmt.Binary, st *recState) {
 		}
 		for off := 0; off+4 <= len(seg.Data); off += 4 {
 			v := binary.LittleEndian.Uint32(seg.Data[off:])
+			if inText(v) && inj.Fires(fault.DisasmDisagree, v) {
+				seedWeak(v) // injected disagreement: evidence downgraded
+				continue
+			}
 			seedStrong(v)
 		}
 	}
@@ -365,6 +375,9 @@ type Options struct {
 	// Trace receives per-stage spans and classification metrics; nil
 	// disables instrumentation.
 	Trace *obs.Trace
+	// Inject enables deterministic fault injection (disassembler
+	// disagreement, truncated linear decode); nil disables it.
+	Inject *fault.Injector
 }
 
 // Disassemble runs both disassemblers on bin and aggregates the result.
@@ -415,7 +428,7 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 		linearSweepInto(&lin, text.Data, text.VAddr)
 		sp.End()
 		sp = tr.Start("recursive-traversal")
-		recursiveInto(&rec, bin, &sc.rec)
+		recursiveInto(&rec, bin, &sc.rec, opts.Inject)
 		sp.End()
 	} else {
 		// The spans are created detached on this goroutine — in a
@@ -431,9 +444,25 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 			linearSweepInto(&lin, text.Data, text.VAddr)
 			linSp.End()
 		}()
-		recursiveInto(&rec, bin, &sc.rec)
+		recursiveInto(&rec, bin, &sc.rec, opts.Inject)
 		recSp.End()
 		wg.Wait()
+	}
+
+	// Injected truncation: the linear sweep "stops decoding" at a seeded
+	// cut point, as if the sweep hit an undecodable tail. Bytes past the
+	// cut lose their linear Code claim (their decoded instructions are
+	// kept out of the ambiguous set by the class check in Aggregate), so
+	// recursive coverage alone decides — a strict reduction in evidence
+	// that aggregation must absorb conservatively.
+	if inj := opts.Inject; inj.Armed(fault.DisasmTruncate) && n > 0 &&
+		inj.Fires(fault.DisasmTruncate, text.VAddr) {
+		cut := inj.Pick(fault.DisasmTruncate, text.VAddr, n)
+		for off := cut; off < n; off++ {
+			if lin.Classes[off] == Code {
+				lin.Classes[off] = Data
+			}
+		}
 	}
 
 	sp := tr.Start("disambiguate")

@@ -1,0 +1,251 @@
+// Package fault implements deterministic, seed-driven fault injection
+// for the rewriting pipeline. An Injector is threaded through every
+// phase via the rewrite Config; each phase asks it whether a given fault
+// kind fires at a given site (an address, an index, a sequence number).
+//
+// Decisions are pure functions of (seed, kind, site) — a hash, not a
+// call counter — so they are identical under any goroutine interleaving
+// of the concurrent pipeline, race-free, and reproducible from the seed
+// alone. The only mutable state touched on the decision path is the
+// obs.Trace counter sink, which is internally synchronized.
+//
+// A nil *Injector disables everything: all methods are nil-receiver-safe
+// and cost one branch, following the obs.Trace pattern, so production
+// paths carry no chaos overhead.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"zipr/internal/obs"
+)
+
+// Kind enumerates the injectable faults, one (or more) per pipeline
+// phase. The comments note the expected outcome: "degrades" kinds must
+// still yield a transcript-equivalent binary through a conservative
+// fallback path; "fails closed" kinds must yield a typed error.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// DisasmDisagree demotes data-scan seeds of the recursive traversal
+	// from strong to weak: provably-reached functions become "decodes
+	// but not provably reached", exercising the paper's case-3 handling
+	// (bytes kept fixed in place, targets pinned). Degrades.
+	DisasmDisagree Kind = iota
+	// DisasmTruncate cuts the linear sweep short: bytes past a seeded
+	// cut point lose their linear Code claim, thinning the ambiguous
+	// set the aggregation would otherwise report. Degrades.
+	DisasmTruncate
+	// PinFlood makes pin discovery report bogus extra pins at decoded
+	// instruction addresses, in seeded clusters — dense runs escalate
+	// through chains into sleds. Degrades.
+	PinFlood
+	// EntryLost makes the CFG phase lose the entry point's decode, the
+	// canonical unrecoverable analysis failure. Fails closed (ErrCFG).
+	EntryLost
+	// AllocExhaust makes the layout placer deny allocations, forcing
+	// dollops and dispatch blobs into splits and the appended overflow
+	// area. Degrades.
+	AllocExhaust
+	// ChainUnsat starves short-reference chaining: dense pins escalate
+	// straight to 0x68 sleds, and chain hops are forced deeper. Degrades
+	// (sled escalation) or fails closed (ErrExhausted) when even the
+	// sled cannot be carved.
+	ChainUnsat
+	// TransformMisuse makes a transform abuse the IR API (conflicting
+	// targets, out-of-band deletion, lying deferred fill). Fails closed
+	// (ErrTransform or ErrLayout) or, for provably dead code, degrades.
+	TransformMisuse
+	// SectionCorrupt corrupts the serialized input image (truncation or
+	// a broken header) before parsing. Fails closed (ErrFormat).
+	SectionCorrupt
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"disasm-disagree",
+	"disasm-truncate",
+	"pin-flood",
+	"entry-lost",
+	"alloc-exhaust",
+	"chain-unsat",
+	"transform-misuse",
+	"section-corrupt",
+}
+
+// String returns the kind's stable kebab-case name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// counterNames are the obs counter keys, precomputed so firing does not
+// build strings on hot paths.
+var counterNames = func() [numKinds]string {
+	var out [numKinds]string
+	for k := range out {
+		out[k] = "fault." + kindNames[k]
+	}
+	return out
+}()
+
+// kindProfile is a kind's behavior under seed-derived arming: how often
+// New arms it across seeds, and the per-site firing probability (out of
+// 1<<16) once armed. Hard-fail kinds arm rarely so most schedules still
+// produce a binary; degradation kinds arm often and fire per-site.
+type kindProfile struct {
+	armOneIn int    // New arms the kind for ~1/armOneIn of seeds
+	rate     uint32 // per-site fire probability numerator, out of 1<<16
+}
+
+var profiles = [numKinds]kindProfile{
+	DisasmDisagree:  {armOneIn: 3, rate: 1 << 14}, // 1/4 of data-scan seeds
+	DisasmTruncate:  {armOneIn: 4, rate: 3 << 14}, // 3/4 chance of one cut
+	PinFlood:        {armOneIn: 3, rate: 1 << 11}, // 1/32 of instructions
+	EntryLost:       {armOneIn: 10, rate: 1 << 16},
+	AllocExhaust:    {armOneIn: 3, rate: 1 << 13}, // 1/8 of placements
+	ChainUnsat:      {armOneIn: 3, rate: 1 << 14}, // 1/4 of chain sites
+	TransformMisuse: {armOneIn: 8, rate: 1 << 7},  // 1/512 of instructions
+	SectionCorrupt:  {armOneIn: 12, rate: 1 << 16},
+}
+
+// Injector decides which faults fire where. Construct with New (arming
+// derived from the seed) or NewArmed (explicit kinds, for targeted
+// tests); nil disables all injection.
+type Injector struct {
+	seed int64
+	rate [numKinds]uint32 // 0 = disarmed
+	tr   *obs.Trace       // counter sink; may be nil
+}
+
+// splitmix64's finalizer: a cheap, well-mixed 64-bit hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// kindSalt decorrelates the per-kind decision streams.
+func kindSalt(k Kind) uint64 { return (uint64(k) + 1) * 0x9E3779B97F4A7C15 }
+
+// New returns an injector whose armed kinds and schedule are derived
+// from seed: different seeds arm different subsets, so sweeping seeds
+// sweeps fault schedules.
+func New(seed int64) *Injector {
+	inj := &Injector{seed: seed}
+	for k := Kind(0); k < numKinds; k++ {
+		h := mix(uint64(seed) ^ kindSalt(k) ^ 0xA2F1)
+		if int(h%uint64(profiles[k].armOneIn)) == 0 {
+			inj.rate[k] = profiles[k].rate
+		}
+	}
+	return inj
+}
+
+// NewArmed returns an injector with exactly the given kinds armed at
+// their default per-site rates, for tests that target one fault path.
+func NewArmed(seed int64, kinds ...Kind) *Injector {
+	inj := &Injector{seed: seed}
+	for _, k := range kinds {
+		inj.rate[k] = profiles[k].rate
+	}
+	return inj
+}
+
+// WithTrace returns a copy of the injector that reports fault counters
+// (one "fault.<kind>" counter per fire) to tr. The decision stream is
+// unchanged. Nil-safe.
+func (inj *Injector) WithTrace(tr *obs.Trace) *Injector {
+	if inj == nil || tr == nil {
+		return inj
+	}
+	c := *inj
+	c.tr = tr
+	return &c
+}
+
+// Seed returns the schedule seed (0 for a nil injector).
+func (inj *Injector) Seed() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.seed
+}
+
+// Enabled reports whether any kind is armed. Nil-safe.
+func (inj *Injector) Enabled() bool {
+	if inj == nil {
+		return false
+	}
+	for _, r := range inj.rate {
+		if r != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Armed reports whether kind k can fire at all; phases use it to skip
+// per-site hashing entirely on unarmed kinds. Nil-safe.
+func (inj *Injector) Armed(k Kind) bool {
+	return inj != nil && inj.rate[k] != 0
+}
+
+// Fires reports whether fault k fires at the given site. The decision
+// is a pure hash of (seed, kind, site) — stateless, so identical sites
+// answer identically regardless of call order or goroutine — and each
+// firing bumps the kind's obs counter when a trace is attached. Nil-safe.
+func (inj *Injector) Fires(k Kind, site uint32) bool {
+	if inj == nil || inj.rate[k] == 0 {
+		return false
+	}
+	h := mix(uint64(inj.seed) ^ kindSalt(k) ^ (uint64(site)+1)*0xD6E8FEB86659FD93)
+	if uint32(h&0xFFFF) >= inj.rate[k] {
+		return false
+	}
+	inj.tr.Add(counterNames[k], 1)
+	return true
+}
+
+// Pick returns a deterministic value in [0, n) for fault k at site,
+// decorrelated from the Fires decision — use it to choose *how* a fired
+// fault manifests (cut points, misuse variants). Nil injectors and
+// n <= 0 return 0.
+func (inj *Injector) Pick(k Kind, site uint32, n int) int {
+	if inj == nil || n <= 0 {
+		return 0
+	}
+	h := mix(uint64(inj.seed) ^ kindSalt(k) ^ (uint64(site)+1)*0xC2B2AE3D27D4EB4F ^ 0x51CE)
+	return int(h % uint64(n))
+}
+
+// Describe renders the armed schedule for logs and the chaos-recipe
+// workflow: which kinds are armed and their per-site fire probability.
+func (inj *Injector) Describe() string {
+	if inj == nil {
+		return "fault injection disabled"
+	}
+	var parts []string
+	for k := Kind(0); k < numKinds; k++ {
+		if inj.rate[k] == 0 {
+			continue
+		}
+		if inj.rate[k] >= 1<<16 {
+			parts = append(parts, kindNames[k])
+		} else {
+			parts = append(parts, fmt.Sprintf("%s(p=1/%d)", kindNames[k], (1<<16)/inj.rate[k]))
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("seed %d: no kinds armed", inj.seed)
+	}
+	return fmt.Sprintf("seed %d: %s", inj.seed, strings.Join(parts, ", "))
+}

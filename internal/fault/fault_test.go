@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"zipr/internal/obs"
+)
+
+// A nil injector must be inert on every method.
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() || inj.Armed(AllocExhaust) || inj.Fires(AllocExhaust, 7) {
+		t.Fatal("nil injector reported activity")
+	}
+	if inj.Pick(PinFlood, 1, 10) != 0 || inj.Seed() != 0 {
+		t.Fatal("nil injector returned nonzero values")
+	}
+	if inj.WithTrace(obs.New()) != nil {
+		t.Fatal("nil injector grew a trace")
+	}
+	if !strings.Contains(inj.Describe(), "disabled") {
+		t.Fatalf("Describe = %q", inj.Describe())
+	}
+}
+
+// Decisions must be a pure function of (seed, kind, site): two injectors
+// with the same seed answer identically at every probed site, and
+// repeated queries never flip.
+func TestDecisionsDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for k := Kind(0); k < numKinds; k++ {
+		for site := uint32(0); site < 4096; site++ {
+			if a.Fires(k, site) != b.Fires(k, site) {
+				t.Fatalf("kind %v site %d: decision differs across instances", k, site)
+			}
+			if a.Fires(k, site) != a.Fires(k, site) {
+				t.Fatalf("kind %v site %d: decision not idempotent", k, site)
+			}
+			if a.Pick(k, site, 7) != b.Pick(k, site, 7) {
+				t.Fatalf("kind %v site %d: Pick differs", k, site)
+			}
+		}
+	}
+}
+
+// Different seeds must produce different schedules (arming and sites).
+func TestSeedsDiversify(t *testing.T) {
+	armedSets := map[string]bool{}
+	for seed := int64(1); seed <= 64; seed++ {
+		armedSets[New(seed).Describe()] = true
+	}
+	if len(armedSets) < 8 {
+		t.Fatalf("64 seeds produced only %d distinct schedules", len(armedSets))
+	}
+}
+
+// NewArmed arms exactly the requested kinds.
+func TestNewArmed(t *testing.T) {
+	inj := NewArmed(5, EntryLost, AllocExhaust)
+	if !inj.Armed(EntryLost) || !inj.Armed(AllocExhaust) {
+		t.Fatal("requested kinds not armed")
+	}
+	for _, k := range []Kind{DisasmDisagree, DisasmTruncate, PinFlood, ChainUnsat, TransformMisuse, SectionCorrupt} {
+		if inj.Armed(k) {
+			t.Fatalf("kind %v armed without being requested", k)
+		}
+	}
+	// A rate of 1<<16 means the kind fires at every site.
+	for site := uint32(0); site < 64; site++ {
+		if !inj.Fires(EntryLost, site) {
+			t.Fatalf("always-fire kind missed at site %d", site)
+		}
+	}
+}
+
+// Armed per-site rates must land in the right ballpark so the chaos
+// sweep gets its intended mix of degraded successes.
+func TestFireRates(t *testing.T) {
+	inj := NewArmed(9, AllocExhaust) // rate 1/8
+	fired := 0
+	const n = 1 << 16
+	for site := uint32(0); site < n; site++ {
+		if inj.Fires(AllocExhaust, site) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if got < 0.10 || got > 0.15 {
+		t.Fatalf("alloc-exhaust fire rate = %.3f, want ~0.125", got)
+	}
+}
+
+// Fires must be race-free with a trace attached: concurrent phases call
+// it from worker goroutines.
+func TestFiresConcurrent(t *testing.T) {
+	tr := obs.New()
+	inj := New(3).WithTrace(tr)
+	var wg sync.WaitGroup
+	results := make([][]bool, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]bool, 2048)
+			for site := range out {
+				out[site] = inj.Fires(PinFlood, uint32(site))
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		for site := range results[0] {
+			if results[w][site] != results[0][site] {
+				t.Fatalf("worker %d disagrees at site %d", w, site)
+			}
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Firing with a trace attached must bump the kind's counter.
+func TestFireCounters(t *testing.T) {
+	tr := obs.New()
+	inj := NewArmed(11, EntryLost).WithTrace(tr)
+	for site := uint32(0); site < 10; site++ {
+		inj.Fires(EntryLost, site)
+	}
+	snap := tr.Snapshot()
+	if got := snap.Metrics.Counters["fault.entry-lost"]; got != 10 {
+		t.Fatalf("fault.entry-lost counter = %d, want 10", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

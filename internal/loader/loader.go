@@ -13,12 +13,18 @@ import (
 
 	"zipr/internal/binfmt"
 	"zipr/internal/vm"
+	"zipr/internal/zerr"
 )
 
 // Load maps exe and every library it (transitively) requires into m,
 // resolves all import tables, and sets the machine's PC to the
-// executable's entry point. libs maps library name to image.
+// executable's entry point. libs maps library name to image. Every
+// failure carries the zerr.ErrLoad taxonomy class.
 func Load(m *vm.Machine, exe *binfmt.Binary, libs map[string]*binfmt.Binary) error {
+	return zerr.Tag(zerr.ErrLoad, load(m, exe, libs))
+}
+
+func load(m *vm.Machine, exe *binfmt.Binary, libs map[string]*binfmt.Binary) error {
 	loaded := []*binfmt.Binary{}
 	seen := map[string]bool{}
 

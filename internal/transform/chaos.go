@@ -1,0 +1,70 @@
+package transform
+
+import (
+	"zipr/internal/fault"
+	"zipr/internal/ir"
+)
+
+// Chaos is the transform-misuse fault: it deliberately abuses the
+// user-transform API the way a buggy transform would, at a seeded
+// instruction site, and the pipeline must catch the abuse downstream —
+// Normalize/Validate for IR-level misuse, the reassembler's emit pass
+// for layout-level lies. Exactly one misuse is applied per run (the
+// first seeded site in instruction order), so a failing seed reproduces
+// a single attributable abuse.
+//
+// The variants and the check expected to catch them:
+//
+//	0: conflicting reference — a node is given both a logical Target
+//	   and an AbsTarget, which Validate rejects (ErrTransform).
+//	1: lying deferred fill — a Defer callback returns fewer bytes than
+//	   it reserved; the reassembler's emit pass rejects the blob
+//	   (ErrLayout), proving cross-layer detection.
+//	2: out-of-band deletion — a terminator is marked Deleted directly,
+//	   bypassing the Delete API's terminator check. Normalize either
+//	   rejects the dangling control flow (ErrTransform) or, when the
+//	   terminator was provably unreachable, splices it out as dead code
+//	   (a behavior-preserving degradation).
+type Chaos struct {
+	Inj *fault.Injector
+}
+
+var _ Transform = Chaos{}
+
+// Name implements Transform.
+func (Chaos) Name() string { return "chaos-misuse" }
+
+// Apply implements Transform, misusing the API at the first seeded site.
+func (c Chaos) Apply(ctx *Context) error {
+	inj := c.Inj
+	if !inj.Armed(fault.TransformMisuse) {
+		return nil
+	}
+	for _, n := range ctx.Prog.Insts {
+		site := n.OrigAddr
+		if site == 0 {
+			// Synthetic instructions have no original address; key on the
+			// (deterministic) node ID, disjoint from the address space.
+			site = uint32(n.ID) | 0x8000_0000
+		}
+		if !inj.Fires(fault.TransformMisuse, site) {
+			continue
+		}
+		variant := inj.Pick(fault.TransformMisuse, site, 3)
+		if variant == 2 && n.Inst.HasFallthrough() {
+			variant = 0 // deletion misuse only targets terminators
+		}
+		switch variant {
+		case 0:
+			n.Target = n
+			n.AbsTarget = 1
+		case 1:
+			short := func(*ir.Layout) ([]byte, error) { return make([]byte, 4), nil }
+			ctx.Prog.Defer("chaos-misuse", 8, short)
+		case 2:
+			n.Deleted = true
+		}
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package zerr defines the rewriter's error taxonomy: one sentinel per
+// pipeline phase, wrapped around the phase's detailed error so callers
+// can dispatch on errors.Is without parsing messages. The taxonomy backs
+// the pipeline's fail-closed contract — every rewrite ends either in a
+// transcript-equivalent binary or in an error carrying exactly one of
+// these classes — and the package zipr re-exports the sentinels as its
+// public API (internal packages cannot import the root package, so the
+// sentinels live here).
+package zerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error classes, one per phase of the pipeline that can reject an input.
+var (
+	// ErrFormat: the input image failed to parse or validate (binfmt).
+	ErrFormat = errors.New("malformed input")
+	// ErrDisasm: disassembly failed (e.g. no text segment).
+	ErrDisasm = errors.New("disassembly failed")
+	// ErrCFG: IR construction failed (e.g. the entry point does not
+	// decode to an instruction).
+	ErrCFG = errors.New("ir construction failed")
+	// ErrTransform: a transform misused the IR API or produced an
+	// invalid program.
+	ErrTransform = errors.New("transform failed")
+	// ErrLayout: reassembly could not produce a coherent layout (carve
+	// conflicts, unencodable instructions, invalid output).
+	ErrLayout = errors.New("layout failed")
+	// ErrExhausted: reassembly ran out of address space for a hard
+	// constraint (chain slots, sled footprints) that the overflow area
+	// cannot absorb.
+	ErrExhausted = errors.New("address space exhausted")
+	// ErrLoad: the loader rejected a binary or its library set.
+	ErrLoad = errors.New("load failed")
+)
+
+// ErrInjected marks errors caused by deliberate fault injection
+// (internal/fault). It is orthogonal to the classes above: an injected
+// entry-loss error satisfies both errors.Is(err, ErrCFG) and
+// errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// classes lists every taxonomy class, in pipeline order.
+var classes = []struct {
+	err  error
+	name string
+}{
+	{ErrFormat, "format"},
+	{ErrDisasm, "disasm"},
+	{ErrCFG, "cfg"},
+	{ErrTransform, "transform"},
+	{ErrExhausted, "exhausted"},
+	{ErrLayout, "layout"},
+	{ErrLoad, "load"},
+}
+
+// ClassOf returns the taxonomy class of err, or nil if err carries none.
+// ErrExhausted is checked before ErrLayout so exhaustion keeps its more
+// specific class even when a caller also tagged the broader one.
+func ClassOf(err error) error {
+	for _, c := range classes {
+		if errors.Is(err, c.err) {
+			return c.err
+		}
+	}
+	return nil
+}
+
+// ClassName returns a short stable name for err's taxonomy class
+// ("format", "disasm", ...), or "" when err carries none.
+func ClassName(err error) string {
+	for _, c := range classes {
+		if errors.Is(err, c.err) {
+			return c.name
+		}
+	}
+	return ""
+}
+
+// Tag wraps err with the given class unless err already carries a
+// taxonomy class (the innermost phase knows best; outer phases only
+// supply a default). A nil err stays nil.
+func Tag(class, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ClassOf(err) != nil {
+		return err
+	}
+	return fmt.Errorf("%w: %w", class, err)
+}

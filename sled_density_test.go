@@ -1,0 +1,101 @@
+package zipr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"zipr/internal/asm"
+	"zipr/internal/vm"
+)
+
+// genSledDensityProg builds a program with a pinned address at EVERY
+// byte of one full VM page: 4096 consecutive one-byte nops, each the
+// target of a function-pointer-table slot. Pin gaps of one byte force
+// the reassembler's worst case — the whole page must become a single
+// 0x68 sled whose dispatch recovers all 4096 entry points — covering
+// the push-run/nop-pad/dispatch escalation path end-to-end at maximal
+// density. main indirect-calls the entry selected by the input byte
+// (scaled by 16), then calls a helper so the code after the sled tail
+// is live too.
+func genSledDensityProg() string {
+	var b strings.Builder
+	b.WriteString(".text 0x00100000\n")
+	b.WriteString("main:\n")
+	b.WriteString("    movi r0, 3\n")
+	b.WriteString("    movi r1, 0\n")
+	b.WriteString("    movi r2, inbuf\n")
+	b.WriteString("    movi r3, 1\n")
+	b.WriteString("    syscall\n")
+	b.WriteString("    movi r4, inbuf\n")
+	b.WriteString("    loadb r4, [r4]\n")
+	b.WriteString("    shli r4, 4\n") // selector*16: an entry in [0,4080]
+	b.WriteString("    shli r4, 2\n") // *4: word offset into the table
+	b.WriteString("    movi r5, tab\n")
+	b.WriteString("    add r5, r4\n")
+	b.WriteString("    load r5, [r5]\n")
+	b.WriteString("    movi r1, 0\n")
+	b.WriteString("    callr r5\n")
+	b.WriteString("    call helper\n")
+	b.WriteString("    movi r0, 1\n")
+	b.WriteString("    syscall\n")
+	for i := 0; i < vm.PageSize; i++ {
+		fmt.Fprintf(&b, "p%d: nop\n", i)
+	}
+	b.WriteString("    ret\n")
+	b.WriteString("helper:\n")
+	b.WriteString("    movi r6, 1\n")
+	b.WriteString("    movi r7, 2\n")
+	b.WriteString("    add r6, r7\n")
+	b.WriteString("    ret\n")
+	b.WriteString(".data 0x00200000\n")
+	b.WriteString("tab:\n")
+	for i := 0; i < vm.PageSize; i++ {
+		fmt.Fprintf(&b, "    .word p%d\n", i)
+	}
+	b.WriteString("inbuf: .space 4\n")
+	return b.String()
+}
+
+// TestMaximalPinDensitySled asserts the fail-closed contract at maximal
+// pin density: a page with a pin at every byte must either reassemble —
+// with every pinned address covered by sled entries and the transcript
+// unchanged — or fail with a typed error. Silent divergence and panics
+// are the forbidden outcomes.
+func TestMaximalPinDensitySled(t *testing.T) {
+	orig, err := asm.Assemble(genSledDensityProg())
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	inputs := []string{"\x00", "\x01", "\x7f", "\xff"}
+	for _, stack := range chaosStacks {
+		for _, lay := range []LayoutKind{LayoutOptimized, LayoutDiversity} {
+			name := fmt.Sprintf("%s/%s", stack.name, lay)
+			rewritten, report, err := RewriteBinary(orig.Clone(), Config{
+				Transforms: stack.transforms(), Layout: lay, Seed: 11,
+			})
+			if err != nil {
+				// Failing is allowed — but only cleanly typed.
+				if ErrorClass(err) == "" {
+					t.Fatalf("%s: untyped error at maximal pin density: %v", name, err)
+				}
+				t.Logf("%s: typed failure (%s): %v", name, ErrorClass(err), err)
+				continue
+			}
+			if report.Stats.SledEntries < vm.PageSize {
+				t.Fatalf("%s: only %d of %d pins covered by sleds", name, report.Stats.SledEntries, vm.PageSize)
+			}
+			for _, input := range inputs {
+				want := mustRun(t, orig, nil, input)
+				got, rerr := execute(t, rewritten, nil, input)
+				if rerr != nil {
+					t.Fatalf("%s input %q: rewritten faulted: %v", name, input, rerr)
+				}
+				if want.ExitCode != got.ExitCode || string(want.Output) != string(got.Output) {
+					t.Fatalf("%s input %q: transcript diverged (exit %d vs %d)",
+						name, input, got.ExitCode, want.ExitCode)
+				}
+			}
+		}
+	}
+}

@@ -25,12 +25,14 @@ import (
 	"zipr/internal/cfg"
 	"zipr/internal/core"
 	"zipr/internal/disasm"
+	"zipr/internal/fault"
 	"zipr/internal/ir"
 	"zipr/internal/irdb"
 	"zipr/internal/layout"
 	"zipr/internal/obs"
 	"zipr/internal/par"
 	"zipr/internal/transform"
+	"zipr/internal/zerr"
 )
 
 // Trace is the observability handle threaded through a rewrite: it
@@ -53,6 +55,47 @@ func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONL(w) }
 // NewTableSink returns a trace sink printing a human-readable per-phase
 // wall-time and memory-delta table to w (the -phase-times format).
 func NewTableSink(w io.Writer) TraceSink { return obs.NewTable(w) }
+
+// Error taxonomy: every error returned by Rewrite/RewriteBinary carries
+// exactly one of these classes (test with errors.Is, or map to a short
+// name with ErrorClass). The taxonomy backs the pipeline's fail-closed
+// contract: a rewrite either returns a correct binary or one cleanly
+// classified error — never a silently wrong binary.
+var (
+	// ErrFormat: the input image failed to parse or validate.
+	ErrFormat = zerr.ErrFormat
+	// ErrDisasm: disassembly failed.
+	ErrDisasm = zerr.ErrDisasm
+	// ErrCFG: IR construction failed.
+	ErrCFG = zerr.ErrCFG
+	// ErrTransform: a transform misused the IR API or produced an
+	// invalid program.
+	ErrTransform = zerr.ErrTransform
+	// ErrLayout: reassembly could not produce a coherent layout.
+	ErrLayout = zerr.ErrLayout
+	// ErrExhausted: reassembly ran out of address space for a hard
+	// constraint the overflow area cannot absorb.
+	ErrExhausted = zerr.ErrExhausted
+	// ErrLoad: the loader rejected a binary or its library set.
+	ErrLoad = zerr.ErrLoad
+	// ErrInjected marks errors caused by deliberate fault injection; it
+	// is orthogonal to the classes above.
+	ErrInjected = zerr.ErrInjected
+)
+
+// ErrorClass returns the short taxonomy name of err ("format",
+// "disasm", "cfg", "transform", "exhausted", "layout", "load"), or ""
+// when err carries no class.
+func ErrorClass(err error) string { return zerr.ClassName(err) }
+
+// FaultInjector deterministically injects faults into every pipeline
+// phase; see Config.Chaos and internal/fault for the fault kinds.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector returns a seed-derived fault schedule: different
+// seeds arm different fault subsets at different sites, so sweeping
+// seeds sweeps schedules. Pass it via Config.Chaos.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
 
 // Transform is a user-specified IR transformation. Construct instances
 // with Null, CFI, StackPad or Canary, or implement the interface for
@@ -189,6 +232,12 @@ type Config struct {
 	// trace: call Trace.Close to flush it to its sinks. A nil Trace
 	// disables instrumentation with no allocation overhead.
 	Trace *Trace
+	// Chaos, when non-nil, threads deterministic fault injection through
+	// every pipeline phase (see NewFaultInjector). Injected faults must
+	// end in a transcript-equivalent binary (the degradation path
+	// absorbed the fault) or a typed error — the chaos harness enforces
+	// this invariant. Nil disables injection with no overhead.
+	Chaos *FaultInjector
 }
 
 // Stats summarizes what the reassembler did; see the paper's §II-C for
@@ -236,12 +285,39 @@ func (r *Report) SizeOverhead() float64 {
 	return float64(r.OutputSize-r.InputSize) / float64(r.InputSize)
 }
 
+// corruptImage returns a deterministically corrupted copy of a ZELF
+// image. Both corruption modes are guaranteed-detectable by Unmarshal —
+// a strict prefix starves a bounds-checked read (the format has no
+// trailing padding), and the magic contains no zero byte — so injection
+// can never smuggle a silently different program through the parser.
+func corruptImage(inj *FaultInjector, input []byte) []byte {
+	img := append([]byte(nil), input...)
+	if inj.Pick(fault.SectionCorrupt, uint32(len(input)), 2) == 0 && len(img) > 1 {
+		return img[:inj.Pick(fault.SectionCorrupt, uint32(len(input))^1, len(img))]
+	}
+	img[inj.Pick(fault.SectionCorrupt, uint32(len(input))^2, 4)] = 0
+	return img
+}
+
 // Rewrite rewrites a serialized ZELF image and returns the rewritten
 // image plus a report.
 func Rewrite(input []byte, cfgv Config) ([]byte, *Report, error) {
-	bin, err := binfmt.Unmarshal(input)
+	inj := cfgv.Chaos.WithTrace(cfgv.Trace)
+	cfgv.Chaos = inj
+	img := input
+	injected := false
+	if len(input) >= 4 && inj.Fires(fault.SectionCorrupt, uint32(len(input))) {
+		// Corrupt a copy: the fail-closed contract promises the caller's
+		// original bytes stay intact on every error path.
+		img = corruptImage(inj, input)
+		injected = true
+	}
+	bin, err := binfmt.Unmarshal(img)
 	if err != nil {
-		return nil, nil, fmt.Errorf("zipr: %w", err)
+		if injected {
+			err = fmt.Errorf("%w (%w)", err, zerr.ErrInjected)
+		}
+		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrFormat, err))
 	}
 	out, report, err := RewriteBinary(bin, cfgv)
 	if err != nil {
@@ -249,7 +325,7 @@ func Rewrite(input []byte, cfgv Config) ([]byte, *Report, error) {
 	}
 	data, err := out.Marshal()
 	if err != nil {
-		return nil, nil, fmt.Errorf("zipr: %w", err)
+		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrLayout, err))
 	}
 	report.InputSize = len(input)
 	report.OutputSize = len(data)
@@ -268,21 +344,22 @@ func RewriteBinary(bin *binfmt.Binary, cfgv Config) (*binfmt.Binary, *Report, er
 // output against the indexed-allocator versions bit for bit.
 func rewriteBinaryPlacer(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Program) core.Placer) (*binfmt.Binary, *Report, error) {
 	tr := cfgv.Trace
+	inj := cfgv.Chaos.WithTrace(tr)
 	root := tr.Start("rewrite")
 	defer root.End()
 
 	// Phase 1: IR construction (disassembly, CFG, pinned addresses).
 	sp := tr.Start("disassemble")
-	agg, err := disasm.DisassembleTraced(bin, tr)
+	agg, err := disasm.DisassembleOpts(bin, disasm.Options{Trace: tr, Inject: inj})
 	sp.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("zipr: %w", err)
+		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrDisasm, err))
 	}
 	sp = tr.Start("cfg-pins")
-	prog, err := cfg.BuildTraced(bin, agg, tr)
+	prog, err := cfg.BuildOpts(bin, agg, cfg.Options{Trace: tr, Inject: inj})
 	sp.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("zipr: %w", err)
+		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrCFG, err))
 	}
 	report := &Report{Trace: tr}
 	if cfgv.CaptureIR {
@@ -291,17 +368,23 @@ func rewriteBinaryPlacer(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Pro
 		err := ir.SaveToDB(db, prog)
 		sp.End()
 		if err != nil {
-			return nil, nil, fmt.Errorf("zipr: %w", err)
+			return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrCFG, err))
 		}
 		report.IRDB = db
 	}
 
 	// Phase 2: transformation (mandatory + user transforms).
+	transforms := cfgv.Transforms
+	if inj.Armed(fault.TransformMisuse) {
+		// The misuse transform runs after the user's, abusing the same
+		// API surface they had access to.
+		transforms = append(append([]Transform(nil), transforms...), transform.Chaos{Inj: inj})
+	}
 	sp = tr.Start("transform")
-	err = transform.ApplyTraced(prog, tr, cfgv.Transforms...)
+	err = transform.ApplyTraced(prog, tr, transforms...)
 	sp.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("zipr: %w", err)
+		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrTransform, err))
 	}
 
 	// Phase 3: reassembly under the selected layout.
@@ -317,14 +400,14 @@ func rewriteBinaryPlacer(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Pro
 		case LayoutProfileGuided:
 			placer = &layout.ProfileGuided{Hot: hotRanges(prog, cfgv.HotFuncs)}
 		default:
-			return nil, nil, fmt.Errorf("zipr: unknown layout %q", cfgv.Layout)
+			return nil, nil, fmt.Errorf("zipr: %w: unknown layout %q", zerr.ErrLayout, cfgv.Layout)
 		}
 	}
 	sp = tr.Start("reassemble")
-	res, err := core.Reassemble(prog, core.Options{Placer: placer, Trace: tr})
+	res, err := core.Reassemble(prog, core.Options{Placer: placer, Trace: tr, Inject: inj})
 	sp.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("zipr: %w", err)
+		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrLayout, err))
 	}
 	report.Stats = Stats(res.Stats)
 	report.Layout = placer.Name()
