@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the full local gate.
 GO ?= go
 
-.PHONY: build vet test race bench benchsmoke fuzzsmoke examples ci
+.PHONY: build vet test race cover bench benchsmoke fuzzsmoke examples ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Coverage gate: run every package's tests with cross-package statement
+# coverage (a pipeline test in the root package exercises internal/isa,
+# internal/vm, ... — -coverpkg credits those lines), print the
+# per-function rollup's total, and fail if it drops below COVER_FLOOR
+# percent. The profile lands in cover.out for `go tool cover -html`.
+COVER_FLOOR = 75
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	awk -v t=$$total -v floor=$(COVER_FLOOR) 'BEGIN { \
+		if (t + 0 < floor + 0) { printf "FAIL: total coverage %.1f%% is below the %d%% floor\n", t, floor; exit 1 } \
+		printf "total coverage %.1f%% (floor %d%%)\n", t, floor }'
+
 # Bench smoke: one iteration of the end-to-end rewrite benches plus the
 # serial-vs-parallel pipeline pairs, with allocation reporting — enough
 # to catch regressions in the nil-trace zero-overhead contract (compare
@@ -22,7 +35,7 @@ race:
 # diet (compare DisassembleSerial vs DisassembleParallel, EvalJ1 vs
 # EvalJN). The run is converted to BENCH_pipeline.json (ns/op, allocs/op
 # and the speedup-x metrics, machine-readable) via cmd/benchjson.
-BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth
+BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
 
@@ -49,4 +62,4 @@ examples:
 	$(GO) build ./examples/...
 	@set -e; for d in examples/*/; do echo "run $$d"; $(GO) run ./$$d >/dev/null; done
 
-ci: build vet race bench benchsmoke fuzzsmoke examples
+ci: build vet race cover bench benchsmoke fuzzsmoke examples

@@ -1,0 +1,70 @@
+package zipr_test
+
+// Serving-layer benchmarks: the hot-cache/cold-miss pair quantifies
+// what the content-addressed cache buys — a hit is a digest check plus
+// a copy, a miss is a full pipeline run — and rides BENCH_pipeline.json
+// via `make bench` next to the pipeline benchmarks. External test
+// package because internal/serve imports zipr.
+
+import (
+	"context"
+	"testing"
+
+	"zipr"
+	"zipr/internal/serve"
+	"zipr/internal/synth"
+)
+
+func benchImage(b *testing.B) []byte {
+	b.Helper()
+	seed, profile := synth.CBProfile(7)
+	bin, err := synth.Build(seed, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := bin.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+// BenchmarkServeHotCache measures a fully warmed request: every
+// iteration is answered from the content-addressed cache.
+func BenchmarkServeHotCache(b *testing.B) {
+	img := benchImage(b)
+	s := serve.New(serve.Options{Workers: 1})
+	defer s.Close()
+	cfg := zipr.Config{Transforms: []zipr.Transform{zipr.CFI()}}
+	if _, _, err := s.Rewrite(context.Background(), img, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Rewrite(context.Background(), img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.PipelineRuns != 1 {
+		b.Fatalf("hot loop ran the pipeline %d times, want 1", st.PipelineRuns)
+	}
+}
+
+// BenchmarkServeColdMiss measures the uncached path through the server
+// (admission + singleflight + pipeline), the denominator of the cache's
+// speedup.
+func BenchmarkServeColdMiss(b *testing.B) {
+	img := benchImage(b)
+	s := serve.New(serve.Options{Workers: 1, CacheBytes: -1})
+	defer s.Close()
+	cfg := zipr.Config{Transforms: []zipr.Transform{zipr.CFI()}}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Rewrite(context.Background(), img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

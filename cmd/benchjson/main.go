@@ -55,9 +55,17 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// schemaVersion is the trajectory document revision this benchjson
+// reads and writes. Files written before versioning carry no schema
+// field and are accepted as the implicit version 1; any other mismatch
+// is rejected rather than silently merged, so a trajectory never mixes
+// incompatible run shapes.
+const schemaVersion = 2
+
 // Trajectory is the accumulated multi-run document -merge maintains.
 type Trajectory struct {
-	Runs []Report `json:"runs"`
+	Schema int      `json:"schema,omitempty"`
+	Runs   []Report `json:"runs"`
 }
 
 func main() {
@@ -82,6 +90,7 @@ func run(in io.Reader, mergePath, outPath string) error {
 			return err
 		}
 		traj.Runs = append(traj.Runs, *rep)
+		traj.Schema = schemaVersion
 		doc = traj
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -158,6 +167,12 @@ func loadTrajectory(path string) (*Trajectory, error) {
 	}
 	var traj Trajectory
 	if err := json.Unmarshal(data, &traj); err == nil && traj.Runs != nil {
+		// Schema 0 is a pre-versioning trajectory (implicit version 1):
+		// its run shape is compatible, so it upgrades in place on write.
+		if traj.Schema != 0 && traj.Schema != schemaVersion {
+			return nil, fmt.Errorf("%s has trajectory schema version %d, this benchjson writes version %d: regenerate the file or use a matching benchjson",
+				path, traj.Schema, schemaVersion)
+		}
 		return &traj, nil
 	}
 	var old Report

@@ -201,3 +201,83 @@ func TestNoMergeWritesSingleRun(t *testing.T) {
 		t.Fatalf("report = %+v", rep)
 	}
 }
+
+// TestMergeRejectsSchemaMismatch: a trajectory written by a different
+// (newer or unknown) schema version must be rejected with a clear
+// error, never silently merged — and the file must be left untouched.
+func TestMergeRejectsSchemaMismatch(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	foreign := `{"schema": 99, "runs": [{"env":{"goos":"linux"},"benchmarks":[]}]}`
+	if err := os.WriteFile(out, []byte(foreign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(strings.NewReader(sampleRun), out, out)
+	if err == nil {
+		t.Fatal("schema 99 merged without error")
+	}
+	for _, want := range []string{"schema version 99", "version 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != foreign {
+		t.Fatalf("mismatching file was modified: %s", data)
+	}
+}
+
+// TestMergeStampsAndAcceptsCurrentSchema: merges stamp the current
+// schema version, and re-merging a stamped file keeps working.
+func TestMergeStampsAndAcceptsCurrentSchema(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	for i := 0; i < 2; i++ {
+		if err := run(strings.NewReader(sampleRun), out, out); err != nil {
+			t.Fatalf("merge %d: %v", i, err)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if traj.Schema != schemaVersion {
+		t.Fatalf("written schema = %d, want %d", traj.Schema, schemaVersion)
+	}
+	if len(traj.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(traj.Runs))
+	}
+}
+
+// TestMergeUpgradesLegacyUnversionedTrajectory: a pre-versioning
+// trajectory (no schema field) is implicit version 1 and upgrades in
+// place rather than being rejected.
+func TestMergeUpgradesLegacyUnversionedTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	legacy := `{"runs": [{"env":{"goos":"linux","cpu":"Legacy"},"benchmarks":[]}]}`
+	if err := os.WriteFile(out, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleRun), out, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if traj.Schema != schemaVersion || len(traj.Runs) != 2 {
+		t.Fatalf("schema %d runs %d, want %d and 2", traj.Schema, len(traj.Runs), schemaVersion)
+	}
+	if traj.Runs[0].Env.CPU != "Legacy" {
+		t.Fatalf("legacy run not preserved: %+v", traj.Runs[0])
+	}
+}

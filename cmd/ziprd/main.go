@@ -1,0 +1,272 @@
+// Command ziprd is the batch rewriting daemon: a long-running front end
+// over the zipr pipeline with a content-addressed rewrite cache,
+// singleflight de-duplication and bounded-queue admission control (see
+// internal/serve).
+//
+// Usage:
+//
+//	ziprd [-j N] [-queue N] [-cache-bytes N] [-deadline D] [-chaos-seed N]
+//	      [-listen ADDR] [-stats]
+//
+// With -listen, ziprd serves HTTP:
+//
+//	POST /rewrite?transforms=cfi,stackpad:32&layout=diversity&seed=7
+//	    request body: the ZELF input image; response body: the
+//	    rewritten image. X-Zipr-Cache reports hit or miss. Saturation
+//	    rejects with 503, malformed inputs with 400.
+//	GET /stats      cache and admission counters as JSON
+//	GET /healthz    liveness probe
+//
+// Without -listen, ziprd runs in JSONL batch mode: one request object
+// per stdin line, one response object per stdout line, responses in
+// input order regardless of -j. Request fields: id, input (base64),
+// transforms, layout, seed, deadline_ms. Response fields: id, output
+// (base64), input_size, output_size, layout, cached, error, class.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"zipr"
+	"zipr/internal/obs"
+	"zipr/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ziprd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "", "HTTP listen address (empty: JSONL batch mode on stdin/stdout)")
+	workers := flag.Int("j", 0, "max concurrent pipeline runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = default)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "rewrite cache byte budget (0 = default 64 MiB, negative disables)")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off)")
+	stats := flag.Bool("stats", false, "print cache and admission counters to stderr on exit (batch mode)")
+	flag.Parse()
+
+	opts := serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheBytes,
+		Trace:      obs.New(),
+	}
+	if *chaosSeed != 0 {
+		opts.Chaos = zipr.NewFaultInjector(*chaosSeed)
+		fmt.Fprintf(os.Stderr, "ziprd: chaos: %s\n", opts.Chaos.Describe())
+	}
+	s := serve.New(opts)
+	defer s.Close()
+
+	if *listen != "" {
+		fmt.Fprintf(os.Stderr, "ziprd: listening on %s (j=%d)\n", *listen, *workers)
+		return http.ListenAndServe(*listen, newHandler(s, *deadline))
+	}
+	err := runBatch(s, os.Stdin, os.Stdout, *workers, *deadline)
+	if *stats {
+		st := s.Stats()
+		fmt.Fprintf(os.Stderr, "ziprd: %d runs, %d hits, %d misses, %d shared, %d evicted, %d rejected\n",
+			st.PipelineRuns, st.Hits, st.Misses, st.Shared, st.Evictions, st.Rejected)
+	}
+	return err
+}
+
+// request is one JSONL batch request. Input is base64 in the wire form
+// (encoding/json's []byte convention).
+type request struct {
+	ID         string `json:"id,omitempty"`
+	Input      []byte `json:"input"`
+	Transforms string `json:"transforms,omitempty"`
+	Layout     string `json:"layout,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// response is one JSONL batch response (also the /stats error shape).
+type response struct {
+	ID         string `json:"id,omitempty"`
+	Output     []byte `json:"output,omitempty"`
+	InputSize  int    `json:"input_size,omitempty"`
+	OutputSize int    `json:"output_size,omitempty"`
+	Layout     string `json:"layout,omitempty"`
+	Cached     bool   `json:"cached"`
+	Error      string `json:"error,omitempty"`
+	Class      string `json:"class,omitempty"`
+}
+
+// handle answers one request against the server. cached reports whether
+// the answer was produced without running the pipeline in this request
+// (a cache hit or a shared singleflight result), observed through a
+// per-request trace: every real pipeline run bumps rewrite.count.
+func handle(ctx context.Context, s *serve.Server, req request, deadline time.Duration) response {
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	tfs, err := serve.ParseTransforms(req.Transforms)
+	if err != nil {
+		return response{ID: req.ID, Error: err.Error(), Class: "usage"}
+	}
+	tr := obs.New()
+	cfg := zipr.Config{
+		Transforms: tfs,
+		Layout:     zipr.LayoutKind(req.Layout),
+		Seed:       req.Seed,
+		Trace:      tr,
+	}
+	out, rep, err := s.Rewrite(ctx, req.Input, cfg)
+	if err != nil {
+		return response{ID: req.ID, Error: err.Error(), Class: zipr.ErrorClass(err)}
+	}
+	return response{
+		ID:         req.ID,
+		Output:     out,
+		InputSize:  rep.InputSize,
+		OutputSize: rep.OutputSize,
+		Layout:     rep.Layout,
+		Cached:     tr.Counter("rewrite.count") == 0,
+	}
+}
+
+// runBatch consumes JSONL requests from r and emits JSONL responses to
+// w in input order. Up to jobs requests are processed concurrently
+// (0 = GOMAXPROCS via the server's admission control; the reorder
+// window is bounded by the worker count).
+func runBatch(s *serve.Server, r io.Reader, w io.Writer, jobs int, deadline time.Duration) error {
+	if jobs <= 0 {
+		jobs = 4
+	}
+	// Responses must come out in input order: the reader enqueues one
+	// result channel per line, a single writer drains them in order, and
+	// the per-line goroutines (bounded by sem) fill them as they finish.
+	pending := make(chan chan response, jobs)
+	sem := make(chan struct{}, jobs)
+	writeErr := make(chan error, 1)
+	go func() {
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		var first error
+		for ch := range pending {
+			resp := <-ch
+			if first == nil {
+				if err := enc.Encode(resp); err != nil {
+					first = err
+				}
+			}
+		}
+		if first == nil {
+			first = bw.Flush()
+		}
+		writeErr <- first
+	}()
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var line int
+	for sc.Scan() {
+		line++
+		raw := append([]byte(nil), sc.Bytes()...)
+		ch := make(chan response, 1)
+		pending <- ch
+		sem <- struct{}{}
+		go func(line int, raw []byte) {
+			defer func() { <-sem }()
+			var req request
+			if err := json.Unmarshal(raw, &req); err != nil {
+				ch <- response{Error: fmt.Sprintf("line %d: %v", line, err), Class: "usage"}
+				return
+			}
+			ch <- handle(context.Background(), s, req, deadline)
+		}(line, raw)
+	}
+	close(pending)
+	if err := <-writeErr; err != nil {
+		return err
+	}
+	return sc.Err()
+}
+
+// newHandler builds the daemon's HTTP interface over one server.
+func newHandler(s *serve.Server, deadline time.Duration) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Stats())
+	})
+	mux.HandleFunc("/rewrite", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		input, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q := r.URL.Query()
+		req := request{
+			Input:      input,
+			Transforms: q.Get("transforms"),
+			Layout:     q.Get("layout"),
+		}
+		if v := q.Get("seed"); v != "" {
+			if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+				http.Error(w, "bad seed: "+v, http.StatusBadRequest)
+				return
+			}
+		}
+		if v := q.Get("deadline_ms"); v != "" {
+			if req.DeadlineMS, err = strconv.ParseInt(v, 10, 64); err != nil {
+				http.Error(w, "bad deadline_ms: "+v, http.StatusBadRequest)
+				return
+			}
+		}
+		resp := handle(r.Context(), s, req, deadline)
+		if resp.Error != "" {
+			http.Error(w, resp.Error, statusFor(resp.Class))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Zipr-Layout", resp.Layout)
+		if resp.Cached {
+			w.Header().Set("X-Zipr-Cache", "hit")
+		} else {
+			w.Header().Set("X-Zipr-Cache", "miss")
+		}
+		w.Write(resp.Output)
+	})
+	return mux
+}
+
+// statusFor maps the typed error taxonomy onto HTTP: saturation is a
+// retryable 503, caller mistakes are 4xx, pipeline failures are 500.
+func statusFor(class string) int {
+	switch class {
+	case "busy":
+		return http.StatusServiceUnavailable
+	case "usage", "format":
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zipr/internal/obs"
+	"zipr/internal/serve"
+	"zipr/internal/synth"
+)
+
+func buildImage(t *testing.T) []byte {
+	t.Helper()
+	bin, err := synth.Build(0xD43D, synth.Profile{
+		Name: "ziprdtest", NumFuncs: 8, OpsMin: 4, OpsMax: 10,
+		HandwrittenFrac: 0.2, FuncPtrTableFrac: 0.3, DataWords: 32,
+		InputLen: 4, LoopIters: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := bin.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func newTestServer(t *testing.T) *serve.Server {
+	t.Helper()
+	s := serve.New(serve.Options{Workers: 2, Trace: obs.New()})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestHTTPRewriteHitAndMiss(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(newHandler(s, 10*time.Second))
+	defer ts.Close()
+	img := buildImage(t)
+
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+"/rewrite?transforms=cfi", "application/octet-stream", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+	cold, coldBody := post()
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold POST: %d %s", cold.StatusCode, coldBody)
+	}
+	if got := cold.Header.Get("X-Zipr-Cache"); got != "miss" {
+		t.Fatalf("cold X-Zipr-Cache = %q, want miss", got)
+	}
+	hot, hotBody := post()
+	if got := hot.Header.Get("X-Zipr-Cache"); got != "hit" {
+		t.Fatalf("hot X-Zipr-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, hotBody) {
+		t.Fatal("hit body differs from cold rewrite")
+	}
+	if len(coldBody) == 0 || bytes.Equal(coldBody, img) {
+		t.Fatal("rewrite returned the input unchanged")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(newHandler(s, time.Second))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/rewrite", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed input: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/rewrite?transforms=bogus", "application/octet-stream", bytes.NewReader(buildImage(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown transform: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/rewrite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /rewrite: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(newHandler(s, time.Second))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	img := buildImage(t)
+	for i := 0; i < 2; i++ {
+		r, err := http.Post(ts.URL+"/rewrite", "application/octet-stream", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.PipelineRuns != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 run, 1 hit, 1 miss", st)
+	}
+}
+
+// TestBatchOrderAndCaching: JSONL responses must come back in input
+// order even with a concurrent worker pool, and repeats of one request
+// must be answered without extra pipeline runs.
+func TestBatchOrderAndCaching(t *testing.T) {
+	s := newTestServer(t)
+	img := buildImage(t)
+
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	const n = 12
+	for i := 0; i < n; i++ {
+		req := request{ID: fmt.Sprintf("r%02d", i), Input: img, Transforms: "cfi"}
+		if i%3 == 1 {
+			req.Transforms = "null"
+		}
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := runBatch(s, &in, &out, 4, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var resps []response
+	for sc.Scan() {
+		var r response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad response line: %v", err)
+		}
+		resps = append(resps, r)
+	}
+	if len(resps) != n {
+		t.Fatalf("%d responses, want %d", len(resps), n)
+	}
+	for i, r := range resps {
+		if want := fmt.Sprintf("r%02d", i); r.ID != want {
+			t.Fatalf("response %d has id %q, want %q (order broken)", i, r.ID, want)
+		}
+		if r.Error != "" {
+			t.Fatalf("response %s failed: %s", r.ID, r.Error)
+		}
+		if len(r.Output) == 0 {
+			t.Fatalf("response %s has no output", r.ID)
+		}
+	}
+	// Two distinct configs over one image: exactly two pipeline runs.
+	if st := s.Stats(); st.PipelineRuns != 2 {
+		t.Fatalf("pipeline runs = %d, want 2 (stats %+v)", st.PipelineRuns, st)
+	}
+	// Identical requests must agree byte-for-byte.
+	if !bytes.Equal(resps[0].Output, resps[3].Output) {
+		t.Fatal("identical cfi requests returned different bytes")
+	}
+}
+
+func TestBatchBadLines(t *testing.T) {
+	s := newTestServer(t)
+	in := strings.NewReader("this is not json\n" +
+		`{"id":"ok","input":"` + "AAAA" + `","transforms":"null"}` + "\n")
+	var out bytes.Buffer
+	if err := runBatch(s, in, &out, 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d response lines, want 2", len(lines))
+	}
+	var r0, r1 response
+	if err := json.Unmarshal([]byte(lines[0]), &r0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r0.Error == "" || r0.Class != "usage" {
+		t.Fatalf("bad line response = %+v, want usage error", r0)
+	}
+	if r1.Error == "" || r1.Class != "format" {
+		t.Fatalf("junk image response = %+v, want format error", r1)
+	}
+}

@@ -1,0 +1,77 @@
+package zipr
+
+// Config.Fingerprint is the rewrite-cache key's config half
+// (internal/serve hashes it): it must render every byte-affecting
+// field canonically and exclude everything that cannot change output
+// bytes. These tests pin the exact strings, so an accidental format
+// change (which would silently invalidate every cached entry) shows up
+// as a diff here, not as a cold cache in production.
+
+import (
+	"strings"
+	"testing"
+
+	"zipr/internal/fault"
+)
+
+func TestFingerprintCanonicalStrings(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"zero config", Config{}, "cfg-v1|layout=optimized"},
+		{"explicit optimized", Config{Layout: LayoutOptimized}, "cfg-v1|layout=optimized"},
+		{"seed ignored outside diversity", Config{Seed: 42}, "cfg-v1|layout=optimized"},
+		{"diversity folds seed", Config{Layout: LayoutDiversity, Seed: 42},
+			"cfg-v1|layout=diversity|seed=42"},
+		{"transform stack in order", Config{Transforms: []Transform{NopElide(), CFI()}},
+			"cfg-v1|layout=optimized|t:nop-elide|t:cfi"},
+		{"parametric transforms", Config{Transforms: []Transform{StackPad(32), Canary(0xA5)}},
+			"cfg-v1|layout=optimized|t:stackpad{pad=32,minframe=0}|t:canary{value=0xa5}"},
+		{"profile-guided hot set sorted unique",
+			Config{Layout: LayoutProfileGuided, HotFuncs: []uint32{0x30, 0x10, 0x30, 0x20}},
+			"cfg-v1|layout=profile-guided|hot=10,20,30,"},
+		{"hot set ignored outside profile-guided",
+			Config{HotFuncs: []uint32{0x10}}, "cfg-v1|layout=optimized"},
+	}
+	for _, tt := range cases {
+		if got := tt.cfg.Fingerprint(); got != tt.want {
+			t.Errorf("%s: %q, want %q", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestFingerprintExcludesObservability(t *testing.T) {
+	base := Config{Transforms: []Transform{CFI()}}
+	noisy := base
+	noisy.Trace = NewTrace()
+	noisy.CaptureIR = true
+	noisy.EmitMap = true
+	if base.Fingerprint() != noisy.Fingerprint() {
+		t.Fatalf("observability knobs changed the fingerprint:\n  %q\n  %q",
+			base.Fingerprint(), noisy.Fingerprint())
+	}
+}
+
+func TestFingerprintChaos(t *testing.T) {
+	clean := Config{}
+	if strings.Contains(clean.Fingerprint(), "chaos") {
+		t.Fatalf("nil injector leaked into fingerprint: %q", clean.Fingerprint())
+	}
+	armed := Config{Chaos: fault.NewArmed(7, fault.CacheCorrupt)}
+	if want := "cfg-v1|layout=optimized|chaos=7"; armed.Fingerprint() != want {
+		t.Fatalf("armed fingerprint %q, want %q", armed.Fingerprint(), want)
+	}
+	// A seed-derived injector that armed nothing behaves as disabled and
+	// must fingerprint identically to no injector at all.
+	for seed := int64(0); seed < 64; seed++ {
+		inj := NewFaultInjector(seed)
+		if inj.Enabled() {
+			continue
+		}
+		if got := (Config{Chaos: inj}).Fingerprint(); got != clean.Fingerprint() {
+			t.Fatalf("disabled injector (seed %d) changed fingerprint: %q", seed, got)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+package zipr
+
+// Under the race detector every VM step and pipeline phase runs several
+// times slower, and the golden suite's value there is exercising the
+// machinery, not re-pinning all cells (the !race run already does that
+// exhaustively). Sample every 9th corpus program — still 7 programs
+// spanning the profile range, including index 0 and the high indices
+// near the pathological CB.
+const goldenStride = 9

@@ -1,0 +1,8 @@
+//go:build !race
+
+package zipr
+
+// goldenStride is the corpus sampling stride of the golden suite: plain
+// `go test` (the tier-1 gate) covers every corpus program. The race
+// build substitutes a coarser stride — see golden_stride_race_test.go.
+const goldenStride = 1

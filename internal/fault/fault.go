@@ -61,6 +61,14 @@ const (
 	// SectionCorrupt corrupts the serialized input image (truncation or
 	// a broken header) before parsing. Fails closed (ErrFormat).
 	SectionCorrupt
+	// CacheCorrupt flips a byte in a rewrite-cache entry before the
+	// serving layer's digest check. The check must catch it, drop the
+	// entry and fall back to a fresh rewrite whose bytes verify.
+	// Degrades (cache miss, never wrong bytes).
+	CacheCorrupt
+	// QueueDrop makes the serving layer's admission control reject a
+	// request as if the queue were full. Fails closed (ErrBusy).
+	QueueDrop
 
 	numKinds
 )
@@ -74,6 +82,8 @@ var kindNames = [numKinds]string{
 	"chain-unsat",
 	"transform-misuse",
 	"section-corrupt",
+	"cache-corrupt",
+	"queue-drop",
 }
 
 // String returns the kind's stable kebab-case name.
@@ -112,6 +122,8 @@ var profiles = [numKinds]kindProfile{
 	ChainUnsat:      {armOneIn: 3, rate: 1 << 14}, // 1/4 of chain sites
 	TransformMisuse: {armOneIn: 8, rate: 1 << 7},  // 1/512 of instructions
 	SectionCorrupt:  {armOneIn: 12, rate: 1 << 16},
+	CacheCorrupt:    {armOneIn: 3, rate: 1 << 14}, // 1/4 of cache hits
+	QueueDrop:       {armOneIn: 6, rate: 1 << 13}, // 1/8 of admissions
 }
 
 // Injector decides which faults fire where. Construct with New (arming

@@ -13,13 +13,17 @@ import (
 //	CREATE TABLE t (a INT, b TEXT, c BOOL, d BYTES)
 //	INSERT INTO t (a, b) VALUES (1, 'x')
 //	SELECT * FROM t WHERE a = 1 AND b != 'x'
+//	SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x')
 //	SELECT a, b FROM t ORDER BY a DESC LIMIT 10
 //	SELECT COUNT(*) FROM t WHERE a > 3
 //	UPDATE t SET a = 2 WHERE b = 'x'
 //	DELETE FROM t WHERE a < 3
 //
-// Comparison operators: = != < <= > >=, combined with AND. Literals are
-// integers, 'single-quoted strings', TRUE and FALSE. Keywords are
+// Comparison operators: = != < <= > >=, plus IN/NOT IN over literal
+// lists, combined with AND. An empty IN () list matches no row (and
+// NOT IN () every row), matching standard SQL's vacuous semantics.
+// Literals are integers, 'single-quoted strings' (with '' escaping a
+// quote inside the string), TRUE and FALSE. Keywords are
 // case-insensitive; identifiers are case-sensitive.
 
 // Result is the outcome of an Exec call.
@@ -68,12 +72,22 @@ func tokenize(s string) ([]token, error) {
 		case c == '\'':
 			j := i + 1
 			var sb strings.Builder
-			for j < len(s) && s[j] != '\'' {
+			for {
+				if j >= len(s) {
+					return nil, fmt.Errorf("irdb: unterminated string literal")
+				}
+				if s[j] == '\'' {
+					// A doubled quote is SQL's escape for a literal
+					// quote inside the string ('it''s' => it's).
+					if j+1 < len(s) && s[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
 				sb.WriteByte(s[j])
 				j++
-			}
-			if j >= len(s) {
-				return nil, fmt.Errorf("irdb: unterminated string literal")
 			}
 			toks = append(toks, token{kind: 's', text: sb.String()})
 			i = j + 1
@@ -200,6 +214,7 @@ func (p *sqlParser) where() (func(Row) bool, error) {
 	type cond struct {
 		col, op string
 		val     any
+		set     []any // IN / NOT IN literal list
 	}
 	var conds []cond
 	for {
@@ -207,16 +222,36 @@ func (p *sqlParser) where() (func(Row) bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		if p.pos >= len(p.toks) || p.toks[p.pos].kind != 'p' {
-			return nil, fmt.Errorf("irdb: expected comparison operator")
+		switch {
+		case p.peekKw("IN"):
+			p.pos++
+			set, err := p.literalList()
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, cond{col: col, op: "in", set: set})
+		case p.peekKw("NOT"):
+			p.pos++
+			if err := p.eatKw("IN"); err != nil {
+				return nil, err
+			}
+			set, err := p.literalList()
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, cond{col: col, op: "not-in", set: set})
+		default:
+			if p.pos >= len(p.toks) || p.toks[p.pos].kind != 'p' {
+				return nil, fmt.Errorf("irdb: expected comparison operator")
+			}
+			op := p.toks[p.pos].text
+			p.pos++
+			val, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, cond{col: col, op: op, val: val})
 		}
-		op := p.toks[p.pos].text
-		p.pos++
-		val, err := p.literal()
-		if err != nil {
-			return nil, err
-		}
-		conds = append(conds, cond{col: col, op: op, val: val})
 		if !p.peekKw("AND") {
 			break
 		}
@@ -224,12 +259,56 @@ func (p *sqlParser) where() (func(Row) bool, error) {
 	}
 	return func(r Row) bool {
 		for _, c := range conds {
-			if !compare(r[c.col], c.op, c.val) {
-				return false
+			switch c.op {
+			case "in", "not-in":
+				member := false
+				for _, v := range c.set {
+					if compare(r[c.col], "=", v) {
+						member = true
+						break
+					}
+				}
+				if member == (c.op == "not-in") {
+					return false
+				}
+			default:
+				if !compare(r[c.col], c.op, c.val) {
+					return false
+				}
 			}
 		}
 		return true
 	}, nil
+}
+
+// literalList parses a parenthesized comma-separated literal list, as
+// used by IN. The list may be empty: IN () is a legal predicate that
+// matches nothing.
+func (p *sqlParser) literalList() ([]any, error) {
+	if err := p.eatPunct("("); err != nil {
+		return nil, err
+	}
+	var vals []any
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == 'p' && p.toks[p.pos].text == ")" {
+		p.pos++
+		return vals, nil
+	}
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.pos < len(p.toks) && p.toks[p.pos].kind == 'p' && p.toks[p.pos].text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.eatPunct(")"); err != nil {
+		return nil, err
+	}
+	return vals, nil
 }
 
 // compare applies op between a stored value and a literal.

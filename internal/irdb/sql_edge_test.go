@@ -1,0 +1,249 @@
+package irdb
+
+// SQL edge-case coverage: IN-list predicates (including the empty
+// list's vacuous semantics), quote escaping in Text literals, ORDER BY
+// on secondary-indexed columns, and the reader/writer concurrency
+// contract (exercised under -race by `make race`).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func edgeDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE syms (addr INT, name TEXT, hot BOOL)")
+	for i, row := range []struct {
+		addr int
+		name string
+		hot  bool
+	}{
+		{0x1000, "alpha", true},
+		{0x2000, "beta", false},
+		{0x3000, "gamma", true},
+		{0x4000, "delta", false},
+	} {
+		q := fmt.Sprintf("INSERT INTO syms (addr, name, hot) VALUES (%d, '%s', %v)", row.addr, row.name, row.hot)
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return db
+}
+
+func TestSQLInLists(t *testing.T) {
+	db := edgeDB(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"SELECT * FROM syms WHERE addr IN (0x1000, 0x3000)", 2},
+		{"SELECT * FROM syms WHERE addr IN (0x1000)", 1},
+		{"SELECT * FROM syms WHERE addr IN (99)", 0},
+		{"SELECT * FROM syms WHERE name IN ('alpha', 'nosuch', 'delta')", 2},
+		{"SELECT * FROM syms WHERE hot IN (TRUE)", 2},
+		{"SELECT * FROM syms WHERE addr NOT IN (0x1000, 0x3000)", 2},
+		{"SELECT * FROM syms WHERE name NOT IN ('alpha')", 3},
+		// Vacuous lists: IN () matches nothing, NOT IN () everything.
+		{"SELECT * FROM syms WHERE addr IN ()", 0},
+		{"SELECT * FROM syms WHERE addr NOT IN ()", 4},
+		// IN composes with AND and the other operators.
+		{"SELECT * FROM syms WHERE addr IN (0x1000, 0x2000, 0x3000) AND hot = TRUE", 2},
+		{"SELECT * FROM syms WHERE addr > 0x1000 AND name IN ('beta', 'gamma')", 2},
+		// COUNT over an IN predicate.
+		{"SELECT COUNT(*) FROM syms WHERE addr IN (0x2000, 0x4000)", 1},
+	}
+	for _, tt := range cases {
+		res, err := db.Exec(tt.q)
+		if err != nil {
+			t.Errorf("%s: %v", tt.q, err)
+			continue
+		}
+		if len(res.Rows) != tt.want {
+			t.Errorf("%s: %d rows, want %d", tt.q, len(res.Rows), tt.want)
+		}
+	}
+	// Type mismatches inside the list never match (same as compare).
+	res, err := db.Exec("SELECT * FROM syms WHERE addr IN ('alpha')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("string literal matched INT column: %d rows", len(res.Rows))
+	}
+	// Malformed lists are parse errors, not empty matches.
+	for _, q := range []string{
+		"SELECT * FROM syms WHERE addr IN (1,)",
+		"SELECT * FROM syms WHERE addr IN 1",
+		"SELECT * FROM syms WHERE addr IN (1",
+		"SELECT * FROM syms WHERE addr NOT (1)",
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("%s: accepted", q)
+		}
+	}
+}
+
+func TestSQLStringEscaping(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE notes (txt TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	// '' escapes a quote; the stored value carries the single quote.
+	inserts := map[string]string{
+		"INSERT INTO notes (txt) VALUES ('it''s')":      "it's",
+		"INSERT INTO notes (txt) VALUES ('''')":         "'",
+		"INSERT INTO notes (txt) VALUES ('a''''b')":     "a''b",
+		"INSERT INTO notes (txt) VALUES ('')":           "",
+		"INSERT INTO notes (txt) VALUES ('no escapes')": "no escapes",
+		"INSERT INTO notes (txt) VALUES ('trailing''')": "trailing'",
+		"INSERT INTO notes (txt) VALUES ('''leading')":  "'leading",
+	}
+	for q, want := range inserts {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Errorf("%s: %v", q, err)
+			continue
+		}
+		got, err := db.Get("notes", res.LastID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got["txt"] != want {
+			t.Errorf("%s: stored %q, want %q", q, got["txt"], want)
+		}
+	}
+	// Escaped literals work in predicates too: the WHERE value must
+	// match the unescaped stored text.
+	res, err := db.Exec("SELECT COUNT(*) FROM notes WHERE txt = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0]["count"].(int64); n != 1 {
+		t.Fatalf("escaped WHERE literal matched %d rows, want 1", n)
+	}
+	// And in IN lists.
+	res, err = db.Exec("SELECT COUNT(*) FROM notes WHERE txt IN ('it''s', '''')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0]["count"].(int64); n != 2 {
+		t.Fatalf("escaped IN list matched %d rows, want 2", n)
+	}
+	// Unterminated strings still error, including one ending mid-escape.
+	for _, q := range []string{
+		"SELECT * FROM notes WHERE txt = 'open",
+		"SELECT * FROM notes WHERE txt = 'open''",
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("%s: accepted", q)
+		}
+	}
+}
+
+func TestSQLOrderByIndexedColumn(t *testing.T) {
+	db := edgeDB(t)
+	// A secondary index on the ORDER BY column must not change result
+	// order or content — only how Select scans.
+	orderQ := "SELECT name FROM syms WHERE addr > 0 ORDER BY name DESC"
+	want := []string{"gamma", "delta", "beta", "alpha"}
+	check := func(label string) {
+		t.Helper()
+		res, err := db.Exec(orderQ)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", label, len(res.Rows), len(want))
+		}
+		for i, r := range res.Rows {
+			if r["name"] != want[i] {
+				t.Fatalf("%s: row %d = %v, want %s", label, i, r["name"], want[i])
+			}
+		}
+	}
+	check("unindexed")
+	if err := db.CreateIndex("syms", "name"); err != nil {
+		t.Fatal(err)
+	}
+	check("indexed")
+	// Ascending with LIMIT, over the index.
+	res, err := db.Exec("SELECT name FROM syms ORDER BY name ASC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0]["name"] != "alpha" || res.Rows[1]["name"] != "beta" {
+		t.Fatalf("indexed ASC LIMIT: %+v", res.Rows)
+	}
+	// ORDER BY an unknown column stays a typed error with the index in
+	// place.
+	if _, err := db.Exec("SELECT name FROM syms ORDER BY nosuch"); err == nil {
+		t.Fatal("ORDER BY unknown column accepted")
+	}
+}
+
+// TestSQLConcurrentReadersWriter drives concurrent Exec readers against
+// Exec writers on one DB. Run under -race this is the locking contract's
+// regression test; without -race it still checks nothing is lost.
+func TestSQLConcurrentReadersWriter(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE log (n INT, tag TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("log", "n"); err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, perWriter = 2, 4, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				q := fmt.Sprintf("INSERT INTO log (n, tag) VALUES (%d, 'w%d')", w*perWriter+i, w)
+				if _, err := db.Exec(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				queries := []string{
+					"SELECT COUNT(*) FROM log",
+					"SELECT * FROM log WHERE tag IN ('w0', 'w1') ORDER BY n DESC LIMIT 5",
+					fmt.Sprintf("SELECT * FROM log WHERE n = %d", i),
+				}
+				if _, err := db.Exec(queries[i%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0]["count"].(int64); n != writers*perWriter {
+		t.Fatalf("lost writes: %d rows, want %d", n, writers*perWriter)
+	}
+}

@@ -261,6 +261,30 @@ func (t *Trace) Observe(name string, v int64) {
 	t.mu.Unlock()
 }
 
+// Counter returns the current value of a named counter — 0 when the
+// counter has never been bumped or the trace is disabled. Safe for
+// concurrent use; intended for tests and serving-layer introspection
+// that need one value without snapshotting the whole trace.
+func (t *Trace) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.met.Counters[name]
+}
+
+// Gauge returns the current value of a named gauge — 0 when the gauge
+// has never been set or the trace is disabled. Safe for concurrent use.
+func (t *Trace) Gauge(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.met.Gauges[name]
+}
+
 // Snapshot captures the trace's current spans and metrics. The returned
 // structures are shared, not copied: treat them as read-only, and
 // prefer snapshotting after Close (or after all spans have ended).

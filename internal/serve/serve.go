@@ -1,0 +1,339 @@
+// Package serve is the rewrite-as-a-service layer: a long-running batch
+// front end over the zipr pipeline for deployments where the same
+// (binary, configuration) pair is rewritten over and over and must be
+// answered from cache, not re-disassembled.
+//
+// Three mechanisms compose:
+//
+//   - A content-addressed rewrite cache keyed by SHA-256 of the input
+//     image plus the canonical Config fingerprint (zipr.Config.Fingerprint),
+//     with LRU eviction under a byte budget. Every cached output carries
+//     its own digest, verified on hit, so a corrupted entry degrades to
+//     a miss — the cache can serve stale-free wrong bytes never.
+//   - Singleflight de-duplication: concurrent identical requests share
+//     one pipeline run; followers wait for the leader's result instead
+//     of burning workers on identical work.
+//   - Admission control: at most Workers concurrent pipeline runs, a
+//     bounded wait queue, and per-request deadlines via context. A
+//     saturated queue or an expired deadline rejects with the typed
+//     zerr.ErrBusy class instead of queueing unboundedly.
+//
+// Observability lands on the Options.Trace: serve.cache.{hit,miss,
+// evict,corrupt} counters, queue-depth and cache-size gauges, and one
+// detached span per request. Fault injection (Options.Chaos) arms the
+// serve-specific kinds fault.CacheCorrupt (hit-path corruption, which
+// the digest check must turn into a verified fallback rewrite) and
+// fault.QueueDrop (spurious admission rejection, which must surface as
+// a typed ErrBusy+ErrInjected error).
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zipr"
+	"zipr/internal/fault"
+	"zipr/internal/obs"
+	"zipr/internal/zerr"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the maximum number of concurrent pipeline runs
+	// (default GOMAXPROCS). Cache hits and singleflight followers do
+	// not consume workers.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a free
+	// worker (default 64). Beyond it, requests are rejected with
+	// zerr.ErrBusy immediately instead of queueing.
+	QueueDepth int
+	// CacheBytes is the rewrite cache's byte budget over cached output
+	// images (default 64 MiB). Negative disables caching entirely.
+	CacheBytes int64
+	// Trace receives the serving layer's counters, gauges and
+	// per-request spans; nil disables instrumentation.
+	Trace *obs.Trace
+	// Chaos arms deterministic fault injection for the serving layer
+	// (fault.CacheCorrupt, fault.QueueDrop) and is threaded into each
+	// pipeline run that does not carry its own injector. Nil disables
+	// injection.
+	Chaos *fault.Injector
+}
+
+// Stats is a point-in-time snapshot of the server's behavior.
+type Stats struct {
+	Hits, Misses int64 // cache outcomes
+	Evictions    int64 // entries dropped for the byte budget
+	Corrupt      int64 // hits whose digest check failed (fell back)
+	Shared       int64 // singleflight followers served by a leader
+	Rejected     int64 // admissions refused (queue full, injected)
+	Expired      int64 // deadlines that fired while queued/waiting
+	PipelineRuns int64 // actual rewrites executed
+	CacheEntries int   // current entry count
+	CacheBytes   int64 // current cached output bytes
+	QueueDepth   int   // requests currently waiting for a worker
+}
+
+// Server is a concurrent batch rewriting daemon core. Construct with
+// New; all methods are safe for concurrent use.
+type Server struct {
+	opts Options
+	tr   *obs.Trace
+	inj  *fault.Injector
+	sem  chan struct{}
+
+	mu       sync.Mutex
+	cache    *lruCache // nil when caching is disabled
+	inflight map[Key]*call
+	stats    Stats
+	closed   bool
+}
+
+// call is one in-flight pipeline run shared by a leader and any
+// followers that requested the same key while it ran.
+type call struct {
+	done chan struct{}
+	out  []byte
+	rep  *zipr.Report
+	err  error
+}
+
+// New creates a Server. Call Close when done.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	s := &Server{
+		opts:     opts,
+		tr:       opts.Trace,
+		inj:      opts.Chaos.WithTrace(opts.Trace),
+		sem:      make(chan struct{}, opts.Workers),
+		inflight: make(map[Key]*call),
+	}
+	if opts.CacheBytes > 0 {
+		s.cache = newLRUCache(opts.CacheBytes)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the server's counters and occupancy.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	if s.cache != nil {
+		st.CacheEntries = len(s.cache.entries)
+		st.CacheBytes = s.cache.bytes
+	}
+	return st
+}
+
+// Close marks the server closed; subsequent Rewrite calls are rejected.
+// In-flight requests complete normally.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// effective resolves the request configuration the pipeline will really
+// run under: a server-level injector is threaded into requests that do
+// not carry their own. The cache key must be derived from this resolved
+// config — keying on the caller's nil-chaos config would alias injected
+// and clean outputs under one address.
+func (s *Server) effective(cfg zipr.Config) zipr.Config {
+	if cfg.Chaos == nil && s.inj != nil {
+		cfg.Chaos = s.inj
+	}
+	return cfg
+}
+
+// Rewrite answers one request: from cache when the content address is
+// known, from a shared in-flight run when an identical request is
+// already executing, and from a fresh admitted pipeline run otherwise.
+// The returned image is the caller's to keep. ctx bounds the whole
+// request; a deadline that expires before a worker frees up rejects
+// with zerr.ErrBusy.
+func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]byte, *zipr.Report, error) {
+	cfg = s.effective(cfg)
+	key := CacheKey(input, cfg)
+	// Debug captures (IRDB, address maps) reference per-run pipeline
+	// state a cache entry cannot reproduce; such requests bypass the
+	// cache in both directions.
+	cacheable := !cfg.CaptureIR && !cfg.EmitMap
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("serve: %w: server closed", zerr.ErrBusy)
+	}
+	if cacheable && s.cache != nil {
+		if e := s.cache.get(key); e != nil {
+			if s.inj.Fires(fault.CacheCorrupt, key.site()) && len(e.out) > 0 {
+				// Corrupt the stored entry itself: the digest check below
+				// must catch it, evict it, and fall back to a fresh run.
+				e.out[s.inj.Pick(fault.CacheCorrupt, key.site(), len(e.out))] ^= 0xFF
+			}
+			out := append([]byte(nil), e.out...)
+			sum := e.sum
+			rep := s.hitReport(e, len(input))
+			s.mu.Unlock()
+			if sha256.Sum256(out) == sum {
+				s.count("serve.cache.hit", &s.stats.Hits)
+				s.span("serve.hit")
+				return out, rep, nil
+			}
+			// Verified fallback: drop the poisoned entry and rewrite.
+			s.mu.Lock()
+			if e2 := s.cache.entries[key]; e2 == e {
+				s.cache.remove(e)
+				s.syncCacheGaugesLocked()
+			}
+			s.mu.Unlock()
+			s.count("serve.cache.corrupt", &s.stats.Corrupt)
+			s.mu.Lock()
+		}
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.count("serve.singleflight.shared", &s.stats.Shared)
+		select {
+		case <-c.done:
+			if c.err != nil {
+				return nil, nil, c.err
+			}
+			rep := *c.rep
+			return append([]byte(nil), c.out...), &rep, nil
+		case <-ctx.Done():
+			s.count("serve.deadline.expired", &s.stats.Expired)
+			return nil, nil, fmt.Errorf("serve: %w: %v while awaiting shared run", zerr.ErrBusy, ctx.Err())
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	finish := func(out []byte, rep *zipr.Report, err error) {
+		c.out, c.rep, c.err = out, rep, err
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(c.done)
+	}
+
+	if err := s.admit(ctx, key.site()); err != nil {
+		finish(nil, nil, err)
+		return nil, nil, err
+	}
+	sp := s.tr.StartDetached("serve.miss")
+	s.count("serve.cache.miss", &s.stats.Misses)
+	s.count("serve.pipeline.runs", &s.stats.PipelineRuns)
+	out, rep, err := zipr.Rewrite(input, cfg)
+	<-s.sem
+	sp.End()
+	if err != nil {
+		finish(nil, nil, err)
+		return nil, nil, err
+	}
+	if cacheable && s.cache != nil {
+		e := &entry{
+			key:      key,
+			out:      append([]byte(nil), out...),
+			sum:      sha256.Sum256(out),
+			stats:    rep.Stats,
+			layout:   rep.Layout,
+			warnings: append([]string(nil), rep.Warnings...),
+		}
+		s.mu.Lock()
+		before := s.cache.evicted
+		s.cache.put(e)
+		evicted := s.cache.evicted - before
+		s.stats.Evictions += evicted
+		s.syncCacheGaugesLocked()
+		s.mu.Unlock()
+		if evicted > 0 {
+			s.tr.Add("serve.cache.evict", evicted)
+		}
+	}
+	finish(out, rep, err)
+	repCopy := *rep
+	return append([]byte(nil), out...), &repCopy, nil
+}
+
+// admit acquires a worker slot, waiting in the bounded queue when all
+// workers are busy. It owns one sem token on nil return.
+func (s *Server) admit(ctx context.Context, site uint32) error {
+	if s.inj.Fires(fault.QueueDrop, site) {
+		s.count("serve.admit.rejected", &s.stats.Rejected)
+		return fmt.Errorf("serve: %w: admission dropped (%w)", zerr.ErrBusy, zerr.ErrInjected)
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	s.mu.Lock()
+	if s.stats.QueueDepth >= s.opts.QueueDepth {
+		s.mu.Unlock()
+		s.count("serve.admit.rejected", &s.stats.Rejected)
+		return fmt.Errorf("serve: %w: queue full (%d waiting)", zerr.ErrBusy, s.opts.QueueDepth)
+	}
+	s.stats.QueueDepth++
+	s.tr.SetGauge("serve.queue.depth", int64(s.stats.QueueDepth))
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.stats.QueueDepth--
+		s.tr.SetGauge("serve.queue.depth", int64(s.stats.QueueDepth))
+		s.mu.Unlock()
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.count("serve.deadline.expired", &s.stats.Expired)
+		return fmt.Errorf("serve: %w: %v while queued", zerr.ErrBusy, ctx.Err())
+	}
+}
+
+// hitReport reconstructs the report a cold rewrite of this entry
+// produced, minus per-run pipeline state. Caller holds s.mu.
+func (s *Server) hitReport(e *entry, inputSize int) *zipr.Report {
+	return &zipr.Report{
+		Stats:      e.stats,
+		Layout:     e.layout,
+		Warnings:   append([]string(nil), e.warnings...),
+		InputSize:  inputSize,
+		OutputSize: len(e.out),
+	}
+}
+
+// count bumps a trace counter and the matching Stats field.
+func (s *Server) count(name string, field *int64) {
+	s.tr.Add(name, 1)
+	s.mu.Lock()
+	*field++
+	s.mu.Unlock()
+}
+
+// span records an instantaneous per-request span (hits have no
+// meaningful duration worth sampling memory stats for).
+func (s *Server) span(name string) {
+	s.tr.Record(name, 0, 1)
+}
+
+// syncCacheGaugesLocked publishes cache occupancy gauges; caller holds
+// s.mu.
+func (s *Server) syncCacheGaugesLocked() {
+	s.tr.SetGauge("serve.cache.bytes", s.cache.bytes)
+	s.tr.SetGauge("serve.cache.entries", int64(len(s.cache.entries)))
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zipr"
+)
+
+// ParseTransforms turns a comma-separated transform specification into
+// a transform stack. Each element is a name with an optional ":value"
+// parameter:
+//
+//	null            the no-op baseline
+//	cfi             control-flow integrity
+//	stackpad[:N]    frame padding of N bytes (default 64)
+//	canary[:V]      stack canary with word V (default built-in)
+//	stir[:SEED]     block-granularity stirring (default seed 1)
+//	nop-elide       no-op padding removal
+//	pin-blocks      the pin-everything ablation
+//
+// An empty spec yields the null stack. This is the wire syntax of
+// cmd/ziprd requests; cmd/zipr's -transforms flag accepts the subset
+// without parameters.
+func ParseTransforms(spec string) ([]zipr.Transform, error) {
+	var tfs []zipr.Transform
+	for _, field := range strings.Split(spec, ",") {
+		name, arg, hasArg := strings.Cut(strings.TrimSpace(field), ":")
+		argInt := func(def int64) (int64, error) {
+			if !hasArg || arg == "" {
+				return def, nil
+			}
+			v, err := strconv.ParseInt(arg, 0, 64)
+			if err != nil {
+				return 0, fmt.Errorf("serve: transform %q: bad parameter %q", name, arg)
+			}
+			return v, nil
+		}
+		switch name {
+		case "", "null":
+			tfs = append(tfs, zipr.Null())
+		case "cfi":
+			tfs = append(tfs, zipr.CFI())
+		case "stackpad":
+			pad, err := argInt(64)
+			if err != nil {
+				return nil, err
+			}
+			tfs = append(tfs, zipr.StackPad(int32(pad)))
+		case "canary":
+			v, err := argInt(0)
+			if err != nil {
+				return nil, err
+			}
+			tfs = append(tfs, zipr.Canary(uint32(v)))
+		case "stir":
+			seed, err := argInt(1)
+			if err != nil {
+				return nil, err
+			}
+			tfs = append(tfs, zipr.Stir(seed))
+		case "nop-elide", "nopelide":
+			tfs = append(tfs, zipr.NopElide())
+		case "pin-blocks":
+			tfs = append(tfs, zipr.PinBlocks())
+		default:
+			return nil, fmt.Errorf("serve: unknown transform %q", name)
+		}
+	}
+	return tfs, nil
+}

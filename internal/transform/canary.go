@@ -1,6 +1,8 @@
 package transform
 
 import (
+	"fmt"
+
 	"zipr/internal/ir"
 	"zipr/internal/isa"
 )
@@ -23,6 +25,9 @@ var _ Transform = Canary{}
 
 // Name implements Transform.
 func (Canary) Name() string { return "canary" }
+
+// Params implements Parametric for the rewrite-cache fingerprint.
+func (t Canary) Params() string { return fmt.Sprintf("value=%#x", t.Value) }
 
 // Apply implements Transform.
 func (t Canary) Apply(ctx *Context) error {

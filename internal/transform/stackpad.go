@@ -1,6 +1,8 @@
 package transform
 
 import (
+	"fmt"
+
 	"zipr/internal/ir"
 	"zipr/internal/isa"
 )
@@ -29,6 +31,11 @@ var _ Transform = StackPad{}
 
 // Name implements Transform.
 func (StackPad) Name() string { return "stackpad" }
+
+// Params implements Parametric for the rewrite-cache fingerprint.
+func (t StackPad) Params() string {
+	return fmt.Sprintf("pad=%d,minframe=%d", t.Pad, t.MinFrame)
+}
 
 // Apply implements Transform.
 func (t StackPad) Apply(ctx *Context) error {

@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"fmt"
 	"math/rand"
 
 	"zipr/internal/ir"
@@ -29,6 +30,11 @@ var _ Transform = Stir{}
 
 // Name implements Transform.
 func (Stir) Name() string { return "stir" }
+
+// Params implements Parametric for the rewrite-cache fingerprint.
+func (t Stir) Params() string {
+	return fmt.Sprintf("seed=%d,chance=%d", t.Seed, t.Chance)
+}
 
 // Apply implements Transform.
 func (t Stir) Apply(ctx *Context) error {

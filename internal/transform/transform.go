@@ -22,6 +22,16 @@ type Transform interface {
 	Apply(ctx *Context) error
 }
 
+// Parametric is implemented by transforms whose behavior depends on
+// configuration beyond their name (padding widths, canary values,
+// shuffle seeds). Params returns a canonical rendering of that
+// configuration; it feeds the rewrite-cache fingerprint, so two
+// transforms with equal Name and Params must rewrite identically.
+// Transforms without parameters need not implement it.
+type Parametric interface {
+	Params() string
+}
+
 // Context is the user-transform API: access to the program plus
 // convenience iterators. All mutation goes through the ir.Program
 // methods (InsertBefore/InsertAfter/NewInst/AllocData/Defer).

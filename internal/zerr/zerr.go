@@ -34,6 +34,11 @@ var (
 	ErrExhausted = errors.New("address space exhausted")
 	// ErrLoad: the loader rejected a binary or its library set.
 	ErrLoad = errors.New("load failed")
+	// ErrBusy: the serving layer refused admission — the queue was full
+	// or the request's deadline expired before a worker picked it up.
+	// Unlike the pipeline classes it describes transient load, not the
+	// input: the same request can succeed on retry.
+	ErrBusy = errors.New("server saturated")
 )
 
 // ErrInjected marks errors caused by deliberate fault injection
@@ -54,6 +59,7 @@ var classes = []struct {
 	{ErrExhausted, "exhausted"},
 	{ErrLayout, "layout"},
 	{ErrLoad, "load"},
+	{ErrBusy, "busy"},
 }
 
 // ClassOf returns the taxonomy class of err, or nil if err carries none.

@@ -20,6 +20,8 @@ package zipr
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"zipr/internal/binfmt"
 	"zipr/internal/cfg"
@@ -78,6 +80,10 @@ var (
 	ErrExhausted = zerr.ErrExhausted
 	// ErrLoad: the loader rejected a binary or its library set.
 	ErrLoad = zerr.ErrLoad
+	// ErrBusy: the serving layer (internal/serve, cmd/ziprd) refused
+	// admission — queue full or deadline expired before a worker was
+	// free. Transient: the same request can succeed on retry.
+	ErrBusy = zerr.ErrBusy
 	// ErrInjected marks errors caused by deliberate fault injection; it
 	// is orthogonal to the classes above.
 	ErrInjected = zerr.ErrInjected
@@ -238,6 +244,68 @@ type Config struct {
 	// absorbed the fault) or a typed error — the chaos harness enforces
 	// this invariant. Nil disables injection with no overhead.
 	Chaos *FaultInjector
+}
+
+// TransformParams is implemented by transforms whose behavior depends
+// on configuration beyond their name (padding widths, canary values,
+// shuffle seeds). Config.Fingerprint folds Params() into the rewrite-
+// cache key, so two transforms with equal Name and Params must rewrite
+// identically; the parametrized built-ins (StackPad, Canary, Stir)
+// implement it, and custom parametrized transforms should too — a
+// transform that varies behavior without varying its fingerprint will
+// alias other configurations' cache entries.
+type TransformParams = transform.Parametric
+
+// Fingerprint returns a canonical, human-readable description of every
+// Config field that can change the rewritten bytes: the transform stack
+// in application order (names plus TransformParams), the layout
+// strategy, the layout seeds that matter under it, and the chaos
+// schedule when fault injection is armed. Observability and capture
+// settings (Trace, CaptureIR, EmitMap) are excluded — they never alter
+// the output image.
+//
+// Equal fingerprints plus byte-identical inputs imply byte-identical
+// outputs (the pipeline is deterministic), which is exactly the
+// contract the internal/serve content-addressed cache keys on.
+func (c Config) Fingerprint() string {
+	var sb strings.Builder
+	sb.WriteString("cfg-v1")
+	layoutKind := c.Layout
+	if layoutKind == "" {
+		layoutKind = LayoutOptimized
+	}
+	fmt.Fprintf(&sb, "|layout=%s", layoutKind)
+	if layoutKind == LayoutDiversity {
+		// The seed only reaches the placer under the diversity layout;
+		// folding it in unconditionally would split identical rewrites
+		// across distinct cache keys.
+		fmt.Fprintf(&sb, "|seed=%d", c.Seed)
+	}
+	if layoutKind == LayoutProfileGuided && len(c.HotFuncs) > 0 {
+		// hotRanges treats HotFuncs as a set: order and duplicates are
+		// behaviorally irrelevant, so canonicalize to sorted-unique.
+		hot := append([]uint32(nil), c.HotFuncs...)
+		sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+		sb.WriteString("|hot=")
+		var last uint32
+		for i, a := range hot {
+			if i > 0 && a == last {
+				continue
+			}
+			fmt.Fprintf(&sb, "%x,", a)
+			last = a
+		}
+	}
+	for _, t := range c.Transforms {
+		fmt.Fprintf(&sb, "|t:%s", t.Name())
+		if p, ok := t.(transform.Parametric); ok {
+			fmt.Fprintf(&sb, "{%s}", p.Params())
+		}
+	}
+	if c.Chaos.Enabled() {
+		fmt.Fprintf(&sb, "|chaos=%d", c.Chaos.Seed())
+	}
+	return sb.String()
 }
 
 // Stats summarizes what the reassembler did; see the paper's §II-C for
