@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the full local gate.
 GO ?= go
 
-.PHONY: build vet test race cover bench benchsmoke fuzzsmoke examples ci
+.PHONY: build vet test race cover bench benchsmoke fuzzsmoke examples metricslint ci
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ cover:
 # diet (compare DisassembleSerial vs DisassembleParallel, EvalJ1 vs
 # EvalJN). The run is converted to BENCH_pipeline.json (ns/op, allocs/op
 # and the speedup-x metrics, machine-readable) via cmd/benchjson.
-BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss
+BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
 
@@ -62,4 +62,11 @@ examples:
 	$(GO) build ./examples/...
 	@set -e; for d in examples/*/; do echo "run $$d"; $(GO) run ./$$d >/dev/null; done
 
-ci: build vet race cover bench benchsmoke fuzzsmoke examples
+# Metrics gate: the naming lint (lowercase dotted family names, bounded
+# label cardinality, unique exposition names) plus the Prometheus
+# exposition self-check (HELP/TYPE pairing, label escaping, monotone
+# cumulative buckets, _sum/_count consistency).
+metricslint:
+	$(GO) test -run 'TestMetricsNamingLint|TestPromExposition|TestPromName' ./internal/serve/ ./internal/obs/
+
+ci: build vet race cover bench benchsmoke fuzzsmoke examples metricslint

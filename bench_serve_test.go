@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"zipr"
+	"zipr/internal/obs"
 	"zipr/internal/serve"
 	"zipr/internal/synth"
 )
@@ -49,6 +50,50 @@ func BenchmarkServeHotCache(b *testing.B) {
 	b.StopTimer()
 	if st := s.Stats(); st.PipelineRuns != 1 {
 		b.Fatalf("hot loop ran the pipeline %d times, want 1", st.PipelineRuns)
+	}
+}
+
+// BenchmarkServeInstrumented measures the fully instrumented hot path:
+// labeled registry, per-request trace folded into a lifetime Agg —
+// everything a scraped ziprd does per request beyond the rewrite
+// itself. Compare against BenchmarkServeHotCache for the telemetry
+// tax, and read the rolling p95 off the registry (reported as
+// p95-us).
+func BenchmarkServeInstrumented(b *testing.B) {
+	img := benchImage(b)
+	reg := obs.NewRegistry()
+	s := serve.New(serve.Options{Workers: 1, Registry: reg})
+	defer s.Close()
+	agg := obs.NewAgg()
+	cfg := zipr.Config{Transforms: []zipr.Transform{zipr.CFI()}}
+	if _, _, _, err := s.RewriteMeta(context.Background(), img, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.New()
+		rcfg := cfg
+		rcfg.Trace = tr
+		if _, _, _, err := s.RewriteMeta(context.Background(), img, rcfg); err != nil {
+			b.Fatal(err)
+		}
+		agg.AddTrace(tr)
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.PipelineRuns != 1 {
+		b.Fatalf("hot loop ran the pipeline %d times, want 1", st.PipelineRuns)
+	}
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != "serve.request.latency" {
+			continue
+		}
+		for _, se := range fam.Series {
+			if se.Labels[0] == serve.OutcomeHit {
+				b.ReportMetric(float64(se.P95), "p95-us")
+			}
+		}
 	}
 }
 

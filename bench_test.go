@@ -27,6 +27,7 @@ import (
 	"zipr/internal/disasm"
 	layoutpkg "zipr/internal/layout"
 	"zipr/internal/loader"
+	"zipr/internal/obs"
 	"zipr/internal/synth"
 	"zipr/internal/transform"
 	"zipr/internal/vm"
@@ -377,6 +378,35 @@ func BenchmarkRewriteNoTrace(b *testing.B) {
 		if _, _, err := RewriteBinary(bin.Clone(), Config{Transforms: []Transform{Null()}, Trace: nil}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRewriteNoTraceLabeled extends the nil-trace guard to the
+// labeled registry: handles resolved from a nil *obs.Registry are
+// bumped on every iteration alongside the untraced rewrite, and
+// allocs/op must match BenchmarkRewriteNoTrace (within the pipeline's
+// few-allocs run-to-run drift) — disabled labeled metrics add zero
+// allocations, like a disabled trace. The strict zero-alloc contract
+// itself is pinned by TestNilRegistryZeroAlloc.
+func BenchmarkRewriteNoTraceLabeled(b *testing.B) {
+	seed, profile := synth.CBProfile(10)
+	bin, err := synth.Build(seed, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reg *obs.Registry
+	total := reg.Counter("serve.request.total", "requests", "outcome").With("miss")
+	latency := reg.Window("serve.request.latency", "wall", 0, "outcome").With("miss")
+	depth := reg.Gauge("serve.queue.depth", "waiting").With()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RewriteBinary(bin.Clone(), Config{Transforms: []Transform{Null()}, Trace: nil}); err != nil {
+			b.Fatal(err)
+		}
+		total.Add(1)
+		latency.Observe(int64(i))
+		depth.Set(int64(i))
 	}
 }
 

@@ -1,27 +1,42 @@
 // Command ziprd is the batch rewriting daemon: a long-running front end
 // over the zipr pipeline with a content-addressed rewrite cache,
-// singleflight de-duplication and bounded-queue admission control (see
-// internal/serve).
+// singleflight de-duplication, bounded-queue admission control (see
+// internal/serve) and service-grade telemetry (labeled metrics,
+// per-request tracing, a JSONL access log).
 //
 // Usage:
 //
 //	ziprd [-j N] [-queue N] [-cache-bytes N] [-deadline D] [-chaos-seed N]
-//	      [-listen ADDR] [-stats]
+//	      [-listen ADDR] [-stats] [-access-log FILE] [-trace-sample N]
 //
 // With -listen, ziprd serves HTTP:
 //
 //	POST /rewrite?transforms=cfi,stackpad:32&layout=diversity&seed=7
 //	    request body: the ZELF input image; response body: the
 //	    rewritten image. X-Zipr-Cache reports hit or miss. Saturation
-//	    rejects with 503, malformed inputs with 400.
-//	GET /stats      cache and admission counters as JSON
-//	GET /healthz    liveness probe
+//	    rejects with 503, malformed inputs with 400. A caller-supplied
+//	    X-Zipr-Trace ID (1-64 chars of [A-Za-z0-9._-]) is echoed back
+//	    and stamped on the access log; absent or invalid IDs are
+//	    replaced with a generated one.
+//	GET /stats            cache and admission counters as JSON, plus a
+//	                      labeled-metrics snapshot with rolling quantiles
+//	GET /metrics          Prometheus text exposition (zipr_* families)
+//	GET /healthz          liveness probe
+//	GET /debug/requests   recent sampled request span trees (JSON)
+//	GET /debug/phases     server-lifetime aggregated phase table
+//	GET /debug/pprof/     Go profiling endpoints
 //
 // Without -listen, ziprd runs in JSONL batch mode: one request object
 // per stdin line, one response object per stdout line, responses in
-// input order regardless of -j. Request fields: id, input (base64),
-// transforms, layout, seed, deadline_ms. Response fields: id, output
-// (base64), input_size, output_size, layout, cached, error, class.
+// input order regardless of -j. Request fields: id, trace, input
+// (base64), transforms, layout, seed, deadline_ms. Response fields:
+// id, trace, output (base64), input_size, output_size, layout, cached,
+// error, class.
+//
+// -access-log appends one JSON line per request (trace ID, content
+// digests, outcome, queue wait, wall time, phase breakdown, error
+// class) in both modes. -trace-sample=N keeps every N-th request's
+// span tree for /debug/requests (default 1: all; 0 disables).
 package main
 
 import (
@@ -33,7 +48,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"strconv"
 	"time"
 
 	"zipr"
@@ -56,13 +70,17 @@ func run() error {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off)")
 	stats := flag.Bool("stats", false, "print cache and admission counters to stderr on exit (batch mode)")
+	accessLog := flag.String("access-log", "", "append one JSON line per request to this file")
+	traceSample := flag.Int64("trace-sample", 1, "keep every N-th request's span tree for /debug/requests (0 disables)")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	opts := serve.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: *cacheBytes,
 		Trace:      obs.New(),
+		Registry:   reg,
 	}
 	if *chaosSeed != 0 {
 		opts.Chaos = zipr.NewFaultInjector(*chaosSeed)
@@ -71,11 +89,22 @@ func run() error {
 	s := serve.New(opts)
 	defer s.Close()
 
+	d := newDaemon(s, reg, *deadline)
+	d.sample = *traceSample
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer f.Close()
+		d.logW = f
+	}
+
 	if *listen != "" {
 		fmt.Fprintf(os.Stderr, "ziprd: listening on %s (j=%d)\n", *listen, *workers)
-		return http.ListenAndServe(*listen, newHandler(s, *deadline))
+		return http.ListenAndServe(*listen, newHandler(d))
 	}
-	err := runBatch(s, os.Stdin, os.Stdout, *workers, *deadline)
+	err := runBatch(d, os.Stdin, os.Stdout, *workers)
 	if *stats {
 		st := s.Stats()
 		fmt.Fprintf(os.Stderr, "ziprd: %d runs, %d hits, %d misses, %d shared, %d evicted, %d rejected\n",
@@ -85,9 +114,11 @@ func run() error {
 }
 
 // request is one JSONL batch request. Input is base64 in the wire form
-// (encoding/json's []byte convention).
+// (encoding/json's []byte convention). Trace is an optional
+// caller-supplied trace ID, echoed back on the response.
 type request struct {
 	ID         string `json:"id,omitempty"`
+	Trace      string `json:"trace,omitempty"`
 	Input      []byte `json:"input"`
 	Transforms string `json:"transforms,omitempty"`
 	Layout     string `json:"layout,omitempty"`
@@ -98,6 +129,7 @@ type request struct {
 // response is one JSONL batch response (also the /stats error shape).
 type response struct {
 	ID         string `json:"id,omitempty"`
+	Trace      string `json:"trace,omitempty"`
 	Output     []byte `json:"output,omitempty"`
 	InputSize  int    `json:"input_size,omitempty"`
 	OutputSize int    `json:"output_size,omitempty"`
@@ -107,49 +139,11 @@ type response struct {
 	Class      string `json:"class,omitempty"`
 }
 
-// handle answers one request against the server. cached reports whether
-// the answer was produced without running the pipeline in this request
-// (a cache hit or a shared singleflight result), observed through a
-// per-request trace: every real pipeline run bumps rewrite.count.
-func handle(ctx context.Context, s *serve.Server, req request, deadline time.Duration) response {
-	if req.DeadlineMS > 0 {
-		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
-	}
-	if deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, deadline)
-		defer cancel()
-	}
-	tfs, err := serve.ParseTransforms(req.Transforms)
-	if err != nil {
-		return response{ID: req.ID, Error: err.Error(), Class: "usage"}
-	}
-	tr := obs.New()
-	cfg := zipr.Config{
-		Transforms: tfs,
-		Layout:     zipr.LayoutKind(req.Layout),
-		Seed:       req.Seed,
-		Trace:      tr,
-	}
-	out, rep, err := s.Rewrite(ctx, req.Input, cfg)
-	if err != nil {
-		return response{ID: req.ID, Error: err.Error(), Class: zipr.ErrorClass(err)}
-	}
-	return response{
-		ID:         req.ID,
-		Output:     out,
-		InputSize:  rep.InputSize,
-		OutputSize: rep.OutputSize,
-		Layout:     rep.Layout,
-		Cached:     tr.Counter("rewrite.count") == 0,
-	}
-}
-
 // runBatch consumes JSONL requests from r and emits JSONL responses to
 // w in input order. Up to jobs requests are processed concurrently
 // (0 = GOMAXPROCS via the server's admission control; the reorder
 // window is bounded by the worker count).
-func runBatch(s *serve.Server, r io.Reader, w io.Writer, jobs int, deadline time.Duration) error {
+func runBatch(d *daemon, r io.Reader, w io.Writer, jobs int) error {
 	if jobs <= 0 {
 		jobs = 4
 	}
@@ -193,7 +187,7 @@ func runBatch(s *serve.Server, r io.Reader, w io.Writer, jobs int, deadline time
 				ch <- response{Error: fmt.Sprintf("line %d: %v", line, err), Class: "usage"}
 				return
 			}
-			ch <- handle(context.Background(), s, req, deadline)
+			ch <- d.handle(context.Background(), req)
 		}(line, raw)
 	}
 	close(pending)
@@ -201,61 +195,6 @@ func runBatch(s *serve.Server, r io.Reader, w io.Writer, jobs int, deadline time
 		return err
 	}
 	return sc.Err()
-}
-
-// newHandler builds the daemon's HTTP interface over one server.
-func newHandler(s *serve.Server, deadline time.Duration) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.Stats())
-	})
-	mux.HandleFunc("/rewrite", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		input, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		q := r.URL.Query()
-		req := request{
-			Input:      input,
-			Transforms: q.Get("transforms"),
-			Layout:     q.Get("layout"),
-		}
-		if v := q.Get("seed"); v != "" {
-			if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
-				http.Error(w, "bad seed: "+v, http.StatusBadRequest)
-				return
-			}
-		}
-		if v := q.Get("deadline_ms"); v != "" {
-			if req.DeadlineMS, err = strconv.ParseInt(v, 10, 64); err != nil {
-				http.Error(w, "bad deadline_ms: "+v, http.StatusBadRequest)
-				return
-			}
-		}
-		resp := handle(r.Context(), s, req, deadline)
-		if resp.Error != "" {
-			http.Error(w, resp.Error, statusFor(resp.Class))
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("X-Zipr-Layout", resp.Layout)
-		if resp.Cached {
-			w.Header().Set("X-Zipr-Cache", "hit")
-		} else {
-			w.Header().Set("X-Zipr-Cache", "miss")
-		}
-		w.Write(resp.Output)
-	})
-	return mux
 }
 
 // statusFor maps the typed error taxonomy onto HTTP: saturation is a

@@ -34,16 +34,17 @@ func buildImage(t *testing.T) []byte {
 	return img
 }
 
-func newTestServer(t *testing.T) *serve.Server {
+func newTestDaemon(t *testing.T) *daemon {
 	t.Helper()
-	s := serve.New(serve.Options{Workers: 2, Trace: obs.New()})
+	reg := obs.NewRegistry()
+	s := serve.New(serve.Options{Workers: 2, Trace: obs.New(), Registry: reg})
 	t.Cleanup(s.Close)
-	return s
+	return newDaemon(s, reg, 10*time.Second)
 }
 
 func TestHTTPRewriteHitAndMiss(t *testing.T) {
-	s := newTestServer(t)
-	ts := httptest.NewServer(newHandler(s, 10*time.Second))
+	d := newTestDaemon(t)
+	ts := httptest.NewServer(newHandler(d))
 	defer ts.Close()
 	img := buildImage(t)
 
@@ -66,6 +67,9 @@ func TestHTTPRewriteHitAndMiss(t *testing.T) {
 	if got := cold.Header.Get("X-Zipr-Cache"); got != "miss" {
 		t.Fatalf("cold X-Zipr-Cache = %q, want miss", got)
 	}
+	if cold.Header.Get("X-Zipr-Trace") == "" {
+		t.Fatal("cold response missing generated X-Zipr-Trace")
+	}
 	hot, hotBody := post()
 	if got := hot.Header.Get("X-Zipr-Cache"); got != "hit" {
 		t.Fatalf("hot X-Zipr-Cache = %q, want hit", got)
@@ -79,8 +83,8 @@ func TestHTTPRewriteHitAndMiss(t *testing.T) {
 }
 
 func TestHTTPErrors(t *testing.T) {
-	s := newTestServer(t)
-	ts := httptest.NewServer(newHandler(s, time.Second))
+	d := newTestDaemon(t)
+	ts := httptest.NewServer(newHandler(d))
 	defer ts.Close()
 
 	resp, err := http.Post(ts.URL+"/rewrite", "application/octet-stream", strings.NewReader("junk"))
@@ -90,6 +94,10 @@ func TestHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed input: %d, want 400", resp.StatusCode)
+	}
+	// Error responses still carry the trace ID so failures are greppable.
+	if resp.Header.Get("X-Zipr-Trace") == "" {
+		t.Fatal("error response missing X-Zipr-Trace")
 	}
 	resp, err = http.Post(ts.URL+"/rewrite?transforms=bogus", "application/octet-stream", bytes.NewReader(buildImage(t)))
 	if err != nil {
@@ -110,8 +118,8 @@ func TestHTTPErrors(t *testing.T) {
 }
 
 func TestHTTPStatsAndHealth(t *testing.T) {
-	s := newTestServer(t)
-	ts := httptest.NewServer(newHandler(s, time.Second))
+	d := newTestDaemon(t)
+	ts := httptest.NewServer(newHandler(d))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -147,11 +155,254 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 	}
 }
 
+// TestStatsBackCompat pins the /stats wire shape: every pre-telemetry
+// key must still be present under its original name, and the new
+// Metrics array must carry the labeled snapshot with quantiles.
+func TestStatsBackCompat(t *testing.T) {
+	d := newTestDaemon(t)
+	ts := httptest.NewServer(newHandler(d))
+	defer ts.Close()
+
+	img := buildImage(t)
+	for i := 0; i < 2; i++ {
+		r, err := http.Post(ts.URL+"/rewrite", "application/octet-stream", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"Hits", "Misses", "Evictions", "Corrupt", "Shared", "Rejected",
+		"Expired", "PipelineRuns", "CacheEntries", "CacheBytes", "QueueDepth",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("/stats lost pre-telemetry key %q", key)
+		}
+	}
+	var hits, misses int64
+	json.Unmarshal(m["Hits"], &hits)
+	json.Unmarshal(m["Misses"], &misses)
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	var fams []obs.FamilySnap
+	if err := json.Unmarshal(m["Metrics"], &fams); err != nil {
+		t.Fatalf("Metrics key missing or malformed: %v", err)
+	}
+	var sawTotal, sawLatency bool
+	for _, fam := range fams {
+		switch fam.Name {
+		case "serve.request.total":
+			sawTotal = true
+			got := map[string]int64{}
+			for _, se := range fam.Series {
+				got[se.Labels[0]] = se.Value
+			}
+			if got["hit"] != 1 || got["miss"] != 1 {
+				t.Fatalf("request.total = %v, want hit=1 miss=1", got)
+			}
+		case "serve.request.latency":
+			sawLatency = true
+			for _, se := range fam.Series {
+				if se.Labels[0] == "miss" && (se.Count != 1 || se.P50 <= 0) {
+					t.Fatalf("latency{miss} = %+v, want count 1 with quantiles", se)
+				}
+			}
+		}
+	}
+	if !sawTotal || !sawLatency {
+		t.Fatalf("Metrics missing labeled families (total=%v latency=%v)", sawTotal, sawLatency)
+	}
+}
+
+// TestTraceRoundTrip: a caller-supplied X-Zipr-Trace ID must come back
+// on the response header, appear in the access log line, and be
+// findable in /debug/requests with the request's span tree.
+func TestTraceRoundTrip(t *testing.T) {
+	d := newTestDaemon(t)
+	var logBuf bytes.Buffer
+	d.logW = &logBuf
+	ts := httptest.NewServer(newHandler(d))
+	defer ts.Close()
+
+	const traceID = "test-trace.0042"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/rewrite?transforms=cfi",
+		bytes.NewReader(buildImage(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Zipr-Trace", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rewrite: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Zipr-Trace"); got != traceID {
+		t.Fatalf("response X-Zipr-Trace = %q, want %q", got, traceID)
+	}
+
+	// Access log: one JSONL line carrying the trace ID, digests, outcome
+	// and a phase breakdown.
+	d.logMu.Lock()
+	logLine := strings.TrimSpace(logBuf.String())
+	d.logMu.Unlock()
+	var rec reqRecord
+	if err := json.Unmarshal([]byte(logLine), &rec); err != nil {
+		t.Fatalf("access log line %q: %v", logLine, err)
+	}
+	if rec.Trace != traceID {
+		t.Fatalf("access log trace = %q, want %q", rec.Trace, traceID)
+	}
+	if rec.Outcome != serve.OutcomeMiss || rec.WallNS <= 0 {
+		t.Fatalf("access log record = %+v, want miss with wall > 0", rec)
+	}
+	if len(rec.InputSHA) != 16 || len(rec.ConfigSHA) != 16 {
+		t.Fatalf("access log digests = %q/%q, want 16 hex chars each", rec.InputSHA, rec.ConfigSHA)
+	}
+	if rec.Phases["rewrite"] <= 0 || rec.Phases["rewrite.disassemble"] <= 0 {
+		t.Fatalf("access log phases = %v, want rewrite + disassemble walls", rec.Phases)
+	}
+	if len(rec.Spans) != 0 {
+		t.Fatal("access log line must not embed span trees")
+	}
+
+	// /debug/requests: the sampled ring holds the span tree under the
+	// same trace ID.
+	resp, err = http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ring []reqRecord
+	if err := json.NewDecoder(resp.Body).Decode(&ring); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, r := range ring {
+		if r.Trace == traceID {
+			if len(r.Spans) == 0 {
+				t.Fatal("/debug/requests entry has no span events")
+			}
+			return
+		}
+	}
+	t.Fatalf("trace %q not found in /debug/requests (%d entries)", traceID, len(ring))
+}
+
+// TestInvalidTraceIDReplaced: hostile or malformed trace IDs are not
+// echoed back; the daemon mints a clean one instead.
+func TestInvalidTraceIDReplaced(t *testing.T) {
+	for _, bad := range []string{"no spaces", "inj\"ect", strings.Repeat("x", 65), "new\nline"} {
+		got := normalizeTraceID(bad)
+		if got == bad || len(got) != 16 {
+			t.Errorf("normalizeTraceID(%q) = %q, want fresh 16-hex ID", bad, got)
+		}
+	}
+	for _, good := range []string{"a", "trace-1", "A.b_c-9", strings.Repeat("y", 64)} {
+		if got := normalizeTraceID(good); got != good {
+			t.Errorf("normalizeTraceID(%q) = %q, want unchanged", good, got)
+		}
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves Prometheus text exposition with
+// the labeled request families, including the latency histogram by
+// outcome the scrape recipe in EXPERIMENTS.md depends on.
+func TestMetricsEndpoint(t *testing.T) {
+	d := newTestDaemon(t)
+	ts := httptest.NewServer(newHandler(d))
+	defer ts.Close()
+
+	img := buildImage(t)
+	for i := 0; i < 2; i++ {
+		r, err := http.Post(ts.URL+"/rewrite", "application/octet-stream", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("content type = %q, want %q", ct, obs.PromContentType)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE zipr_serve_request_total counter",
+		`zipr_serve_request_total{outcome="hit"} 1`,
+		`zipr_serve_request_total{outcome="miss"} 1`,
+		"# TYPE zipr_serve_request_latency histogram",
+		`zipr_serve_request_latency_bucket{outcome="miss",le="+Inf"} 1`,
+		`zipr_serve_request_latency_count{outcome="miss"} 1`,
+		"# TYPE zipr_serve_request_latency_p95 gauge",
+		"# TYPE zipr_serve_pipeline_runs counter",
+		"zipr_serve_pipeline_runs 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every non-comment line must be "name{labels} value" with no
+	// stray whitespace — a cheap exposition-format sanity pass (the
+	// full validator lives in internal/obs).
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "zipr_") {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// pprof rides along on the same mux.
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/debug/phases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(phases), "rewrite") {
+		t.Fatalf("/debug/phases missing aggregated rewrite span:\n%s", phases)
+	}
+}
+
 // TestBatchOrderAndCaching: JSONL responses must come back in input
 // order even with a concurrent worker pool, and repeats of one request
 // must be answered without extra pipeline runs.
 func TestBatchOrderAndCaching(t *testing.T) {
-	s := newTestServer(t)
+	d := newTestDaemon(t)
 	img := buildImage(t)
 
 	var in bytes.Buffer
@@ -167,7 +418,7 @@ func TestBatchOrderAndCaching(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := runBatch(s, &in, &out, 4, 10*time.Second); err != nil {
+	if err := runBatch(d, &in, &out, 4); err != nil {
 		t.Fatal(err)
 	}
 	sc := bufio.NewScanner(&out)
@@ -195,7 +446,7 @@ func TestBatchOrderAndCaching(t *testing.T) {
 		}
 	}
 	// Two distinct configs over one image: exactly two pipeline runs.
-	if st := s.Stats(); st.PipelineRuns != 2 {
+	if st := d.s.Stats(); st.PipelineRuns != 2 {
 		t.Fatalf("pipeline runs = %d, want 2 (stats %+v)", st.PipelineRuns, st)
 	}
 	// Identical requests must agree byte-for-byte.
@@ -204,12 +455,61 @@ func TestBatchOrderAndCaching(t *testing.T) {
 	}
 }
 
+// TestBatchTraceIDs: batch lines carry per-line trace IDs — supplied
+// ones echo back on the matching response, absent ones are minted —
+// and each line lands in the access log.
+func TestBatchTraceIDs(t *testing.T) {
+	d := newTestDaemon(t)
+	var logBuf bytes.Buffer
+	d.logW = &logBuf
+	img := buildImage(t)
+
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	reqs := []request{
+		{ID: "a", Trace: "batch-trace-a", Input: img, Transforms: "null"},
+		{ID: "b", Input: img, Transforms: "null"},
+	}
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := runBatch(d, &in, &out, 2); err != nil {
+		t.Fatal(err)
+	}
+	var resps []response
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var r response
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		resps = append(resps, r)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("%d responses, want 2", len(resps))
+	}
+	if resps[0].Trace != "batch-trace-a" {
+		t.Fatalf("response a trace = %q, want echo of supplied ID", resps[0].Trace)
+	}
+	if resps[1].Trace == "" || resps[1].Trace == resps[0].Trace {
+		t.Fatalf("response b trace = %q, want a fresh generated ID", resps[1].Trace)
+	}
+	logText := logBuf.String()
+	for _, want := range []string{"batch-trace-a", resps[1].Trace} {
+		if !strings.Contains(logText, want) {
+			t.Fatalf("access log missing trace %q:\n%s", want, logText)
+		}
+	}
+}
+
 func TestBatchBadLines(t *testing.T) {
-	s := newTestServer(t)
+	d := newTestDaemon(t)
 	in := strings.NewReader("this is not json\n" +
 		`{"id":"ok","input":"` + "AAAA" + `","transforms":"null"}` + "\n")
 	var out bytes.Buffer
-	if err := runBatch(s, in, &out, 2, time.Second); err != nil {
+	if err := runBatch(d, in, &out, 2); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")

@@ -59,7 +59,11 @@ type Hist struct {
 	Buckets [histBuckets]int64
 }
 
-// Observe adds one value.
+// Observe adds one value. Bucket boundaries follow the bit-length
+// rule: bucket 0 holds v <= 0 and bucket i >= 1 holds [2^(i-1), 2^i),
+// so an exact power of two v = 2^k lands deterministically in bucket
+// k+1 — a pow2 value is always the *inclusive lower* edge of its
+// bucket, never the upper edge of the one below.
 func (h *Hist) Observe(v int64) {
 	h.Count++
 	h.Sum += v

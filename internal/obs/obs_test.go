@@ -190,6 +190,39 @@ func TestBucketing(t *testing.T) {
 	}
 }
 
+// TestBucketBoundaryPow2 pins the bucket-edge rule documented on
+// Observe: an exact power of two 2^k is the inclusive *lower* edge of
+// bucket k+1 — it must land there deterministically, never in bucket k
+// (whose range [2^(k-1), 2^k) excludes it).
+func TestBucketBoundaryPow2(t *testing.T) {
+	for k := 0; k <= 30; k++ {
+		v := int64(1) << uint(k)
+		want := k + 1
+		if got := bucketOf(v); got != want {
+			t.Fatalf("bucketOf(2^%d = %d) = %d, want %d", k, v, got, want)
+		}
+		// One below the edge stays in the bucket below.
+		if k > 0 {
+			if got := bucketOf(v - 1); got != want-1 {
+				t.Fatalf("bucketOf(2^%d - 1 = %d) = %d, want %d", k, v-1, got, want-1)
+			}
+		}
+		h := &Hist{}
+		h.Observe(v)
+		if h.Buckets[want] != 1 {
+			t.Fatalf("Observe(2^%d) landed outside bucket %d", k, want)
+		}
+		// The bucket label's range must actually contain the edge value.
+		label := BucketLabel(want)
+		if want > 1 {
+			lo := int64(1) << uint(want-1)
+			if v != lo {
+				t.Fatalf("2^%d is not the lower edge of bucket %d (%s)", k, want, label)
+			}
+		}
+	}
+}
+
 func TestAggFoldsRuns(t *testing.T) {
 	agg := NewAgg()
 	for i := 0; i < 3; i++ {

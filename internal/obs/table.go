@@ -119,16 +119,23 @@ func (a *Agg) WriteTable(w io.Writer) error {
 		fmt.Fprintf(w, "(aggregated over %d runs)\n", a.runs)
 	}
 
+	// Metric names may carry label suffixes ("serve.request.total
+	// {outcome=hit}") longer than any fixed column, so the name column
+	// is sized to the longest name in each section.
 	if len(a.met.Counters) > 0 {
+		keys := sortedKeys(a.met.Counters)
+		width := nameWidth(keys, 44)
 		fmt.Fprintf(w, "\ncounters:\n")
-		for _, k := range sortedKeys(a.met.Counters) {
-			fmt.Fprintf(w, "  %-44s %12d\n", k, a.met.Counters[k])
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-*s %12d\n", width, k, a.met.Counters[k])
 		}
 	}
 	if len(a.met.Gauges) > 0 {
+		keys := sortedKeys(a.met.Gauges)
+		width := nameWidth(keys, 44)
 		fmt.Fprintf(w, "\ngauges:\n")
-		for _, k := range sortedKeys(a.met.Gauges) {
-			fmt.Fprintf(w, "  %-44s %12d\n", k, a.met.Gauges[k])
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-*s %12d\n", width, k, a.met.Gauges[k])
 		}
 	}
 	if len(a.met.Hists) > 0 {
@@ -137,6 +144,7 @@ func (a *Agg) WriteTable(w io.Writer) error {
 			names = append(names, k)
 		}
 		sort.Strings(names)
+		width := nameWidth(names, 30)
 		fmt.Fprintf(w, "\nhistograms:\n")
 		for _, k := range names {
 			h := a.met.Hists[k]
@@ -146,10 +154,22 @@ func (a *Agg) WriteTable(w io.Writer) error {
 					fmt.Fprintf(&sb, " %s:%d", BucketLabel(i), c)
 				}
 			}
-			fmt.Fprintf(w, "  %-30s count=%d sum=%d |%s\n", k, h.Count, h.Sum, sb.String())
+			fmt.Fprintf(w, "  %-*s count=%d sum=%d |%s\n", width, k, h.Count, h.Sum, sb.String())
 		}
 	}
 	return nil
+}
+
+// nameWidth sizes a name column: at least min, wide enough for the
+// longest name so values stay in one column even with labeled names.
+func nameWidth(names []string, min int) int {
+	w := min
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	return w
 }
 
 // tableSink renders a single trace as a phase-time table.

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// winSlices is how many time slices a rolling window is divided into:
+// the quantile horizon covers the most recent winSlices slices, so the
+// effective window ranges over (window - window/winSlices, window] as
+// the current slice fills.
+const winSlices = 8
+
+// winHist is a time-sliced rolling histogram: a ring of winSlices
+// pow2-bucket histograms, each covering one sliceDur-wide wall-clock
+// slice, plus lifetime totals. Observations land in the slice the
+// clock falls in; slices older than the window are lazily reset when
+// their ring slot is reused and ignored when merging, so a quiet
+// series costs nothing to age out. Not safe for concurrent use; the
+// owning series' mutex serializes access.
+type winHist struct {
+	sliceDur time.Duration
+	epochs   [winSlices]int64 // slice epoch + 1 per slot; 0 = empty
+	slices   [winSlices]Hist
+	life     Hist // lifetime totals (exposition _sum/_count)
+}
+
+func (w *winHist) init(window time.Duration) {
+	w.sliceDur = window / winSlices
+	if w.sliceDur <= 0 {
+		w.sliceDur = time.Second
+	}
+}
+
+// epoch numbers wall-clock slices since the Unix epoch.
+func (w *winHist) epoch(now time.Time) int64 {
+	return now.UnixNano() / int64(w.sliceDur)
+}
+
+// observe adds one value to the slice now falls in.
+func (w *winHist) observe(now time.Time, v int64) {
+	e := w.epoch(now)
+	slot := int(e % winSlices)
+	if w.epochs[slot] != e+1 {
+		w.slices[slot] = Hist{}
+		w.epochs[slot] = e + 1
+	}
+	w.slices[slot].Observe(v)
+	w.life.Observe(v)
+}
+
+// merged folds the slices still inside the window (relative to now)
+// into one histogram.
+func (w *winHist) merged(now time.Time) Hist {
+	if w.sliceDur <= 0 {
+		return Hist{}
+	}
+	e := w.epoch(now)
+	var out Hist
+	for i := range w.slices {
+		ep := w.epochs[i] - 1
+		if w.epochs[i] != 0 && ep > e-winSlices && ep <= e {
+			out.Merge(&w.slices[i])
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution. The estimate is deterministic: it finds the bucket
+// holding the rank ceil(q*Count) and interpolates linearly between the
+// bucket's inclusive bounds ([2^(i-1), 2^i - 1] for bucket i >= 2; the
+// <=0 and ==1 buckets answer exactly). Returns 0 on an empty (or nil)
+// histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			switch i {
+			case 0:
+				return 0
+			case 1:
+				return 1
+			}
+			lo := int64(1) << uint(i-1)
+			hi := lo<<1 - 1
+			return lo + int64(float64(hi-lo)*float64(rank-cum-1)/float64(c))
+		}
+		cum += c
+	}
+	return 0 // unreachable: Count > 0 implies a bucket holds the rank
+}

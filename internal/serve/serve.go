@@ -18,9 +18,14 @@
 //     saturated queue or an expired deadline rejects with the typed
 //     zerr.ErrBusy class instead of queueing unboundedly.
 //
-// Observability lands on the Options.Trace: serve.cache.{hit,miss,
-// evict,corrupt} counters, queue-depth and cache-size gauges, and one
-// detached span per request. Fault injection (Options.Chaos) arms the
+// Observability lands on two sinks. Options.Trace carries the unlabeled
+// per-run view: serve.cache.{hit,miss,evict,corrupt} counters,
+// queue-depth and cache-size gauges, and one detached span per request.
+// Options.Registry carries the service-lifetime labeled view scraped by
+// ziprd's /metrics: serve.request.total and rolling latency quantiles
+// keyed by outcome (hit|miss|shared|busy|error), queue wait, and cache
+// occupancy — see RewriteMeta, which classifies every request into one
+// of those outcomes. Fault injection (Options.Chaos) arms the
 // serve-specific kinds fault.CacheCorrupt (hit-path corruption, which
 // the digest check must turn into a verified fallback rewrite) and
 // fault.QueueDrop (spurious admission rejection, which must surface as
@@ -30,9 +35,11 @@ package serve
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"zipr"
 	"zipr/internal/fault"
@@ -56,6 +63,13 @@ type Options struct {
 	// Trace receives the serving layer's counters, gauges and
 	// per-request spans; nil disables instrumentation.
 	Trace *obs.Trace
+	// Registry receives service-lifetime labeled metrics: request
+	// totals and rolling latency quantiles by outcome
+	// (serve.request.*{outcome=hit|miss|shared|busy|error}), queue
+	// wait/depth, and cache occupancy. Unlike Trace — per-run,
+	// unlabeled, dumped on Close — the registry is built for
+	// continuous scraping (ziprd's /metrics). Nil disables it.
+	Registry *obs.Registry
 	// Chaos arms deterministic fault injection for the serving layer
 	// (fault.CacheCorrupt, fault.QueueDrop) and is threaded into each
 	// pipeline run that does not carry its own injector. Nil disables
@@ -75,6 +89,12 @@ type Stats struct {
 	CacheEntries int   // current entry count
 	CacheBytes   int64 // current cached output bytes
 	QueueDepth   int   // requests currently waiting for a worker
+
+	// Metrics is the labeled-registry snapshot (request totals and
+	// rolling latency quantiles by outcome); nil when the server was
+	// built without a Registry. Appended after the flat counters so
+	// the JSON shape of the original fields stays byte-compatible.
+	Metrics []obs.FamilySnap `json:",omitempty"`
 }
 
 // Server is a concurrent batch rewriting daemon core. Construct with
@@ -82,6 +102,8 @@ type Stats struct {
 type Server struct {
 	opts Options
 	tr   *obs.Trace
+	reg  *obs.Registry
+	tel  telemetry
 	inj  *fault.Injector
 	sem  chan struct{}
 
@@ -115,6 +137,8 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:     opts,
 		tr:       opts.Trace,
+		reg:      opts.Registry,
+		tel:      newTelemetry(opts.Registry),
 		inj:      opts.Chaos.WithTrace(opts.Trace),
 		sem:      make(chan struct{}, opts.Workers),
 		inflight: make(map[Key]*call),
@@ -134,6 +158,7 @@ func (s *Server) Stats() Stats {
 		st.CacheEntries = len(s.cache.entries)
 		st.CacheBytes = s.cache.bytes
 	}
+	st.Metrics = s.reg.Snapshot()
 	return st
 }
 
@@ -164,8 +189,30 @@ func (s *Server) effective(cfg zipr.Config) zipr.Config {
 // request; a deadline that expires before a worker frees up rejects
 // with zerr.ErrBusy.
 func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]byte, *zipr.Report, error) {
+	out, rep, _, err := s.RewriteMeta(ctx, input, cfg)
+	return out, rep, err
+}
+
+// RewriteMeta is Rewrite plus the request's telemetry record: content
+// address, outcome classification, queue wait and total wall time. The
+// meta is valid even when err != nil (Outcome is then busy or error).
+// Labeled metrics (Options.Registry) are observed here, once per
+// request.
+func (s *Server) RewriteMeta(ctx context.Context, input []byte, cfg zipr.Config) ([]byte, *zipr.Report, RequestMeta, error) {
+	start := time.Now()
+	out, rep, meta, err := s.rewrite(ctx, input, cfg)
+	meta.Wall = time.Since(start)
+	s.tel.observe(meta)
+	s.tr.Observe("serve.request.wall-us", meta.Wall.Microseconds())
+	return out, rep, meta, err
+}
+
+// rewrite is the request state machine; RewriteMeta wraps it with
+// timing and metric observation.
+func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]byte, *zipr.Report, RequestMeta, error) {
 	cfg = s.effective(cfg)
 	key := CacheKey(input, cfg)
+	meta := RequestMeta{Key: key}
 	// Debug captures (IRDB, address maps) reference per-run pipeline
 	// state a cache entry cannot reproduce; such requests bypass the
 	// cache in both directions.
@@ -174,7 +221,8 @@ func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, nil, fmt.Errorf("serve: %w: server closed", zerr.ErrBusy)
+		meta.Outcome = OutcomeBusy
+		return nil, nil, meta, fmt.Errorf("serve: %w: server closed", zerr.ErrBusy)
 	}
 	if cacheable && s.cache != nil {
 		if e := s.cache.get(key); e != nil {
@@ -190,7 +238,8 @@ func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 			if sha256.Sum256(out) == sum {
 				s.count("serve.cache.hit", &s.stats.Hits)
 				s.span("serve.hit")
-				return out, rep, nil
+				meta.Outcome = OutcomeHit
+				return out, rep, meta, nil
 			}
 			// Verified fallback: drop the poisoned entry and rewrite.
 			s.mu.Lock()
@@ -200,6 +249,7 @@ func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 			}
 			s.mu.Unlock()
 			s.count("serve.cache.corrupt", &s.stats.Corrupt)
+			s.tel.corrupt.Add(1)
 			s.mu.Lock()
 		}
 	}
@@ -209,13 +259,16 @@ func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 		select {
 		case <-c.done:
 			if c.err != nil {
-				return nil, nil, c.err
+				meta.Outcome = outcomeOfError(c.err)
+				return nil, nil, meta, c.err
 			}
 			rep := *c.rep
-			return append([]byte(nil), c.out...), &rep, nil
+			meta.Outcome = OutcomeShared
+			return append([]byte(nil), c.out...), &rep, meta, nil
 		case <-ctx.Done():
 			s.count("serve.deadline.expired", &s.stats.Expired)
-			return nil, nil, fmt.Errorf("serve: %w: %v while awaiting shared run", zerr.ErrBusy, ctx.Err())
+			meta.Outcome = OutcomeBusy
+			return nil, nil, meta, fmt.Errorf("serve: %w: %v while awaiting shared run", zerr.ErrBusy, ctx.Err())
 		}
 	}
 	c := &call{done: make(chan struct{})}
@@ -230,19 +283,24 @@ func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 		close(c.done)
 	}
 
-	if err := s.admit(ctx, key.site()); err != nil {
+	wait, err := s.admit(ctx, key.site())
+	meta.QueueWait = wait
+	if err != nil {
 		finish(nil, nil, err)
-		return nil, nil, err
+		meta.Outcome = OutcomeBusy
+		return nil, nil, meta, err
 	}
 	sp := s.tr.StartDetached("serve.miss")
 	s.count("serve.cache.miss", &s.stats.Misses)
 	s.count("serve.pipeline.runs", &s.stats.PipelineRuns)
+	s.tel.runs.Add(1)
 	out, rep, err := zipr.Rewrite(input, cfg)
 	<-s.sem
 	sp.End()
 	if err != nil {
 		finish(nil, nil, err)
-		return nil, nil, err
+		meta.Outcome = outcomeOfError(err)
+		return nil, nil, meta, err
 	}
 	if cacheable && s.cache != nil {
 		e := &entry{
@@ -262,46 +320,61 @@ func (s *Server) Rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 		s.mu.Unlock()
 		if evicted > 0 {
 			s.tr.Add("serve.cache.evict", evicted)
+			s.tel.evictions.Add(evicted)
 		}
 	}
 	finish(out, rep, err)
 	repCopy := *rep
-	return append([]byte(nil), out...), &repCopy, nil
+	meta.Outcome = OutcomeMiss
+	return append([]byte(nil), out...), &repCopy, meta, nil
+}
+
+// outcomeOfError classifies a failed request: saturation (the typed
+// busy class) is OutcomeBusy, everything else OutcomeError.
+func outcomeOfError(err error) string {
+	if errors.Is(err, zerr.ErrBusy) {
+		return OutcomeBusy
+	}
+	return OutcomeError
 }
 
 // admit acquires a worker slot, waiting in the bounded queue when all
-// workers are busy. It owns one sem token on nil return.
-func (s *Server) admit(ctx context.Context, site uint32) error {
+// workers are busy. It owns one sem token on nil error return, and
+// reports how long the request waited queued (0 on the fast path).
+func (s *Server) admit(ctx context.Context, site uint32) (time.Duration, error) {
 	if s.inj.Fires(fault.QueueDrop, site) {
 		s.count("serve.admit.rejected", &s.stats.Rejected)
-		return fmt.Errorf("serve: %w: admission dropped (%w)", zerr.ErrBusy, zerr.ErrInjected)
+		return 0, fmt.Errorf("serve: %w: admission dropped (%w)", zerr.ErrBusy, zerr.ErrInjected)
 	}
 	select {
 	case s.sem <- struct{}{}:
-		return nil
+		return 0, nil
 	default:
 	}
 	s.mu.Lock()
 	if s.stats.QueueDepth >= s.opts.QueueDepth {
 		s.mu.Unlock()
 		s.count("serve.admit.rejected", &s.stats.Rejected)
-		return fmt.Errorf("serve: %w: queue full (%d waiting)", zerr.ErrBusy, s.opts.QueueDepth)
+		return 0, fmt.Errorf("serve: %w: queue full (%d waiting)", zerr.ErrBusy, s.opts.QueueDepth)
 	}
 	s.stats.QueueDepth++
 	s.tr.SetGauge("serve.queue.depth", int64(s.stats.QueueDepth))
+	s.tel.queueDepth.Set(int64(s.stats.QueueDepth))
 	s.mu.Unlock()
+	queued := time.Now()
 	defer func() {
 		s.mu.Lock()
 		s.stats.QueueDepth--
 		s.tr.SetGauge("serve.queue.depth", int64(s.stats.QueueDepth))
+		s.tel.queueDepth.Set(int64(s.stats.QueueDepth))
 		s.mu.Unlock()
 	}()
 	select {
 	case s.sem <- struct{}{}:
-		return nil
+		return time.Since(queued), nil
 	case <-ctx.Done():
 		s.count("serve.deadline.expired", &s.stats.Expired)
-		return fmt.Errorf("serve: %w: %v while queued", zerr.ErrBusy, ctx.Err())
+		return time.Since(queued), fmt.Errorf("serve: %w: %v while queued", zerr.ErrBusy, ctx.Err())
 	}
 }
 
@@ -336,4 +409,6 @@ func (s *Server) span(name string) {
 func (s *Server) syncCacheGaugesLocked() {
 	s.tr.SetGauge("serve.cache.bytes", s.cache.bytes)
 	s.tr.SetGauge("serve.cache.entries", int64(len(s.cache.entries)))
+	s.tel.cacheBytes.Set(s.cache.bytes)
+	s.tel.cacheCount.Set(int64(len(s.cache.entries)))
 }

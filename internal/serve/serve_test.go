@@ -342,7 +342,7 @@ func TestAdmissionQueueFullRejects(t *testing.T) {
 	s.mu.Lock()
 	s.stats.QueueDepth = 1 // queue at capacity
 	s.mu.Unlock()
-	err := s.admit(context.Background(), 0)
+	_, err := s.admit(context.Background(), 0)
 	if err == nil || !errors.Is(err, zerr.ErrBusy) {
 		t.Fatalf("admit under saturation = %v, want ErrBusy", err)
 	}
@@ -364,7 +364,7 @@ func TestAdmissionDeadlineExpires(t *testing.T) {
 	s.sem <- struct{}{} // worker never frees
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	err := s.admit(ctx, 0)
+	_, err := s.admit(ctx, 0)
 	if err == nil || !errors.Is(err, zerr.ErrBusy) {
 		t.Fatalf("admit past deadline = %v, want ErrBusy", err)
 	}

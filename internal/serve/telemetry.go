@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"time"
+
+	"zipr/internal/obs"
+)
+
+// Request outcomes: the label set of the serve.request.* metric
+// families and the Outcome field of RequestMeta. The set is fixed and
+// small on purpose — outcome is the only label the serving layer puts
+// on a metric, keeping family cardinality bounded.
+const (
+	OutcomeHit    = "hit"    // answered from the content-addressed cache
+	OutcomeMiss   = "miss"   // full pipeline run
+	OutcomeShared = "shared" // singleflight follower of a concurrent run
+	OutcomeBusy   = "busy"   // rejected or expired (zerr.ErrBusy class)
+	OutcomeError  = "error"  // pipeline or input failure
+)
+
+// outcomes enumerates every label value; telemetry handles are
+// resolved once per outcome at construction so the per-request path
+// never does a label lookup.
+var outcomes = [...]string{OutcomeHit, OutcomeMiss, OutcomeShared, OutcomeBusy, OutcomeError}
+
+// RequestMeta is the per-request telemetry record RewriteMeta returns:
+// what happened and where the time went. Access logs and labeled
+// metrics are derived from it.
+type RequestMeta struct {
+	// Key is the request's content address (input digest folded with
+	// the resolved config fingerprint).
+	Key Key
+	// Outcome is one of the Outcome* constants.
+	Outcome string
+	// QueueWait is time spent waiting for a worker slot (0 when a
+	// worker — or the cache — answered immediately).
+	QueueWait time.Duration
+	// Wall is the whole request's serve-side duration.
+	Wall time.Duration
+}
+
+// telemetry holds the serving layer's pre-resolved labeled metric
+// handles. Every handle is nil-safe, so a server without a Registry
+// carries a zero telemetry struct and pays only nil checks.
+type telemetry struct {
+	total      map[string]*obs.Counter       // serve.request.total{outcome}
+	latency    map[string]*obs.WindowSeries  // serve.request.latency{outcome}, µs
+	queueWait  *obs.WindowSeries             // serve.queue.wait, µs
+	queueDepth *obs.Gauge                    // serve.queue.depth
+	cacheBytes *obs.Gauge                    // serve.cache.bytes
+	cacheCount *obs.Gauge                    // serve.cache.entries
+	evictions  *obs.Counter                  // serve.cache.evictions
+	corrupt    *obs.Counter                  // serve.cache.corrupt
+	runs       *obs.Counter                  // serve.pipeline.runs
+}
+
+// newTelemetry registers the serving layer's metric families on reg
+// (nil reg: every handle is a nil no-op).
+func newTelemetry(reg *obs.Registry) telemetry {
+	t := telemetry{
+		total:   make(map[string]*obs.Counter, len(outcomes)),
+		latency: make(map[string]*obs.WindowSeries, len(outcomes)),
+	}
+	totalVec := reg.Counter("serve.request.total", "requests by outcome", "outcome")
+	latencyVec := reg.Window("serve.request.latency", "request wall time in microseconds by outcome", 5*time.Minute, "outcome")
+	for _, o := range outcomes {
+		t.total[o] = totalVec.With(o)
+		t.latency[o] = latencyVec.With(o)
+	}
+	t.queueWait = reg.Window("serve.queue.wait", "admission queue wait in microseconds", 5*time.Minute).With()
+	t.queueDepth = reg.Gauge("serve.queue.depth", "requests waiting for a worker").With()
+	t.cacheBytes = reg.Gauge("serve.cache.bytes", "cached output bytes").With()
+	t.cacheCount = reg.Gauge("serve.cache.entries", "cached rewrite entries").With()
+	t.evictions = reg.Counter("serve.cache.evictions", "cache entries evicted for the byte budget").With()
+	t.corrupt = reg.Counter("serve.cache.corrupt", "cache hits that failed the digest check").With()
+	t.runs = reg.Counter("serve.pipeline.runs", "pipeline executions").With()
+	return t
+}
+
+// observe records one finished request.
+func (t *telemetry) observe(m RequestMeta) {
+	t.total[m.Outcome].Add(1)
+	t.latency[m.Outcome].Observe(m.Wall.Microseconds())
+	if m.QueueWait > 0 {
+		t.queueWait.Observe(m.QueueWait.Microseconds())
+	}
+}

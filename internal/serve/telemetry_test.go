@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"regexp"
+	"testing"
+	"time"
+
+	"zipr"
+	"zipr/internal/obs"
+)
+
+// TestRewriteMetaOutcomes drives one request through each outcome and
+// checks both the returned RequestMeta and the labeled registry
+// counters it must feed.
+func TestRewriteMetaOutcomes(t *testing.T) {
+	in := testImages(t)[0]
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 2, Registry: reg})
+	defer s.Close()
+
+	// Cold: miss.
+	_, _, meta, err := s.RewriteMeta(context.Background(), in, nullCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Outcome != OutcomeMiss || meta.Wall <= 0 {
+		t.Fatalf("cold meta = %+v, want miss with wall > 0", meta)
+	}
+	if meta.Key != CacheKey(in, s.effective(nullCfg())) {
+		t.Fatal("meta key does not match the request's content address")
+	}
+
+	// Warm: hit.
+	_, _, meta, err = s.RewriteMeta(context.Background(), in, nullCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Outcome != OutcomeHit {
+		t.Fatalf("hot outcome = %q, want hit", meta.Outcome)
+	}
+
+	// Junk input: error.
+	_, _, meta, err = s.RewriteMeta(context.Background(), []byte("junk"), nullCfg())
+	if err == nil || meta.Outcome != OutcomeError {
+		t.Fatalf("junk outcome = %q (err %v), want error", meta.Outcome, err)
+	}
+
+	// Closed server: busy.
+	s.Close()
+	_, _, meta, err = s.RewriteMeta(context.Background(), in, nullCfg())
+	if err == nil || meta.Outcome != OutcomeBusy {
+		t.Fatalf("closed outcome = %q (err %v), want busy", meta.Outcome, err)
+	}
+
+	wantTotals := map[string]int64{OutcomeMiss: 1, OutcomeHit: 1, OutcomeError: 1, OutcomeBusy: 1, OutcomeShared: 0}
+	for _, fam := range reg.Snapshot() {
+		switch fam.Name {
+		case "serve.request.total":
+			got := map[string]int64{}
+			for _, se := range fam.Series {
+				got[se.Labels[0]] = se.Value
+			}
+			for o, want := range wantTotals {
+				if got[o] != want {
+					t.Fatalf("serve.request.total{%s} = %d, want %d (all: %v)", o, got[o], want, got)
+				}
+			}
+		case "serve.request.latency":
+			for _, se := range fam.Series {
+				if se.Labels[0] == OutcomeMiss && se.Count != 1 {
+					t.Fatalf("latency{miss} count = %d, want 1", se.Count)
+				}
+			}
+		case "serve.pipeline.runs":
+			// miss + the failing junk run.
+			if fam.Series[0].Value != 2 {
+				t.Fatalf("pipeline.runs = %d, want 2", fam.Series[0].Value)
+			}
+		}
+	}
+}
+
+// TestStatsIncludesRegistrySnapshot: Stats carries the labeled
+// snapshot when a registry is wired, and stays nil without one.
+func TestStatsIncludesRegistrySnapshot(t *testing.T) {
+	in := testImages(t)[0]
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 1, Registry: reg})
+	defer s.Close()
+	if _, _, err := s.Rewrite(context.Background(), in, nullCfg()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.Metrics) == 0 {
+		t.Fatal("Stats.Metrics empty with a registry wired")
+	}
+	names := map[string]bool{}
+	for _, fam := range st.Metrics {
+		names[fam.Name] = true
+	}
+	for _, want := range []string{"serve.request.total", "serve.request.latency", "serve.queue.wait", "serve.queue.depth", "serve.cache.bytes", "serve.pipeline.runs"} {
+		if !names[want] {
+			t.Fatalf("Stats.Metrics missing family %q (have %v)", want, names)
+		}
+	}
+
+	bare := New(Options{Workers: 1})
+	defer bare.Close()
+	if st := bare.Stats(); st.Metrics != nil {
+		t.Fatal("Stats.Metrics non-nil without a registry")
+	}
+}
+
+// TestMetricsNamingLint is the CI naming gate (make metricslint):
+// every family the serving layer registers must use lowercase dotted
+// names, at most one label, and bounded cardinality.
+func TestMetricsNamingLint(t *testing.T) {
+	in := testImages(t)[0]
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 1, Registry: reg})
+	defer s.Close()
+	// Exercise enough paths to materialize series: miss, hit, error.
+	s.Rewrite(context.Background(), in, nullCfg())
+	s.Rewrite(context.Background(), in, nullCfg())
+	s.Rewrite(context.Background(), []byte("junk"), nullCfg())
+
+	nameRE := regexp.MustCompile(`^[a-z0-9]+(\.[a-z0-9-]+)+$`)
+	snap := reg.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("no families registered")
+	}
+	for _, fam := range snap {
+		if !nameRE.MatchString(fam.Name) {
+			t.Errorf("family %q: not lowercase dotted", fam.Name)
+		}
+		if len(fam.Labels) > 1 {
+			t.Errorf("family %q: %d labels, want <= 1 (bounded cardinality)", fam.Name, len(fam.Labels))
+		}
+		for _, l := range fam.Labels {
+			if !regexp.MustCompile(`^[a-z][a-z0-9_]*$`).MatchString(l) {
+				t.Errorf("family %q: label %q not lowercase", fam.Name, l)
+			}
+		}
+		if len(fam.Series) > obs.MaxSeries {
+			t.Errorf("family %q: %d series exceeds cap %d", fam.Name, len(fam.Series), obs.MaxSeries)
+		}
+		if fam.Dropped != 0 {
+			t.Errorf("family %q: %d dropped series (cardinality leak)", fam.Name, fam.Dropped)
+		}
+		// Exposition names must survive the mapping losslessly enough to
+		// stay unique.
+		if obs.PromName(fam.Name) == "zipr_" {
+			t.Errorf("family %q maps to an empty exposition name", fam.Name)
+		}
+	}
+	seen := map[string]string{}
+	for _, fam := range snap {
+		p := obs.PromName(fam.Name)
+		if prev, dup := seen[p]; dup {
+			t.Errorf("families %q and %q collide on exposition name %s", prev, fam.Name, p)
+		}
+		seen[p] = fam.Name
+	}
+}
+
+// TestQueueWaitMeasured: a request that had to queue reports a
+// nonzero QueueWait and feeds the serve.queue.wait window.
+func TestQueueWaitMeasured(t *testing.T) {
+	in := testImages(t)[1]
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 1, QueueDepth: 4, CacheBytes: -1, Registry: reg})
+	defer s.Close()
+
+	s.sem <- struct{}{} // occupy the only worker
+	release := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		<-s.sem // free the worker
+		close(release)
+	}()
+	_, _, meta, err := s.RewriteMeta(context.Background(), in, zipr.Config{Transforms: []zipr.Transform{zipr.Null()}})
+	<-release
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.QueueWait < 10*time.Millisecond {
+		t.Fatalf("queue wait = %v, want >= 10ms (request had to queue)", meta.QueueWait)
+	}
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "serve.queue.wait" {
+			if fam.Series[0].Count != 1 {
+				t.Fatalf("queue.wait count = %d, want 1", fam.Series[0].Count)
+			}
+			return
+		}
+	}
+	t.Fatal("serve.queue.wait family missing")
+}
