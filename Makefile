@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the full local gate.
 GO ?= go
 
-.PHONY: build vet test race cover bench benchsmoke fuzzsmoke examples metricslint ci
+.PHONY: build vet test race cover bench benchgate benchsmoke fuzzsmoke examples metricslint ci
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,16 @@ cover:
 # diet (compare DisassembleSerial vs DisassembleParallel, EvalJ1 vs
 # EvalJN). The run is converted to BENCH_pipeline.json (ns/op, allocs/op
 # and the speedup-x metrics, machine-readable) via cmd/benchjson.
-BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented
+BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented|RewriteDelta|ServeDeltaHit
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
+
+# Perf gate: the delta perf bar (ISSUE 7) — applying a placement
+# snapshot to a 1-function edit of the >100k-instruction stress input
+# must stay at least 5x faster than the from-scratch rewrite. Reads the
+# trajectory `bench` just merged, so run after it.
+benchgate:
+	$(GO) run ./cmd/benchjson -compare BenchmarkRewriteDeltaCold,BenchmarkRewriteDelta -min 5 BENCH_pipeline.json
 
 # Allocator bench smoke: one iteration of the indexed-allocator
 # microbenches against their sorted-slice reference, enough to catch a
@@ -45,6 +52,7 @@ bench:
 # without the full bench run's cost.
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'AllocCarveRelease|FreeSpaceCarveRelease|AllocNearestFit|FreeSpaceNearestFit' -benchtime 1x -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'RewriteDelta|ServeDeltaHit' -benchtime 1x -benchmem .
 
 # Fuzz smoke: replay the committed seed corpora, then fuzz each target
 # for a bounded interval — long enough to catch shallow regressions in
@@ -55,6 +63,7 @@ FUZZTIME ?= 30s
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAlloc$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineEquivalence$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEquivalence$$' -fuzztime $(FUZZTIME) .
 
 # Examples are part of the API contract: each must build and run to
 # completion (exit 0) against the current library surface.
@@ -69,4 +78,4 @@ examples:
 metricslint:
 	$(GO) test -run 'TestMetricsNamingLint|TestPromExposition|TestPromName' ./internal/serve/ ./internal/obs/
 
-ci: build vet race cover bench benchsmoke fuzzsmoke examples metricslint
+ci: build vet race cover bench benchgate benchsmoke fuzzsmoke examples metricslint

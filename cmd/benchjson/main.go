@@ -6,6 +6,7 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_pipeline.json
 //	go test -run '^$' -bench . -benchmem . | benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
+//	benchjson -compare BenchmarkRewriteFull,BenchmarkRewriteDelta -min 5 BENCH_pipeline.json
 //
 // Every benchmark result line becomes one object holding the iteration
 // count and every reported metric (ns/op, B/op, allocs/op, MB/s, and
@@ -19,6 +20,12 @@
 // starts a fresh trajectory. -o writes the result to a file (atomically
 // enough for the Makefile's read-modify-write of the same path) instead
 // of stdout.
+//
+// With -compare BASE,NEW the program reads no stdin: it loads the
+// trajectory file named as the positional argument, takes the newest
+// run holding both benchmarks, and prints NEW's speedup over BASE from
+// their ns/op. -min X turns the print into a gate: a speedup below X
+// exits nonzero, so `make ci` fails when a perf bar regresses.
 package main
 
 import (
@@ -71,11 +78,67 @@ type Trajectory struct {
 func main() {
 	mergePath := flag.String("merge", "", "append this run to the runs in `file` (old single-run files are wrapped)")
 	outPath := flag.String("o", "", "write output to `file` instead of stdout")
+	compare := flag.String("compare", "", "compare two benchmarks (`base,new`) from the trajectory file given as the positional argument")
+	minRatio := flag.Float64("min", 0, "with -compare, fail unless base/new ns/op is at least this speedup")
 	flag.Parse()
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one trajectory file argument")
+			os.Exit(2)
+		}
+		if err := runCompare(os.Stdout, flag.Arg(0), *compare, *minRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, *mergePath, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare loads the trajectory at path and reports new's speedup
+// over base (ns/op ratio) from the newest run holding both, failing
+// when it misses minRatio. Earlier runs may predate one of the
+// benchmarks, so the scan walks newest-first until a run has both.
+func runCompare(w io.Writer, path, pair string, minRatio float64) error {
+	baseName, newName, ok := strings.Cut(pair, ",")
+	if !ok || baseName == "" || newName == "" {
+		return fmt.Errorf("-compare wants base,new benchmark names, got %q", pair)
+	}
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	for i := len(traj.Runs) - 1; i >= 0; i-- {
+		base, new_ := findBench(traj.Runs[i], baseName), findBench(traj.Runs[i], newName)
+		if base == nil || new_ == nil {
+			continue
+		}
+		bns, nns := base.Metrics["ns/op"], new_.Metrics["ns/op"]
+		if bns <= 0 || nns <= 0 {
+			return fmt.Errorf("run %d: ns/op missing or zero (%s=%g, %s=%g)", i, baseName, bns, newName, nns)
+		}
+		speedup := bns / nns
+		fmt.Fprintf(w, "%s / %s = %.2fx speedup (%.4gms vs %.4gms)\n",
+			baseName, newName, speedup, bns/1e6, nns/1e6)
+		if minRatio > 0 && speedup < minRatio {
+			return fmt.Errorf("speedup %.2fx is below the %.2fx floor", speedup, minRatio)
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: no run contains both %s and %s", path, baseName, newName)
+}
+
+// findBench returns the named benchmark from one run, or nil.
+func findBench(rep Report, name string) *Result {
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == name {
+			return &rep.Benchmarks[i]
+		}
+	}
+	return nil
 }
 
 func run(in io.Reader, mergePath, outPath string) error {

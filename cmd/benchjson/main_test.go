@@ -281,3 +281,85 @@ func TestMergeUpgradesLegacyUnversionedTrajectory(t *testing.T) {
 		t.Fatalf("legacy run not preserved: %+v", traj.Runs[0])
 	}
 }
+
+// compareFixture writes a two-run trajectory: the older run lacks the
+// delta benchmark (predates it), the newest carries a 10x pair.
+func compareFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	traj := Trajectory{Schema: schemaVersion, Runs: []Report{
+		{Benchmarks: []Result{
+			{Name: "BenchmarkRewriteFull", Iters: 3, Metrics: map[string]float64{"ns/op": 9e8}},
+		}},
+		{Benchmarks: []Result{
+			{Name: "BenchmarkRewriteFull", Iters: 3, Metrics: map[string]float64{"ns/op": 5e8}},
+			{Name: "BenchmarkRewriteDelta", Iters: 100, Metrics: map[string]float64{"ns/op": 5e7}},
+		}},
+	}}
+	data, err := json.Marshal(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePassesAboveFloor(t *testing.T) {
+	path := compareFixture(t)
+	var out strings.Builder
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "10.00x speedup") {
+		t.Fatalf("compare output = %q, want 10.00x speedup", out.String())
+	}
+}
+
+func TestCompareFailsBelowFloor(t *testing.T) {
+	path := compareFixture(t)
+	var out strings.Builder
+	err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", 20)
+	if err == nil || !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("err = %v, want below-floor failure", err)
+	}
+}
+
+func TestCompareSkipsRunsMissingABenchmark(t *testing.T) {
+	// Reverse the fixture so the NEWEST run lacks the delta benchmark:
+	// the scan must fall back to the older run that has both.
+	path := compareFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	traj.Runs[0], traj.Runs[1] = traj.Runs[1], traj.Runs[0]
+	data, _ = json.Marshal(traj)
+	os.WriteFile(path, data, 0o644)
+	var out strings.Builder
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "10.00x") {
+		t.Fatalf("compare output = %q, want the run holding both", out.String())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	path := compareFixture(t)
+	var out strings.Builder
+	if err := runCompare(&out, path, "BenchmarkRewriteFull", 0); err == nil {
+		t.Fatal("malformed pair accepted")
+	}
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkNope", 0); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+	if err := runCompare(&out, filepath.Join(t.TempDir(), "gone.json"), "A,B", 0); err == nil {
+		t.Fatal("empty trajectory accepted")
+	}
+}

@@ -212,6 +212,7 @@ func (d *daemon) handle(ctx context.Context, req request) response {
 		OutputSize: rep.OutputSize,
 		Layout:     rep.Layout,
 		Cached:     meta.Outcome == serve.OutcomeHit || meta.Outcome == serve.OutcomeShared,
+		Delta:      meta.Outcome == serve.OutcomeDelta,
 	}
 }
 
@@ -316,9 +317,12 @@ func newHandler(d *daemon) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Zipr-Layout", resp.Layout)
-		if resp.Cached {
+		switch {
+		case resp.Delta:
+			w.Header().Set("X-Zipr-Cache", "delta")
+		case resp.Cached:
 			w.Header().Set("X-Zipr-Cache", "hit")
-		} else {
+		default:
 			w.Header().Set("X-Zipr-Cache", "miss")
 		}
 		w.Write(resp.Output)

@@ -6,14 +6,17 @@
 //
 // Usage:
 //
-//	ziprd [-j N] [-queue N] [-cache-bytes N] [-deadline D] [-chaos-seed N]
-//	      [-listen ADDR] [-stats] [-access-log FILE] [-trace-sample N]
+//	ziprd [-j N] [-queue N] [-cache-bytes N] [-snapshot-bytes N] [-delta]
+//	      [-deadline D] [-chaos-seed N] [-listen ADDR] [-stats]
+//	      [-access-log FILE] [-trace-sample N]
 //
 // With -listen, ziprd serves HTTP:
 //
 //	POST /rewrite?transforms=cfi,stackpad:32&layout=diversity&seed=7
 //	    request body: the ZELF input image; response body: the
-//	    rewritten image. X-Zipr-Cache reports hit or miss. Saturation
+//	    rewritten image. X-Zipr-Cache reports hit, miss, or delta
+//	    (answered by patching a placement-snapshot ancestor of an
+//	    edited input — see -delta). Saturation
 //	    rejects with 503, malformed inputs with 400. A caller-supplied
 //	    X-Zipr-Trace ID (1-64 chars of [A-Za-z0-9._-]) is echoed back
 //	    and stamped on the access log; absent or invalid IDs are
@@ -31,7 +34,7 @@
 // input order regardless of -j. Request fields: id, trace, input
 // (base64), transforms, layout, seed, deadline_ms. Response fields:
 // id, trace, output (base64), input_size, output_size, layout, cached,
-// error, class.
+// delta, error, class.
 //
 // -access-log appends one JSON line per request (trace ID, content
 // digests, outcome, queue wait, wall time, phase breakdown, error
@@ -67,6 +70,8 @@ func run() error {
 	workers := flag.Int("j", 0, "max concurrent pipeline runs (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = default)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "rewrite cache byte budget (0 = default 64 MiB, negative disables)")
+	snapBytes := flag.Int64("snapshot-bytes", 0, "placement-snapshot byte budget for delta rewriting (0 = default 32 MiB, negative disables)")
+	delta := flag.Bool("delta", true, "answer edited inputs by delta-patching placement-snapshot ancestors")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off)")
 	stats := flag.Bool("stats", false, "print cache and admission counters to stderr on exit (batch mode)")
@@ -76,11 +81,15 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	opts := serve.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheBytes,
-		Trace:      obs.New(),
-		Registry:   reg,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheBytes:    *cacheBytes,
+		SnapshotBytes: *snapBytes,
+		Trace:         obs.New(),
+		Registry:      reg,
+	}
+	if !*delta {
+		opts.SnapshotBytes = -1
 	}
 	if *chaosSeed != 0 {
 		opts.Chaos = zipr.NewFaultInjector(*chaosSeed)
@@ -107,8 +116,8 @@ func run() error {
 	err := runBatch(d, os.Stdin, os.Stdout, *workers)
 	if *stats {
 		st := s.Stats()
-		fmt.Fprintf(os.Stderr, "ziprd: %d runs, %d hits, %d misses, %d shared, %d evicted, %d rejected\n",
-			st.PipelineRuns, st.Hits, st.Misses, st.Shared, st.Evictions, st.Rejected)
+		fmt.Fprintf(os.Stderr, "ziprd: %d runs, %d hits, %d misses, %d delta, %d shared, %d evicted, %d rejected\n",
+			st.PipelineRuns, st.Hits, st.Misses, st.DeltaHits, st.Shared, st.Evictions, st.Rejected)
 	}
 	return err
 }
@@ -135,6 +144,7 @@ type response struct {
 	OutputSize int    `json:"output_size,omitempty"`
 	Layout     string `json:"layout,omitempty"`
 	Cached     bool   `json:"cached"`
+	Delta      bool   `json:"delta,omitempty"`
 	Error      string `json:"error,omitempty"`
 	Class      string `json:"class,omitempty"`
 }

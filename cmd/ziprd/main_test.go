@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"zipr/internal/asm"
 	"zipr/internal/obs"
 	"zipr/internal/serve"
 	"zipr/internal/synth"
@@ -79,6 +80,91 @@ func TestHTTPRewriteHitAndMiss(t *testing.T) {
 	}
 	if len(coldBody) == 0 || bytes.Equal(coldBody, img) {
 		t.Fatal("rewrite returned the input unchanged")
+	}
+}
+
+// TestHTTPDeltaOutcome: an edited input sharing an ancestor with a
+// prior request is answered from its placement snapshot — X-Zipr-Cache
+// says "delta", the JSONL response sets delta, and the bytes match what
+// a daemon that never saw the base produces from scratch.
+func TestHTTPDeltaOutcome(t *testing.T) {
+	src := synth.Generate(0xD43E, synth.Profile{
+		Name: "ziprdelta", NumFuncs: 10, OpsMin: 4, OpsMax: 10,
+		DataWords: 32, InputLen: 4, LoopIters: 3,
+	})
+	msrc, n := synth.MutateConsts(src, 0x5EED, 1)
+	if n != 1 {
+		t.Fatalf("mutated %d functions, want 1", n)
+	}
+	build := func(s string) []byte {
+		bin, err := asm.Assemble(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := bin.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	base, edited := build(src), build(msrc)
+
+	d := newTestDaemon(t)
+	ts := httptest.NewServer(newHandler(d))
+	defer ts.Close()
+	post := func(url string, img []byte) (*http.Response, []byte) {
+		resp, err := http.Post(url+"/rewrite?transforms=cfi", "application/octet-stream", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST: %d %s", resp.StatusCode, body)
+		}
+		return resp, body
+	}
+	if resp, _ := post(ts.URL, base); resp.Header.Get("X-Zipr-Cache") != "miss" {
+		t.Fatalf("base X-Zipr-Cache = %q, want miss", resp.Header.Get("X-Zipr-Cache"))
+	}
+	resp, body := post(ts.URL, edited)
+	if got := resp.Header.Get("X-Zipr-Cache"); got != "delta" {
+		t.Fatalf("edited X-Zipr-Cache = %q, want delta", got)
+	}
+
+	// A daemon with no ancestry must produce the same bytes the hard way.
+	fresh := newTestDaemon(t)
+	ts2 := httptest.NewServer(newHandler(fresh))
+	defer ts2.Close()
+	resp2, want := post(ts2.URL, edited)
+	if resp2.Header.Get("X-Zipr-Cache") != "miss" {
+		t.Fatalf("fresh daemon X-Zipr-Cache = %q, want miss", resp2.Header.Get("X-Zipr-Cache"))
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("delta-served bytes diverge from a from-scratch rewrite")
+	}
+
+	// The batch wire shape carries the outcome too.
+	var in, out bytes.Buffer
+	enc := json.NewEncoder(&in)
+	enc.Encode(request{ID: "a", Input: base, Transforms: "null"})
+	enc.Encode(request{ID: "b", Input: edited, Transforms: "null"})
+	if err := runBatch(d, &in, &out, 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d batch responses, want 2", len(lines))
+	}
+	var rb response
+	if err := json.Unmarshal([]byte(lines[1]), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Delta || rb.Cached {
+		t.Fatalf("batch response b = %+v, want delta=true cached=false", rb)
 	}
 }
 

@@ -69,6 +69,11 @@ const (
 	// QueueDrop makes the serving layer's admission control reject a
 	// request as if the queue were full. Fails closed (ErrBusy).
 	QueueDrop
+	// DeltaStaleSnapshot corrupts a placement snapshot before the serving
+	// layer's delta path verifies it. The integrity checks must catch it,
+	// drop the snapshot and fall back to a full rewrite — degrades (full
+	// rewrite, never a divergent binary).
+	DeltaStaleSnapshot
 
 	numKinds
 )
@@ -84,6 +89,7 @@ var kindNames = [numKinds]string{
 	"section-corrupt",
 	"cache-corrupt",
 	"queue-drop",
+	"delta-stale-snapshot",
 }
 
 // String returns the kind's stable kebab-case name.
@@ -114,16 +120,17 @@ type kindProfile struct {
 }
 
 var profiles = [numKinds]kindProfile{
-	DisasmDisagree:  {armOneIn: 3, rate: 1 << 14}, // 1/4 of data-scan seeds
-	DisasmTruncate:  {armOneIn: 4, rate: 3 << 14}, // 3/4 chance of one cut
-	PinFlood:        {armOneIn: 3, rate: 1 << 11}, // 1/32 of instructions
-	EntryLost:       {armOneIn: 10, rate: 1 << 16},
-	AllocExhaust:    {armOneIn: 3, rate: 1 << 13}, // 1/8 of placements
-	ChainUnsat:      {armOneIn: 3, rate: 1 << 14}, // 1/4 of chain sites
-	TransformMisuse: {armOneIn: 8, rate: 1 << 7},  // 1/512 of instructions
-	SectionCorrupt:  {armOneIn: 12, rate: 1 << 16},
-	CacheCorrupt:    {armOneIn: 3, rate: 1 << 14}, // 1/4 of cache hits
-	QueueDrop:       {armOneIn: 6, rate: 1 << 13}, // 1/8 of admissions
+	DisasmDisagree:     {armOneIn: 3, rate: 1 << 14}, // 1/4 of data-scan seeds
+	DisasmTruncate:     {armOneIn: 4, rate: 3 << 14}, // 3/4 chance of one cut
+	PinFlood:           {armOneIn: 3, rate: 1 << 11}, // 1/32 of instructions
+	EntryLost:          {armOneIn: 10, rate: 1 << 16},
+	AllocExhaust:       {armOneIn: 3, rate: 1 << 13}, // 1/8 of placements
+	ChainUnsat:         {armOneIn: 3, rate: 1 << 14}, // 1/4 of chain sites
+	TransformMisuse:    {armOneIn: 8, rate: 1 << 7},  // 1/512 of instructions
+	SectionCorrupt:     {armOneIn: 12, rate: 1 << 16},
+	CacheCorrupt:       {armOneIn: 3, rate: 1 << 14}, // 1/4 of cache hits
+	QueueDrop:          {armOneIn: 6, rate: 1 << 13}, // 1/8 of admissions
+	DeltaStaleSnapshot: {armOneIn: 3, rate: 1 << 14}, // 1/4 of delta attempts
 }
 
 // Injector decides which faults fire where. Construct with New (arming
@@ -209,6 +216,24 @@ func (inj *Injector) Enabled() bool {
 // per-site hashing entirely on unarmed kinds. Nil-safe.
 func (inj *Injector) Armed(k Kind) bool {
 	return inj != nil && inj.rate[k] != 0
+}
+
+// ArmedPipeline reports whether any *pipeline* kind (everything below
+// the serving-layer kinds CacheCorrupt/QueueDrop/DeltaStaleSnapshot) is
+// armed. The delta path refuses to capture or serve placement snapshots
+// under pipeline chaos — an injector that corrupts the input or degrades
+// analyses breaks the determinism the snapshot contract rests on, while
+// the serving-layer kinds only perturb caching and admission. Nil-safe.
+func (inj *Injector) ArmedPipeline() bool {
+	if inj == nil {
+		return false
+	}
+	for k := Kind(0); k < CacheCorrupt; k++ {
+		if inj.rate[k] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Fires reports whether fault k fires at the given site. The decision

@@ -1,0 +1,386 @@
+package serve
+
+// Delta serving: placement snapshots let the server answer a request
+// whose input is a small edit of a previously rewritten input without
+// running the pipeline (core.Snapshot, DESIGN.md §11).
+//
+// Snapshots live on their own byte budget (Options.SnapshotBytes), NOT
+// inside the output cache: output-byte eviction under memory pressure
+// must not also destroy delta ancestry, or one burst of large unrelated
+// rewrites would reset every client's edit chain to cold-miss latency.
+// Ancestors are indexed by (config fingerprint, input length) — the two
+// properties of a request that are cheap to compute before any diffing —
+// and up to snapCandidates most-recent ancestors per index entry are
+// tried in MRU order. Optionally, snapshots persist through an irdb
+// database (Options.SnapshotDB) shared across Server instances, so a
+// restarted daemon keeps its ancestry.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"zipr"
+	"zipr/internal/core"
+	"zipr/internal/fault"
+	"zipr/internal/irdb"
+)
+
+// snapCandidates bounds how many ancestors one (fingerprint, length)
+// index entry offers a request; each failed candidate costs an image
+// memcmp, so the fan-out is kept small.
+const snapCandidates = 3
+
+// ancKey indexes snapshots by the pre-diff properties of a request: the
+// config fingerprint (hashed) and the input image length. An edited
+// input within the delta-eligible class always has its ancestor's exact
+// length — instruction lengths are preserved — so length mismatches are
+// never worth diffing.
+type ancKey struct {
+	fp    [sha256.Size]byte
+	inLen int
+}
+
+func ancKeyOf(cfg zipr.Config, inLen int) ancKey {
+	return ancKey{fp: sha256.Sum256([]byte(cfg.Fingerprint())), inLen: inLen}
+}
+
+// dbKey renders the ancestor index key as the single indexed text
+// column of the persistence table.
+func (a ancKey) dbKey() string {
+	return fmt.Sprintf("%s:%d", hex.EncodeToString(a.fp[:]), a.inLen)
+}
+
+// snapEntry is one stored snapshot plus the report fields a delta
+// answer reproduces (by the snapshot identity argument, the edited
+// input's from-scratch report equals its ancestor's for these fields).
+type snapEntry struct {
+	key      Key
+	anc      ancKey
+	snap     *core.Snapshot
+	size     int64
+	stats    zipr.Stats
+	layout   string
+	warnings []string
+
+	prev, next *snapEntry // LRU list, most recent at head
+}
+
+// snapStore is the byte-budgeted LRU of placement snapshots with the
+// ancestor index. Not safe for concurrent use; the Server serializes
+// access under its mutex.
+type snapStore struct {
+	budget  int64
+	bytes   int64
+	entries map[Key]*snapEntry
+	byAnc   map[ancKey][]*snapEntry // MRU order, bounded by snapCandidates
+	head    *snapEntry
+	tail    *snapEntry
+	evicted int64
+}
+
+func newSnapStore(budget int64) *snapStore {
+	return &snapStore{
+		budget:  budget,
+		entries: make(map[Key]*snapEntry),
+		byAnc:   make(map[ancKey][]*snapEntry),
+	}
+}
+
+// candidates returns up to snapCandidates entries for anc, most recent
+// first. The returned slice is a copy; entries are immutable once
+// stored except through remove.
+func (st *snapStore) candidates(anc ancKey) []*snapEntry {
+	return append([]*snapEntry(nil), st.byAnc[anc]...)
+}
+
+// put inserts e, replacing any entry under the same key, and evicts
+// from the cold end until the byte budget holds. Oversized snapshots
+// are not stored at all.
+func (st *snapStore) put(e *snapEntry) {
+	if old := st.entries[e.key]; old != nil {
+		st.remove(old)
+	}
+	if e.size > st.budget {
+		return
+	}
+	st.entries[e.key] = e
+	st.pushFront(e)
+	st.bytes += e.size
+	lst := append([]*snapEntry{e}, st.byAnc[e.anc]...)
+	if len(lst) > snapCandidates {
+		lst = lst[:snapCandidates]
+	}
+	st.byAnc[e.anc] = lst
+	for st.bytes > st.budget && st.tail != nil && st.tail != e {
+		st.evicted++
+		st.remove(st.tail)
+	}
+}
+
+// remove drops e entirely (budget, LRU list and ancestor index).
+func (st *snapStore) remove(e *snapEntry) {
+	if st.entries[e.key] != e {
+		return
+	}
+	delete(st.entries, e.key)
+	st.unlink(e)
+	st.bytes -= e.size
+	lst := st.byAnc[e.anc]
+	for i, x := range lst {
+		if x == e {
+			lst = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(st.byAnc, e.anc)
+	} else {
+		st.byAnc[e.anc] = lst
+	}
+}
+
+func (st *snapStore) pushFront(e *snapEntry) {
+	e.prev, e.next = nil, st.head
+	if st.head != nil {
+		st.head.prev = e
+	}
+	st.head = e
+	if st.tail == nil {
+		st.tail = e
+	}
+}
+
+func (st *snapStore) unlink(e *snapEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if st.head == e {
+		st.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if st.tail == e {
+		st.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// snapTable is the persistence schema: one row per snapshot, indexed by
+// the ancestor key and the content address.
+const snapTable = "placement_snapshots"
+
+func ensureSnapTable(db *irdb.DB) error {
+	err := db.CreateTable(irdb.Schema{
+		Name: snapTable,
+		Cols: []irdb.Col{
+			{Name: "key", Type: irdb.Text},
+			{Name: "anc", Type: irdb.Text},
+			{Name: "layout", Type: irdb.Text},
+			{Name: "blob", Type: irdb.Bytes},
+		},
+	})
+	if err != nil {
+		if errors.Is(err, irdb.ErrExists) {
+			return nil
+		}
+		return err
+	}
+	if err := db.CreateIndex(snapTable, "key"); err != nil {
+		return err
+	}
+	return db.CreateIndex(snapTable, "anc")
+}
+
+// persistSnapshot writes e through to the snapshot database, bounding
+// the rows per ancestor key the same way the in-memory index is
+// bounded. Persistence failures are ignored — the durable tier is an
+// optimization, never a correctness dependency.
+func (s *Server) persistSnapshot(e *snapEntry) {
+	if s.sdb == nil {
+		return
+	}
+	ancStr := e.anc.dbKey()
+	rows, err := s.sdb.Lookup(snapTable, "anc", ancStr)
+	if err != nil {
+		return
+	}
+	keyStr := e.key.String()
+	// Replace any row under the same content address, then trim the
+	// oldest rows past the candidate bound (rows come back in insertion
+	// order).
+	live := 0
+	for _, r := range rows {
+		if r["key"] == keyStr {
+			_ = s.sdb.Delete(snapTable, r["id"].(int64))
+		} else {
+			live++
+		}
+	}
+	for _, r := range rows {
+		if live < snapCandidates || r["key"] == keyStr {
+			break
+		}
+		_ = s.sdb.Delete(snapTable, r["id"].(int64))
+		live--
+	}
+	_, _ = s.sdb.Insert(snapTable, irdb.Row{
+		"key":    keyStr,
+		"anc":    ancStr,
+		"layout": e.layout,
+		"blob":   e.snap.Marshal(),
+	})
+}
+
+// unpersistSnapshot removes a stale snapshot from the durable tier.
+func (s *Server) unpersistSnapshot(key Key) {
+	if s.sdb == nil {
+		return
+	}
+	rows, err := s.sdb.Lookup(snapTable, "key", key.String())
+	if err != nil {
+		return
+	}
+	for _, r := range rows {
+		_ = s.sdb.Delete(snapTable, r["id"].(int64))
+	}
+}
+
+// loadSnapshots pulls an ancestor's persisted snapshots into candidate
+// entries when the in-memory store has none (a fresh Server sharing a
+// SnapshotDB with a previous instance). Unparseable rows are deleted.
+func (s *Server) loadSnapshots(anc ancKey) []*snapEntry {
+	if s.sdb == nil {
+		return nil
+	}
+	rows, err := s.sdb.Lookup(snapTable, "anc", anc.dbKey())
+	if err != nil {
+		return nil
+	}
+	var out []*snapEntry
+	for i := len(rows) - 1; i >= 0 && len(out) < snapCandidates; i-- { // newest first
+		r := rows[i]
+		snap, err := core.UnmarshalSnapshot(r["blob"].([]byte))
+		if err != nil || snap.Fingerprint == "" {
+			_ = s.sdb.Delete(snapTable, r["id"].(int64))
+			continue
+		}
+		var key Key
+		if kb, err := hex.DecodeString(r["key"].(string)); err == nil && len(kb) == len(key) {
+			copy(key[:], kb)
+		}
+		layout, _ := r["layout"].(string)
+		out = append(out, &snapEntry{
+			key:    key,
+			anc:    anc,
+			snap:   snap,
+			size:   snap.SizeBytes(),
+			layout: layout,
+		})
+	}
+	return out
+}
+
+// storeSnapshot records a completed rewrite's snapshot as a delta
+// ancestor, in memory and (when configured) durably.
+func (s *Server) storeSnapshot(key Key, anc ancKey, snap *core.Snapshot, rep *zipr.Report) {
+	e := &snapEntry{
+		key:      key,
+		anc:      anc,
+		snap:     snap,
+		size:     snap.SizeBytes(),
+		stats:    rep.Stats,
+		layout:   rep.Layout,
+		warnings: append([]string(nil), rep.Warnings...),
+	}
+	s.mu.Lock()
+	before := s.snaps.evicted
+	s.snaps.put(e)
+	evicted := s.snaps.evicted - before
+	s.syncSnapGaugesLocked()
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.tr.Add("serve.snapshot.evict", evicted)
+	}
+	s.persistSnapshot(e)
+}
+
+// tryDelta attempts to answer the request from a delta ancestor.
+// Returns ok=false when no ancestor applies — the caller then runs the
+// full pipeline. Every candidate failure is contained: a stale snapshot
+// is dropped (memory and durable tier), an inapplicable edit just moves
+// to the next candidate, and the two-outcome contract holds because a
+// successful Apply is byte-identical to the pipeline by construction.
+func (s *Server) tryDelta(key Key, input []byte, cfg zipr.Config) (out []byte, rep *zipr.Report, snap *core.Snapshot, ok bool) {
+	anc := ancKeyOf(cfg, len(input))
+	s.mu.Lock()
+	cands := s.snaps.candidates(anc)
+	s.mu.Unlock()
+	if len(cands) == 0 {
+		cands = s.loadSnapshots(anc)
+	}
+	for _, e := range cands {
+		if e.key == key {
+			// Same content address: the output cache answers exact
+			// repeats; the delta path is for edited inputs.
+			continue
+		}
+		snap := e.snap
+		if s.inj.Fires(fault.DeltaStaleSnapshot, key.site()^e.key.site()) && len(snap.Output) > 0 {
+			// Serve a snapshot whose digests mismatch: flip a byte in a
+			// clone (stored entries are shared across concurrent requests)
+			// and let Apply's integrity verification catch it — the stale
+			// path below then drops the ancestor and the request degrades
+			// to a full rewrite.
+			clone := *snap
+			clone.Output = append([]byte(nil), snap.Output...)
+			clone.Output[s.inj.Pick(fault.DeltaStaleSnapshot, key.site(), len(clone.Output))] ^= 0xFF
+			snap = &clone
+		}
+		res, info, err := snap.Apply(input)
+		if err != nil {
+			if errors.Is(err, core.ErrSnapshotStale) {
+				s.mu.Lock()
+				s.snaps.remove(e)
+				s.stats.DeltaStale++
+				s.syncSnapGaugesLocked()
+				s.mu.Unlock()
+				s.tr.Add("serve.delta.stale", 1)
+				s.tel.deltaStale.Add(1)
+				s.unpersistSnapshot(e.key)
+			}
+			continue
+		}
+		rep := &zipr.Report{
+			Stats:      e.stats,
+			Layout:     e.layout,
+			Warnings:   append([]string(nil), e.warnings...),
+			InputSize:  len(input),
+			OutputSize: len(res),
+		}
+		// The answered request becomes a new ancestor: rebase the
+		// snapshot onto its images so edit chains keep delta latency.
+		ns, err := e.snap.Rebase(input, res, info)
+		if err == nil {
+			s.storeSnapshot(key, anc, ns, rep)
+		} else {
+			ns = nil
+		}
+		s.tr.Add("serve.delta.hit", 1)
+		s.mu.Lock()
+		s.stats.DeltaHits++
+		s.mu.Unlock()
+		s.span("serve.delta")
+		return res, rep, ns, true
+	}
+	return nil, nil, nil, false
+}
+
+// syncSnapGaugesLocked publishes snapshot-store occupancy gauges;
+// caller holds s.mu.
+func (s *Server) syncSnapGaugesLocked() {
+	s.tr.SetGauge("serve.snapshot.bytes", s.snaps.bytes)
+	s.tr.SetGauge("serve.snapshot.entries", int64(len(s.snaps.entries)))
+	s.tel.snapBytes.Set(s.snaps.bytes)
+	s.tel.snapCount.Set(int64(len(s.snaps.entries)))
+}

@@ -43,6 +43,7 @@ import (
 
 	"zipr"
 	"zipr/internal/fault"
+	"zipr/internal/irdb"
 	"zipr/internal/obs"
 	"zipr/internal/zerr"
 )
@@ -60,6 +61,16 @@ type Options struct {
 	// CacheBytes is the rewrite cache's byte budget over cached output
 	// images (default 64 MiB). Negative disables caching entirely.
 	CacheBytes int64
+	// SnapshotBytes is the placement-snapshot store's byte budget
+	// (default 32 MiB; negative disables delta serving). Snapshots are
+	// budgeted separately from CacheBytes on purpose: output-byte
+	// eviction under memory pressure must not destroy delta ancestry.
+	SnapshotBytes int64
+	// SnapshotDB, when non-nil, persists placement snapshots through an
+	// irdb database shared across Server instances, so a restarted
+	// daemon keeps its delta ancestry. Purely an optimization: rows are
+	// integrity-verified on load and dropped when stale.
+	SnapshotDB *irdb.DB
 	// Trace receives the serving layer's counters, gauges and
 	// per-request spans; nil disables instrumentation.
 	Trace *obs.Trace
@@ -86,9 +97,13 @@ type Stats struct {
 	Rejected     int64 // admissions refused (queue full, injected)
 	Expired      int64 // deadlines that fired while queued/waiting
 	PipelineRuns int64 // actual rewrites executed
+	DeltaHits    int64 // requests answered from a placement snapshot
+	DeltaStale   int64 // snapshots dropped for failed integrity checks
 	CacheEntries int   // current entry count
 	CacheBytes   int64 // current cached output bytes
 	QueueDepth   int   // requests currently waiting for a worker
+	SnapEntries  int   // current placement-snapshot count
+	SnapBytes    int64 // current placement-snapshot bytes
 
 	// Metrics is the labeled-registry snapshot (request totals and
 	// rolling latency quantiles by outcome); nil when the server was
@@ -107,8 +122,11 @@ type Server struct {
 	inj  *fault.Injector
 	sem  chan struct{}
 
+	sdb *irdb.DB
+
 	mu       sync.Mutex
-	cache    *lruCache // nil when caching is disabled
+	cache    *lruCache  // nil when caching is disabled
+	snaps    *snapStore // nil when delta serving is disabled
 	inflight map[Key]*call
 	stats    Stats
 	closed   bool
@@ -134,6 +152,9 @@ func New(opts Options) *Server {
 	if opts.CacheBytes == 0 {
 		opts.CacheBytes = 64 << 20
 	}
+	if opts.SnapshotBytes == 0 {
+		opts.SnapshotBytes = 32 << 20
+	}
 	s := &Server{
 		opts:     opts,
 		tr:       opts.Trace,
@@ -146,6 +167,12 @@ func New(opts Options) *Server {
 	if opts.CacheBytes > 0 {
 		s.cache = newLRUCache(opts.CacheBytes)
 	}
+	if opts.SnapshotBytes > 0 {
+		s.snaps = newSnapStore(opts.SnapshotBytes)
+		if opts.SnapshotDB != nil && ensureSnapTable(opts.SnapshotDB) == nil {
+			s.sdb = opts.SnapshotDB
+		}
+	}
 	return s
 }
 
@@ -157,6 +184,10 @@ func (s *Server) Stats() Stats {
 	if s.cache != nil {
 		st.CacheEntries = len(s.cache.entries)
 		st.CacheBytes = s.cache.bytes
+	}
+	if s.snaps != nil {
+		st.SnapEntries = len(s.snaps.entries)
+		st.SnapBytes = s.snaps.bytes
 	}
 	st.Metrics = s.reg.Snapshot()
 	return st
@@ -283,6 +314,30 @@ func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 		close(c.done)
 	}
 
+	// Delta admission: a request whose input is a supported edit of a
+	// stored ancestor is answered by patching the ancestor's output —
+	// byte-identical to a pipeline run, at memcmp cost — without
+	// consuming a worker. Pipeline chaos disables the path: an injector
+	// that perturbs analyses or corrupts inputs voids the determinism
+	// argument the snapshot identity rests on (the serve-level kinds —
+	// CacheCorrupt, QueueDrop, DeltaStaleSnapshot — don't).
+	deltaOK := cacheable && s.snaps != nil && !cfg.Chaos.ArmedPipeline()
+	if deltaOK {
+		if out, rep, snap, ok := s.tryDelta(key, input, cfg); ok {
+			if s.cache != nil {
+				s.cachePut(key, out, rep)
+			}
+			if !cfg.CaptureSnapshot {
+				snap = nil
+			}
+			repOut := *rep
+			repOut.Snapshot = snap
+			finish(out, rep, nil)
+			meta.Outcome = OutcomeDelta
+			return append([]byte(nil), out...), &repOut, meta, nil
+		}
+	}
+
 	wait, err := s.admit(ctx, key.site())
 	meta.QueueWait = wait
 	if err != nil {
@@ -294,7 +349,15 @@ func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 	s.count("serve.cache.miss", &s.stats.Misses)
 	s.count("serve.pipeline.runs", &s.stats.PipelineRuns)
 	s.tel.runs.Add(1)
-	out, rep, err := zipr.Rewrite(input, cfg)
+	rcfg := cfg
+	if deltaOK {
+		// Capture this run's placement snapshot so the *next* edited
+		// version of this input takes the delta path. Capture never
+		// changes the output bytes (it is excluded from the
+		// fingerprint, like the other observability knobs).
+		rcfg.CaptureSnapshot = true
+	}
+	out, rep, err := zipr.Rewrite(input, rcfg)
 	<-s.sem
 	sp.End()
 	if err != nil {
@@ -302,26 +365,14 @@ func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 		meta.Outcome = outcomeOfError(err)
 		return nil, nil, meta, err
 	}
+	if deltaOK && rep.Snapshot != nil {
+		s.storeSnapshot(key, ancKeyOf(cfg, len(input)), rep.Snapshot, rep)
+		if !cfg.CaptureSnapshot {
+			rep.Snapshot = nil
+		}
+	}
 	if cacheable && s.cache != nil {
-		e := &entry{
-			key:      key,
-			out:      append([]byte(nil), out...),
-			sum:      sha256.Sum256(out),
-			stats:    rep.Stats,
-			layout:   rep.Layout,
-			warnings: append([]string(nil), rep.Warnings...),
-		}
-		s.mu.Lock()
-		before := s.cache.evicted
-		s.cache.put(e)
-		evicted := s.cache.evicted - before
-		s.stats.Evictions += evicted
-		s.syncCacheGaugesLocked()
-		s.mu.Unlock()
-		if evicted > 0 {
-			s.tr.Add("serve.cache.evict", evicted)
-			s.tel.evictions.Add(evicted)
-		}
+		s.cachePut(key, out, rep)
 	}
 	finish(out, rep, err)
 	repCopy := *rep
@@ -375,6 +426,30 @@ func (s *Server) admit(ctx context.Context, site uint32) (time.Duration, error) 
 	case <-ctx.Done():
 		s.count("serve.deadline.expired", &s.stats.Expired)
 		return time.Since(queued), fmt.Errorf("serve: %w: %v while queued", zerr.ErrBusy, ctx.Err())
+	}
+}
+
+// cachePut stores a completed rewrite's output in the content-addressed
+// cache, counting evictions the insert forced.
+func (s *Server) cachePut(key Key, out []byte, rep *zipr.Report) {
+	e := &entry{
+		key:      key,
+		out:      append([]byte(nil), out...),
+		sum:      sha256.Sum256(out),
+		stats:    rep.Stats,
+		layout:   rep.Layout,
+		warnings: append([]string(nil), rep.Warnings...),
+	}
+	s.mu.Lock()
+	before := s.cache.evicted
+	s.cache.put(e)
+	evicted := s.cache.evicted - before
+	s.stats.Evictions += evicted
+	s.syncCacheGaugesLocked()
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.tr.Add("serve.cache.evict", evicted)
+		s.tel.evictions.Add(evicted)
 	}
 }
 

@@ -14,6 +14,7 @@ const (
 	OutcomeHit    = "hit"    // answered from the content-addressed cache
 	OutcomeMiss   = "miss"   // full pipeline run
 	OutcomeShared = "shared" // singleflight follower of a concurrent run
+	OutcomeDelta  = "delta"  // answered by patching a placement-snapshot ancestor
 	OutcomeBusy   = "busy"   // rejected or expired (zerr.ErrBusy class)
 	OutcomeError  = "error"  // pipeline or input failure
 )
@@ -21,7 +22,7 @@ const (
 // outcomes enumerates every label value; telemetry handles are
 // resolved once per outcome at construction so the per-request path
 // never does a label lookup.
-var outcomes = [...]string{OutcomeHit, OutcomeMiss, OutcomeShared, OutcomeBusy, OutcomeError}
+var outcomes = [...]string{OutcomeHit, OutcomeMiss, OutcomeShared, OutcomeDelta, OutcomeBusy, OutcomeError}
 
 // RequestMeta is the per-request telemetry record RewriteMeta returns:
 // what happened and where the time went. Access logs and labeled
@@ -43,15 +44,18 @@ type RequestMeta struct {
 // handles. Every handle is nil-safe, so a server without a Registry
 // carries a zero telemetry struct and pays only nil checks.
 type telemetry struct {
-	total      map[string]*obs.Counter       // serve.request.total{outcome}
-	latency    map[string]*obs.WindowSeries  // serve.request.latency{outcome}, µs
-	queueWait  *obs.WindowSeries             // serve.queue.wait, µs
-	queueDepth *obs.Gauge                    // serve.queue.depth
-	cacheBytes *obs.Gauge                    // serve.cache.bytes
-	cacheCount *obs.Gauge                    // serve.cache.entries
-	evictions  *obs.Counter                  // serve.cache.evictions
-	corrupt    *obs.Counter                  // serve.cache.corrupt
-	runs       *obs.Counter                  // serve.pipeline.runs
+	total      map[string]*obs.Counter      // serve.request.total{outcome}
+	latency    map[string]*obs.WindowSeries // serve.request.latency{outcome}, µs
+	queueWait  *obs.WindowSeries            // serve.queue.wait, µs
+	queueDepth *obs.Gauge                   // serve.queue.depth
+	cacheBytes *obs.Gauge                   // serve.cache.bytes
+	cacheCount *obs.Gauge                   // serve.cache.entries
+	evictions  *obs.Counter                 // serve.cache.evictions
+	corrupt    *obs.Counter                 // serve.cache.corrupt
+	runs       *obs.Counter                 // serve.pipeline.runs
+	deltaStale *obs.Counter                 // serve.delta.stale
+	snapBytes  *obs.Gauge                   // serve.snapshot.bytes
+	snapCount  *obs.Gauge                   // serve.snapshot.entries
 }
 
 // newTelemetry registers the serving layer's metric families on reg
@@ -74,6 +78,9 @@ func newTelemetry(reg *obs.Registry) telemetry {
 	t.evictions = reg.Counter("serve.cache.evictions", "cache entries evicted for the byte budget").With()
 	t.corrupt = reg.Counter("serve.cache.corrupt", "cache hits that failed the digest check").With()
 	t.runs = reg.Counter("serve.pipeline.runs", "pipeline executions").With()
+	t.deltaStale = reg.Counter("serve.delta.stale", "placement snapshots dropped for failed integrity checks").With()
+	t.snapBytes = reg.Gauge("serve.snapshot.bytes", "placement-snapshot store bytes").With()
+	t.snapCount = reg.Gauge("serve.snapshot.entries", "stored placement snapshots").With()
 	return t
 }
 

@@ -232,6 +232,16 @@ type Config struct {
 	// address mapping of every relocated instruction (a linker-map
 	// equivalent, useful for symbolization and debugging).
 	EmitMap bool
+	// CaptureSnapshot exports a placement snapshot of the rewrite into
+	// Report.Snapshot: function-granular content digests plus per-
+	// instruction placed addresses, enough for Snapshot.Apply to answer a
+	// future rewrite of a locally edited input without running the
+	// pipeline (see DESIGN.md §11). Capture is best-effort — Snapshot
+	// stays nil when the configuration or input is outside the delta-
+	// eligible class (unknown custom transforms, pipeline fault injection
+	// armed) — and, like CaptureIR/EmitMap, never changes the output.
+	// Only Rewrite completes the snapshot; RewriteBinary leaves it nil.
+	CaptureSnapshot bool
 	// Trace, when non-nil, records per-phase spans (disassembly, CFG and
 	// pin analysis, each transform by name, the reassembly sub-phases)
 	// plus counters and histograms for this rewrite. The caller owns the
@@ -343,6 +353,51 @@ type Report struct {
 	// Trace echoes Config.Trace so report consumers can snapshot the
 	// phase spans and metrics of this rewrite; nil when tracing was off.
 	Trace *Trace
+	// Snapshot holds the placement snapshot when Config.CaptureSnapshot
+	// is set and the rewrite was delta-eligible; nil otherwise.
+	Snapshot *Snapshot
+}
+
+// Snapshot is a placement snapshot for incremental (delta) rewriting:
+// it records the ancestor input/output images, per-function-unit content
+// digests, and the placed address of every delta-eligible instruction.
+// Snapshot.Apply answers a rewrite of a locally edited input byte-for-
+// byte identically to a from-scratch rewrite — or refuses with
+// ErrDeltaInapplicable/ErrSnapshotStale, in which case the caller runs
+// the full pipeline (degradation costs latency, never correctness).
+type Snapshot = core.Snapshot
+
+// DeltaInfo reports what a Snapshot.Apply changed.
+type DeltaInfo = core.DeltaInfo
+
+// Delta errors (test with errors.Is).
+var (
+	// ErrDeltaInapplicable: the edit falls outside the snapshot's
+	// supported class; fall back to a full rewrite.
+	ErrDeltaInapplicable = core.ErrDeltaInapplicable
+	// ErrSnapshotStale: the snapshot failed integrity verification;
+	// evict it and fall back to a full rewrite.
+	ErrSnapshotStale = core.ErrSnapshotStale
+)
+
+// snapshotSafeTransforms reports whether every transform in the stack is
+// a built-in whose decisions are provably invariant under the delta
+// path's free-immediate edits, and whether any of them reads stack-
+// pointer adjustment immediates (StackPad/Canary — those instructions
+// are then excluded from editing). Unknown custom transforms could read
+// any immediate, so their presence disables snapshot capture entirely.
+func snapshotSafeTransforms(transforms []Transform) (safe, frameSensitive bool) {
+	for _, t := range transforms {
+		switch t.(type) {
+		case transform.StackPad, transform.Canary:
+			frameSensitive = true
+		case transform.Null, transform.CFI, transform.PinBlocks,
+			transform.Stir, transform.NopElide, *transform.Profiler:
+		default:
+			return false, false
+		}
+	}
+	return true, frameSensitive
 }
 
 // SizeOverhead returns the relative file growth (e.g. 0.03 = +3%).
@@ -397,6 +452,16 @@ func Rewrite(input []byte, cfgv Config) ([]byte, *Report, error) {
 	}
 	report.InputSize = len(input)
 	report.OutputSize = len(data)
+	if report.Snapshot != nil {
+		// Attach the serialized images (verifying the recorded text
+		// offsets against them); a snapshot that fails verification is
+		// withheld rather than exported.
+		// injected means the parsed image was a chaos-corrupted copy; a
+		// snapshot of it would describe bytes the caller never sent.
+		if injected || report.Snapshot.Finish(input, data) != nil {
+			report.Snapshot = nil
+		}
+	}
 	return data, report, nil
 }
 
@@ -479,6 +544,18 @@ func rewriteBinaryPlacer(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Pro
 	}
 	report.Stats = Stats(res.Stats)
 	report.Layout = placer.Name()
+	if cfgv.CaptureSnapshot && newPlacer == nil && !inj.ArmedPipeline() {
+		// Snapshot capture is best-effort: any ineligibility (custom
+		// transforms, no text, pipeline chaos) just leaves Snapshot nil.
+		if safe, frameSensitive := snapshotSafeTransforms(cfgv.Transforms); safe {
+			sp = tr.Start("snapshot")
+			snap, err := core.BuildSnapshot(prog, res, frameSensitive, cfgv.Fingerprint())
+			sp.End()
+			if err == nil {
+				report.Snapshot = snap
+			}
+		}
+	}
 	if cfgv.EmitMap {
 		report.AddrMap = make(map[uint32]uint32)
 		for _, n := range prog.Insts {
