@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the full local gate.
 GO ?= go
 
-.PHONY: build vet test race cover bench benchgate benchsmoke fuzzsmoke examples metricslint ci
+.PHONY: build vet test race cover bench benchgate benchsmoke fuzzsmoke fleet-smoke examples metricslint ci
 
 build:
 	$(GO) build ./...
@@ -35,16 +35,24 @@ cover:
 # diet (compare DisassembleSerial vs DisassembleParallel, EvalJ1 vs
 # EvalJN). The run is converted to BENCH_pipeline.json (ns/op, allocs/op
 # and the speedup-x metrics, machine-readable) via cmd/benchjson.
-BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented|RewriteDelta|ServeDeltaHit
+BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented|RewriteDelta|ServeDeltaHit|DaemonHotCache|GatewayHotCache|DiskTierHit|DiskTierPromote
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
 
-# Perf gate: the delta perf bar (ISSUE 7) — applying a placement
-# snapshot to a 1-function edit of the >100k-instruction stress input
-# must stay at least 5x faster than the from-scratch rewrite. Reads the
-# trajectory `bench` just merged, so run after it.
+# Perf gates, read from the trajectory `bench` just merged (run after
+# it):
+#  - delta perf bar (ISSUE 7): applying a placement snapshot to a
+#    1-function edit of the >100k-instruction stress input must stay
+#    at least 5x faster than the from-scratch rewrite;
+#  - disk-tier bar (ISSUE 8): a disk-tier hit (read + digest check)
+#    must stay at least 10x faster than a cold pipeline run;
+#  - gateway overhead bar (ISSUE 8): the gateway hop may cost at most
+#    3x the single-daemon hot-cache round trip (speedup daemon/gateway
+#    >= 1/3).
 benchgate:
 	$(GO) run ./cmd/benchjson -compare BenchmarkRewriteDeltaCold,BenchmarkRewriteDelta -min 5 BENCH_pipeline.json
+	$(GO) run ./cmd/benchjson -compare BenchmarkServeColdMiss,BenchmarkDiskTierHit -min 10 BENCH_pipeline.json
+	$(GO) run ./cmd/benchjson -compare BenchmarkDaemonHotCache,BenchmarkGatewayHotCache -min 0.333 BENCH_pipeline.json
 
 # Allocator bench smoke: one iteration of the indexed-allocator
 # microbenches against their sorted-slice reference, enough to catch a
@@ -65,6 +73,14 @@ fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineEquivalence$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEquivalence$$' -fuzztime $(FUZZTIME) .
 
+# Fleet smoke: build ziprd, boot two disk-backed workers plus a
+# consistent-hash gateway on real TCP, then drill the fleet contract —
+# byte-identical answers across a mid-run worker kill (with the outage
+# visible in gateway metrics) and a disk-tier hit from a restarted
+# empty-RAM worker. See cmd/fleetsmoke.
+fleet-smoke:
+	$(GO) run ./cmd/fleetsmoke
+
 # Examples are part of the API contract: each must build and run to
 # completion (exit 0) against the current library surface.
 examples:
@@ -78,4 +94,4 @@ examples:
 metricslint:
 	$(GO) test -run 'TestMetricsNamingLint|TestPromExposition|TestPromName' ./internal/serve/ ./internal/obs/
 
-ci: build vet race cover bench benchgate benchsmoke fuzzsmoke examples metricslint
+ci: build vet race cover bench benchgate benchsmoke fuzzsmoke fleet-smoke examples metricslint

@@ -1,0 +1,149 @@
+package zipr_test
+
+// Fleet and disk-tier benchmarks. The daemon/gateway hot-cache pair
+// prices the gateway hop: BenchmarkDaemonHotCache is one HTTP round
+// trip into a warmed worker, BenchmarkGatewayHotCache adds the
+// consistent-hash route and the second hop, and `make benchgate` holds
+// the ratio to ≤3x. The disk-tier pair prices the second cache tier
+// against BenchmarkServeColdMiss: a disk hit (read + digest check)
+// must stay ≥10x faster than rerunning the pipeline for the spill to
+// pay for itself.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"zipr"
+	"zipr/internal/serve"
+)
+
+const benchQuery = "transforms=cfi"
+
+// httpRewrite posts img to a live server over its real TCP listener.
+func httpRewrite(b *testing.B, client *http.Client, url string, img []byte) {
+	b.Helper()
+	resp, err := client.Post(url+"/rewrite?"+benchQuery, "application/octet-stream", bytes.NewReader(img))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// BenchmarkDaemonHotCache measures a warmed request over one HTTP hop
+// straight into a worker daemon — the single-daemon baseline the
+// gateway overhead gate divides by.
+func BenchmarkDaemonHotCache(b *testing.B) {
+	img := benchImage(b)
+	s := serve.New(serve.Options{Workers: 1})
+	defer s.Close()
+	ts := fleetWorker(b, s)
+	client := ts.Client()
+	httpRewrite(b, client, ts.URL, img) // warm the cache and the connection
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		httpRewrite(b, client, ts.URL, img)
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.PipelineRuns != 1 {
+		b.Fatalf("hot loop ran the pipeline %d times, want 1", st.PipelineRuns)
+	}
+}
+
+// BenchmarkGatewayHotCache measures the same warmed request through
+// the fleet gateway: consistent-hash routing plus the extra hop to the
+// owning worker.
+func BenchmarkGatewayHotCache(b *testing.B) {
+	img := benchImage(b)
+	h, _ := newGoldenFleet(b)
+	gw := httptest.NewServer(h)
+	defer gw.Close()
+	client := gw.Client()
+	httpRewrite(b, client, gw.URL, img) // warm the owning worker and both connections
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		httpRewrite(b, client, gw.URL, img)
+	}
+}
+
+// benchDiskTier returns a tier in dir warmed with img's rewrite (write-
+// behind drained), reopened fresh.
+func benchWarmTier(b *testing.B, img []byte, cfg zipr.Config) *serve.DiskTier {
+	b.Helper()
+	dir := b.TempDir()
+	tier, err := serve.OpenDiskTier(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := serve.New(serve.Options{Workers: 1, SnapshotBytes: -1, Disk: tier})
+	if _, _, err := s.Rewrite(context.Background(), img, cfg); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	tier.Close()
+	tier2, err := serve.OpenDiskTier(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(tier2.Close)
+	return tier2
+}
+
+// BenchmarkDiskTierHit measures the disk tier answering an empty-RAM
+// server: object read plus digest verification, no pipeline. RAM
+// caching is disabled so every iteration goes to disk.
+func BenchmarkDiskTierHit(b *testing.B) {
+	img := benchImage(b)
+	cfg := zipr.Config{Transforms: []zipr.Transform{zipr.CFI()}}
+	tier := benchWarmTier(b, img, cfg)
+	s := serve.New(serve.Options{Workers: 1, CacheBytes: -1, SnapshotBytes: -1, Disk: tier})
+	defer s.Close()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Rewrite(context.Background(), img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Stats()
+	if st.PipelineRuns != 0 || st.DiskHits != int64(b.N) {
+		b.Fatalf("runs=%d diskHits=%d, want 0/%d", st.PipelineRuns, st.DiskHits, b.N)
+	}
+}
+
+// BenchmarkDiskTierPromote measures the restart recovery path: a disk
+// hit plus its promotion into the in-memory cache (a fresh empty-RAM
+// server per iteration, construction off the clock).
+func BenchmarkDiskTierPromote(b *testing.B) {
+	img := benchImage(b)
+	cfg := zipr.Config{Transforms: []zipr.Transform{zipr.CFI()}}
+	tier := benchWarmTier(b, img, cfg)
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := serve.New(serve.Options{Workers: 1, SnapshotBytes: -1, Disk: tier})
+		b.StartTimer()
+		if _, _, err := s.Rewrite(context.Background(), img, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st := s.Stats(); st.DiskPromotes != 1 {
+			b.Fatalf("promotes=%d, want 1", st.DiskPromotes)
+		}
+		s.Close()
+		b.StartTimer()
+	}
+}

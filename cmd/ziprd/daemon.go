@@ -65,6 +65,7 @@ type reqRecord struct {
 	InputSHA    string           `json:"input_sha256,omitempty"`
 	ConfigSHA   string           `json:"config_sha256,omitempty"`
 	Outcome     string           `json:"outcome"`
+	Tier        string           `json:"tier,omitempty"`
 	QueueWaitNS int64            `json:"queue_wait_ns"`
 	WallNS      int64            `json:"wall_ns"`
 	InputSize   int              `json:"input_size,omitempty"`
@@ -186,6 +187,7 @@ func (d *daemon) handle(ctx context.Context, req request) response {
 	d.agg.AddTrace(tr)
 	snap := tr.Snapshot()
 	rec.Outcome = meta.Outcome
+	rec.Tier = meta.Tier
 	rec.QueueWaitNS = meta.QueueWait.Nanoseconds()
 	rec.WallNS = meta.Wall.Nanoseconds()
 	rec.Phases = phaseWalls(snap)

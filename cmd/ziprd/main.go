@@ -6,9 +6,26 @@
 //
 // Usage:
 //
-//	ziprd [-j N] [-queue N] [-cache-bytes N] [-snapshot-bytes N] [-delta]
-//	      [-deadline D] [-chaos-seed N] [-listen ADDR] [-stats]
-//	      [-access-log FILE] [-trace-sample N]
+//	ziprd [-j N | -workers N] [-queue N] [-cache-bytes N] [-snapshot-bytes N]
+//	      [-delta] [-disk-cache DIR] [-disk-bytes N] [-deadline D]
+//	      [-chaos-seed N] [-listen ADDR] [-stats] [-access-log FILE]
+//	      [-trace-sample N]
+//	ziprd -listen ADDR -gateway WORKER,WORKER,... [-rate R] [-chaos-seed N]
+//
+// With -gateway, ziprd is not a rewriter at all: it fronts the listed
+// worker daemons, routing each /rewrite to the worker that owns its
+// content-address key on a consistent-hash ring, failing over along
+// the ring when a worker is down (health-probed circuit breakers),
+// and rate-limiting clients at -rate requests/second (429 +
+// Retry-After). The gateway serves /rewrite, /healthz, /metrics
+// (fleet_* families), and /fleet (worker circuit snapshot).
+//
+// -disk-cache DIR adds a disk-backed second cache tier behind the
+// in-memory LRU: rewritten outputs and placement snapshots spill to a
+// content-addressed store (crash-safe temp+rename writes, -disk-bytes
+// budget with LRU eviction, digest verification on read) so a
+// restarted daemon answers previously-seen inputs without a pipeline
+// run.
 //
 // With -listen, ziprd serves HTTP:
 //
@@ -51,9 +68,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"zipr"
+	"zipr/internal/fleet"
 	"zipr/internal/obs"
 	"zipr/internal/serve"
 )
@@ -68,10 +87,15 @@ func main() {
 func run() error {
 	listen := flag.String("listen", "", "HTTP listen address (empty: JSONL batch mode on stdin/stdout)")
 	workers := flag.Int("j", 0, "max concurrent pipeline runs (0 = GOMAXPROCS)")
+	flag.IntVar(workers, "workers", 0, "alias for -j")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = default)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "rewrite cache byte budget (0 = default 64 MiB, negative disables)")
 	snapBytes := flag.Int64("snapshot-bytes", 0, "placement-snapshot byte budget for delta rewriting (0 = default 32 MiB, negative disables)")
 	delta := flag.Bool("delta", true, "answer edited inputs by delta-patching placement-snapshot ancestors")
+	diskCache := flag.String("disk-cache", "", "directory for the disk-backed second cache tier (empty: RAM only)")
+	diskBytes := flag.Int64("disk-bytes", 0, "disk-tier byte budget (0 = default 256 MiB)")
+	gateway := flag.String("gateway", "", "run as a fleet gateway over these comma-separated worker addresses")
+	rate := flag.Float64("rate", 0, "gateway per-client admission rate in requests/second (0 = unlimited)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off)")
 	stats := flag.Bool("stats", false, "print cache and admission counters to stderr on exit (batch mode)")
@@ -80,6 +104,24 @@ func run() error {
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+
+	if *gateway != "" {
+		if *listen == "" {
+			return fmt.Errorf("-gateway requires -listen")
+		}
+		gcfg := fleet.Config{Workers: strings.Split(*gateway, ","), Rate: *rate, Registry: reg}
+		if *chaosSeed != 0 {
+			gcfg.Chaos = zipr.NewFaultInjector(*chaosSeed)
+			fmt.Fprintf(os.Stderr, "ziprd: chaos: %s\n", gcfg.Chaos.Describe())
+		}
+		g := fleet.New(gcfg)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		g.Start(ctx)
+		fmt.Fprintf(os.Stderr, "ziprd: gateway on %s over %s\n", *listen, *gateway)
+		return http.ListenAndServe(*listen, g.Handler(reg))
+	}
+
 	opts := serve.Options{
 		Workers:       *workers,
 		QueueDepth:    *queue,
@@ -94,6 +136,14 @@ func run() error {
 	if *chaosSeed != 0 {
 		opts.Chaos = zipr.NewFaultInjector(*chaosSeed)
 		fmt.Fprintf(os.Stderr, "ziprd: chaos: %s\n", opts.Chaos.Describe())
+	}
+	if *diskCache != "" {
+		tier, err := serve.OpenDiskTier(*diskCache, *diskBytes)
+		if err != nil {
+			return fmt.Errorf("disk cache: %w", err)
+		}
+		defer tier.Close()
+		opts.Disk = tier
 	}
 	s := serve.New(opts)
 	defer s.Close()

@@ -277,6 +277,16 @@ func TestStatsBackCompat(t *testing.T) {
 			t.Errorf("/stats lost pre-telemetry key %q", key)
 		}
 	}
+	// Occupancy keys for the snapshot index and the disk tier ride along
+	// (present even when the daemon runs without a disk tier).
+	for _, key := range []string{
+		"SnapAncestors", "DiskHits", "DiskMisses", "DiskPromotes",
+		"DiskCorrupt", "DiskRecovered", "DiskEntries", "DiskBytes",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("/stats missing occupancy key %q", key)
+		}
+	}
 	var hits, misses int64
 	json.Unmarshal(m["Hits"], &hits)
 	json.Unmarshal(m["Misses"], &misses)

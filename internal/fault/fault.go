@@ -74,6 +74,17 @@ const (
 	// drop the snapshot and fall back to a full rewrite — degrades (full
 	// rewrite, never a divergent binary).
 	DeltaStaleSnapshot
+	// WorkerDown makes the fleet gateway treat a forward to a worker as a
+	// connection failure without sending it. The gateway must fail over
+	// to the next ring replica (degrades: same bytes from another worker)
+	// or, when every replica is down, fail closed with a typed
+	// unavailability error — never divergent bytes.
+	WorkerDown
+	// DiskTierCorrupt flips a byte in a disk-tier entry as it is read
+	// back. The digest check must catch it, quarantine the file, drop the
+	// index entry and degrade to a miss (fresh pipeline run) — never
+	// served bytes that fail verification.
+	DiskTierCorrupt
 
 	numKinds
 )
@@ -90,6 +101,8 @@ var kindNames = [numKinds]string{
 	"cache-corrupt",
 	"queue-drop",
 	"delta-stale-snapshot",
+	"worker-down",
+	"disk-tier-corrupt",
 }
 
 // String returns the kind's stable kebab-case name.
@@ -131,6 +144,8 @@ var profiles = [numKinds]kindProfile{
 	CacheCorrupt:       {armOneIn: 3, rate: 1 << 14}, // 1/4 of cache hits
 	QueueDrop:          {armOneIn: 6, rate: 1 << 13}, // 1/8 of admissions
 	DeltaStaleSnapshot: {armOneIn: 3, rate: 1 << 14}, // 1/4 of delta attempts
+	WorkerDown:         {armOneIn: 4, rate: 1 << 14}, // 1/4 of forwards
+	DiskTierCorrupt:    {armOneIn: 3, rate: 1 << 14}, // 1/4 of disk reads
 }
 
 // Injector decides which faults fire where. Construct with New (arming

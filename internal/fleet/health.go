@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Circuit-breaker tuning. A worker is marked down after failThreshold
+// consecutive failures (probe or forward); after cooldown the circuit
+// goes half-open and admits a single trial request, whose outcome
+// closes or re-opens it.
+const (
+	failThreshold = 3
+	cooldown      = 2 * time.Second
+	probeInterval = 500 * time.Millisecond
+	probeTimeout  = 1 * time.Second
+	circuitOpen   = "open"
+	circuitHalf   = "half-open"
+	circuitClosed = "closed"
+)
+
+// workerState is the gateway's view of one worker: its circuit state
+// and the consecutive-failure count feeding it.
+type workerState struct {
+	addr     string
+	fails    int       // consecutive failures
+	openedAt time.Time // when the circuit last opened
+	state    string    // circuitClosed | circuitOpen | circuitHalf
+	trialing bool      // a half-open trial request is in flight
+}
+
+// health tracks every worker's circuit. All methods are safe for
+// concurrent use. now is injectable for tests.
+type health struct {
+	mu      sync.Mutex
+	workers map[string]*workerState
+	now     func() time.Time
+}
+
+func newHealth(addrs []string) *health {
+	h := &health{workers: make(map[string]*workerState, len(addrs)), now: time.Now}
+	for _, a := range addrs {
+		h.workers[a] = &workerState{addr: a, state: circuitClosed}
+	}
+	return h
+}
+
+// admit reports whether a request may be sent to addr right now. An
+// open circuit past its cooldown flips to half-open and admits exactly
+// one trial; further requests are refused until the trial reports.
+func (h *health) admit(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.workers[addr]
+	if w == nil {
+		return false
+	}
+	switch w.state {
+	case circuitClosed:
+		return true
+	case circuitOpen:
+		if h.now().Sub(w.openedAt) < cooldown {
+			return false
+		}
+		w.state = circuitHalf
+		w.trialing = true
+		return true
+	default: // half-open: one trial at a time
+		if w.trialing {
+			return false
+		}
+		w.trialing = true
+		return true
+	}
+}
+
+// report records the outcome of a request or probe against addr.
+func (h *health) report(addr string, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.workers[addr]
+	if w == nil {
+		return
+	}
+	w.trialing = false
+	if ok {
+		w.fails = 0
+		w.state = circuitClosed
+		return
+	}
+	w.fails++
+	if w.state == circuitHalf || w.fails >= failThreshold {
+		w.state = circuitOpen
+		w.openedAt = h.now()
+		w.fails = failThreshold // saturate so one success fully closes
+	}
+}
+
+// up reports whether addr's circuit is closed.
+func (h *health) up(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.workers[addr]
+	return w != nil && w.state == circuitClosed
+}
+
+// snapshot returns each worker's circuit state keyed by address.
+func (h *health) snapshot() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]string, len(h.workers))
+	for a, w := range h.workers {
+		out[a] = w.state
+	}
+	return out
+}
+
+// probe performs one /healthz round against every worker, feeding the
+// circuits. Probing a worker whose circuit is open is what eventually
+// half-opens and heals it without riding on client traffic.
+func (h *health) probe(ctx context.Context, client *http.Client, scheme string) {
+	h.mu.Lock()
+	addrs := make([]string, 0, len(h.workers))
+	for a := range h.workers {
+		addrs = append(addrs, a)
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, scheme+"://"+addr+"/healthz", nil)
+			if err != nil {
+				h.report(addr, false)
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				h.report(addr, false)
+				return
+			}
+			resp.Body.Close()
+			h.report(addr, resp.StatusCode == http.StatusOK)
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// probeLoop probes until ctx is done.
+func (h *health) probeLoop(ctx context.Context, client *http.Client, scheme string) {
+	t := time.NewTicker(probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			h.probe(ctx, client, scheme)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the per-client bucket map so an address-spoofing
+// client can't grow gateway memory without bound; the coldest bucket
+// is dropped (it refills from full on return, which only ever errs in
+// the client's favor).
+const maxBuckets = 4096
+
+// clientKey identifies the caller for rate limiting: the X-Zipr-Client
+// header when present (trusted deployments put an account ID there),
+// else the remote address's host part.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Zipr-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	seen   time.Time // for cold-bucket shedding
+}
+
+// limiter is a per-client token-bucket rate limiter: rate tokens/sec,
+// burst capacity, one bucket per client key. A zero rate disables
+// limiting. now is injectable for tests.
+type limiter struct {
+	rate  float64
+	burst float64
+	mu    sync.Mutex
+	m     map[string]*bucket
+	now   func() time.Time
+}
+
+// newLimiter builds a limiter admitting rate requests/sec with a burst
+// of 2×rate (minimum 1). rate <= 0 disables limiting.
+func newLimiter(rate float64) *limiter {
+	l := &limiter{rate: rate, burst: math.Max(1, 2*rate), m: make(map[string]*bucket), now: time.Now}
+	return l
+}
+
+// allow consumes one token from key's bucket. When the bucket is dry
+// it returns false and the wait until one token accrues — the
+// Retry-After hint.
+func (l *limiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.m[key]
+	if b == nil {
+		if len(l.m) >= maxBuckets {
+			l.shedColdest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.m[key] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	b.seen = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// shedColdest drops the least-recently-seen bucket. Called with mu
+// held.
+func (l *limiter) shedColdest() {
+	var coldKey string
+	var cold time.Time
+	for k, b := range l.m {
+		if coldKey == "" || b.seen.Before(cold) {
+			coldKey, cold = k, b.seen
+		}
+	}
+	delete(l.m, coldKey)
+}

@@ -1,0 +1,115 @@
+// Package fleet shards the rewrite service across worker daemons. A
+// gateway routes each /rewrite request to a worker chosen by
+// consistent hashing over the request's content-address key, probes
+// worker health, fails over along the ring when a worker is down, and
+// rate-limits abusive clients. Because the cache key folds the input
+// digest with the config fingerprint, identical requests always land
+// on the same healthy worker — each worker's RAM and disk tiers stay
+// hot for its shard of the keyspace instead of every worker caching
+// everything.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// vnodesPerWorker is the number of virtual nodes each worker
+// contributes to the ring. 64 keeps the expected load imbalance for a
+// handful of workers within a few percent while the whole ring still
+// fits in a couple of cache lines' worth of binary searches.
+const vnodesPerWorker = 64
+
+// ring is an immutable consistent-hash ring over worker addresses.
+// Build one with newRing; route with replicas.
+type ring struct {
+	workers []string // distinct worker addresses, input order
+	points  []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the hash circle owned by a
+// worker.
+type point struct {
+	hash   uint64
+	worker int // index into workers
+}
+
+// newRing builds a ring from the worker addresses (duplicates are
+// dropped). An empty address list yields an empty ring that routes
+// nothing.
+func newRing(workers []string) *ring {
+	r := &ring{}
+	seen := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		r.workers = append(r.workers, w)
+	}
+	r.points = make([]point, 0, len(r.workers)*vnodesPerWorker)
+	for wi, w := range r.workers {
+		for v := 0; v < vnodesPerWorker; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(w, v), worker: wi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on worker index so the ring is deterministic even
+		// in the (astronomically unlikely) event of a hash collision.
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// vnodeHash positions virtual node v of worker w on the circle.
+func vnodeHash(w string, v int) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	sum := sha256.Sum256(append([]byte(w+"\x00"), buf[:]...))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a request key (the serve cache key's hex form) on
+// the circle.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// replicas returns the workers that own key, primary first, then each
+// distinct successor walking clockwise — the failover order. At most
+// max workers are returned (0 or negative: all of them).
+func (r *ring) replicas(key string, max int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(r.workers) {
+		max = len(r.workers)
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, max)
+	taken := make(map[int]bool, max)
+	for n := 0; n < len(r.points) && len(out) < max; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if taken[p.worker] {
+			continue
+		}
+		taken[p.worker] = true
+		out = append(out, r.workers[p.worker])
+	}
+	return out
+}
+
+// primary returns the worker that owns key ("" on an empty ring).
+func (r *ring) primary(key string) string {
+	reps := r.replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}

@@ -63,6 +63,7 @@ type snapEntry struct {
 	stats    zipr.Stats
 	layout   string
 	warnings []string
+	disk     bool // loaded from the disk tier's snapshot slot
 
 	prev, next *snapEntry // LRU list, most recent at head
 }
@@ -247,36 +248,53 @@ func (s *Server) unpersistSnapshot(key Key) {
 }
 
 // loadSnapshots pulls an ancestor's persisted snapshots into candidate
-// entries when the in-memory store has none (a fresh Server sharing a
-// SnapshotDB with a previous instance). Unparseable rows are deleted.
+// entries when the in-memory store has none: first from the shared
+// SnapshotDB (a fresh Server sharing ancestry with a previous
+// instance), then from the disk tier's per-ancestor snapshot slot.
+// Unparseable rows/blobs are deleted.
 func (s *Server) loadSnapshots(anc ancKey) []*snapEntry {
-	if s.sdb == nil {
-		return nil
-	}
-	rows, err := s.sdb.Lookup(snapTable, "anc", anc.dbKey())
-	if err != nil {
-		return nil
-	}
 	var out []*snapEntry
-	for i := len(rows) - 1; i >= 0 && len(out) < snapCandidates; i-- { // newest first
-		r := rows[i]
-		snap, err := core.UnmarshalSnapshot(r["blob"].([]byte))
-		if err != nil || snap.Fingerprint == "" {
-			_ = s.sdb.Delete(snapTable, r["id"].(int64))
-			continue
+	if s.sdb != nil {
+		rows, err := s.sdb.Lookup(snapTable, "anc", anc.dbKey())
+		if err != nil {
+			rows = nil
 		}
-		var key Key
-		if kb, err := hex.DecodeString(r["key"].(string)); err == nil && len(kb) == len(key) {
-			copy(key[:], kb)
+		for i := len(rows) - 1; i >= 0 && len(out) < snapCandidates; i-- { // newest first
+			r := rows[i]
+			snap, err := core.UnmarshalSnapshot(r["blob"].([]byte))
+			if err != nil || snap.Fingerprint == "" {
+				_ = s.sdb.Delete(snapTable, r["id"].(int64))
+				continue
+			}
+			var key Key
+			if kb, err := hex.DecodeString(r["key"].(string)); err == nil && len(kb) == len(key) {
+				copy(key[:], kb)
+			}
+			layout, _ := r["layout"].(string)
+			out = append(out, &snapEntry{
+				key:    key,
+				anc:    anc,
+				snap:   snap,
+				size:   snap.SizeBytes(),
+				layout: layout,
+			})
 		}
-		layout, _ := r["layout"].(string)
-		out = append(out, &snapEntry{
-			key:    key,
-			anc:    anc,
-			snap:   snap,
-			size:   snap.SizeBytes(),
-			layout: layout,
-		})
+	}
+	if len(out) == 0 && s.disk != nil {
+		if blob, layout, ok := s.disk.getSnap(anc.dbKey(), s.inj); ok {
+			if snap, err := core.UnmarshalSnapshot(blob); err == nil && snap.Fingerprint != "" {
+				out = append(out, &snapEntry{
+					key:    snapDiskKey(anc.dbKey()),
+					anc:    anc,
+					snap:   snap,
+					size:   snap.SizeBytes(),
+					layout: layout,
+					disk:   true,
+				})
+			} else {
+				s.disk.delSnap(anc.dbKey())
+			}
+		}
 	}
 	return out
 }
@@ -303,6 +321,7 @@ func (s *Server) storeSnapshot(key Key, anc ancKey, snap *core.Snapshot, rep *zi
 		s.tr.Add("serve.snapshot.evict", evicted)
 	}
 	s.persistSnapshot(e)
+	s.disk.putSnapAsync(anc.dbKey(), snap.Marshal(), e.layout)
 }
 
 // tryDelta attempts to answer the request from a delta ancestor.
@@ -348,6 +367,9 @@ func (s *Server) tryDelta(key Key, input []byte, cfg zipr.Config) (out []byte, r
 				s.tr.Add("serve.delta.stale", 1)
 				s.tel.deltaStale.Add(1)
 				s.unpersistSnapshot(e.key)
+				if e.disk {
+					s.disk.delSnap(e.anc.dbKey())
+				}
 			}
 			continue
 		}

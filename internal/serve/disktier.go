@@ -1,0 +1,609 @@
+package serve
+
+// The disk tier: a content-addressed on-disk store behind the in-memory
+// LRU. Outputs and placement snapshots spill here so a restarted (or
+// memory-pressured) server answers previously-seen inputs without a
+// pipeline run — the durability half of the fleet story (DESIGN.md §12).
+//
+// Layout under the tier directory:
+//
+//	objects/<hh>/<keyhex>   one file per entry, written tmp+rename
+//	tmp/                    in-flight writes (leftovers = crash debris)
+//	quarantine/<keyhex>     entries that failed the digest check on read
+//	journal                 append-only JSONL index (put/del records)
+//
+// Invariants:
+//
+//   - The hot path never blocks on disk writes: spills go through a
+//     bounded write-behind queue drained by one background goroutine;
+//     a full queue drops the spill (counted), never the request.
+//   - Every read is digest-verified against the SHA-256 recorded at
+//     write time. A mismatch quarantines the file and drops the index
+//     entry: the tier degrades to a miss, it never serves wrong bytes.
+//   - Writes are crash-safe: content goes to tmp/, is synced, then
+//     renamed into objects/ before the journal line is appended. On
+//     reopen, tmp debris is discarded, a torn journal tail is dropped,
+//     journal entries whose object file is missing or mis-sized are
+//     dropped, and orphaned object files (renamed but never journaled)
+//     are removed — each counted as recovered.
+//   - A byte budget is enforced by LRU eviction over the journal-order
+//     recency list (reads refresh recency in memory only; recency
+//     resets to insertion order across a restart).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"zipr/internal/fault"
+)
+
+// diskKind discriminates what a disk entry holds.
+const (
+	diskKindOut  = "out"  // a rewrite output image
+	diskKindSnap = "snap" // a marshaled placement snapshot
+)
+
+// diskQueueDepth bounds the write-behind queue; spills beyond it are
+// dropped (and counted) so the request path never blocks on disk.
+const diskQueueDepth = 256
+
+// DiskStats is a point-in-time snapshot of the tier's behavior,
+// surfaced through serve.Stats and ziprd's /stats.
+type DiskStats struct {
+	Hits         int64 // digest-verified reads served
+	Misses       int64 // lookups with no index entry
+	Corrupt      int64 // reads that failed the digest check (quarantined)
+	Evicted      int64 // entries dropped for the byte budget
+	WriteDropped int64 // spills dropped on a full write-behind queue
+	Recovered    int64 // partial/orphaned artifacts discarded at open
+	Entries      int   // current index entries (outputs + snapshots)
+	Bytes        int64 // current stored bytes
+}
+
+// diskEntry is one indexed object.
+type diskEntry struct {
+	key    Key
+	kind   string
+	size   int64
+	sum    [sha256.Size]byte
+	layout string
+
+	prev, next *diskEntry // LRU list, most recent at head
+}
+
+// diskRecord is the journal line shape.
+type diskRecord struct {
+	Op     string `json:"op"` // "put" or "del"
+	Kind   string `json:"kind,omitempty"`
+	Key    string `json:"key"`
+	Size   int64  `json:"size,omitempty"`
+	Sum    string `json:"sum,omitempty"`
+	Layout string `json:"layout,omitempty"`
+}
+
+// diskJob is one queued write-behind spill.
+type diskJob struct {
+	key    Key
+	kind   string
+	data   []byte
+	layout string
+}
+
+// DiskTier is the disk-backed second cache tier. Construct with
+// OpenDiskTier; all methods are safe for concurrent use. A nil *DiskTier
+// disables the tier (every method is a nil-safe no-op).
+type DiskTier struct {
+	dir    string
+	budget int64
+
+	mu      sync.Mutex
+	entries map[Key]*diskEntry
+	head    *diskEntry
+	tail    *diskEntry
+	bytes   int64
+	journal *os.File
+	ops     int64 // journal lines written since open/compaction
+	stats   DiskStats
+	closed  bool
+
+	tel *telemetry // bound by the owning Server; nil-safe
+
+	wq chan diskJob
+	wg sync.WaitGroup
+}
+
+// OpenDiskTier opens (creating or recovering) the disk tier rooted at
+// dir with the given byte budget. Recovery drops crash debris — tmp
+// files, a torn journal tail, index entries without a matching object,
+// orphaned objects — and reports the count via Stats().Recovered.
+func OpenDiskTier(dir string, budget int64) (*DiskTier, error) {
+	if budget <= 0 {
+		budget = 256 << 20
+	}
+	t := &DiskTier{
+		dir:     dir,
+		budget:  budget,
+		entries: make(map[Key]*diskEntry),
+		wq:      make(chan diskJob, diskQueueDepth),
+	}
+	for _, sub := range []string{"objects", "tmp", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("disk tier: %w", err)
+		}
+	}
+	if err := t.recover(); err != nil {
+		return nil, err
+	}
+	jf, err := os.OpenFile(t.journalPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk tier: journal: %w", err)
+	}
+	t.journal = jf
+	t.wg.Add(1)
+	go t.writer()
+	return t, nil
+}
+
+func (t *DiskTier) journalPath() string { return filepath.Join(t.dir, "journal") }
+
+func (t *DiskTier) objectPath(key Key) string {
+	h := key.String()
+	return filepath.Join(t.dir, "objects", h[:2], h)
+}
+
+// recover rebuilds the index from the journal, discarding every
+// artifact a crash could have left half-written.
+func (t *DiskTier) recover() error {
+	// Crash debris: writes that never reached their rename.
+	if tmps, err := os.ReadDir(filepath.Join(t.dir, "tmp")); err == nil {
+		for _, de := range tmps {
+			os.Remove(filepath.Join(t.dir, "tmp", de.Name()))
+			t.stats.Recovered++
+		}
+	}
+	type rec struct {
+		r   diskRecord
+		seq int
+	}
+	live := make(map[string]rec)
+	seq := 0
+	if raw, err := os.ReadFile(t.journalPath()); err == nil {
+		lines := 0
+		for len(raw) > 0 {
+			nl := -1
+			for i, b := range raw {
+				if b == '\n' {
+					nl = i
+					break
+				}
+			}
+			var line []byte
+			if nl < 0 {
+				line, raw = raw, nil
+			} else {
+				line, raw = raw[:nl], raw[nl+1:]
+			}
+			if len(line) == 0 {
+				continue
+			}
+			var r diskRecord
+			if err := json.Unmarshal(line, &r); err != nil || r.Key == "" {
+				// A torn tail (partial last line from a crash mid-append)
+				// ends the replay; everything after it is untrusted.
+				t.stats.Recovered++
+				break
+			}
+			lines++
+			switch r.Op {
+			case "put":
+				seq++
+				live[r.Key] = rec{r: r, seq: seq}
+			case "del":
+				delete(live, r.Key)
+			}
+		}
+		t.ops = int64(lines)
+	}
+	// Verify every surviving record against its object file, oldest
+	// first so the LRU list ends up in journal (recency) order.
+	ordered := make([]rec, 0, len(live))
+	for _, r := range live {
+		ordered = append(ordered, r)
+	}
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].seq < ordered[j-1].seq; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	indexed := make(map[string]bool, len(ordered))
+	for _, rc := range ordered {
+		r := rc.r
+		var key Key
+		kb, err := hex.DecodeString(r.Key)
+		if err != nil || len(kb) != len(key) {
+			t.stats.Recovered++
+			continue
+		}
+		copy(key[:], kb)
+		fi, err := os.Stat(t.objectPath(key))
+		if err != nil || fi.Size() != r.Size {
+			// The journal promised an object the filesystem does not
+			// hold (crash between journal append and a later truncation,
+			// or manual damage): drop the entry.
+			t.stats.Recovered++
+			continue
+		}
+		e := &diskEntry{key: key, kind: r.Kind, size: r.Size, layout: r.Layout}
+		if sb, err := hex.DecodeString(r.Sum); err == nil && len(sb) == len(e.sum) {
+			copy(e.sum[:], sb)
+		}
+		t.entries[key] = e
+		t.pushFront(e)
+		t.bytes += e.size
+		indexed[r.Key] = true
+	}
+	// Orphans: object files renamed into place whose journal line was
+	// lost. Without a recorded digest they are unverifiable — remove.
+	if subdirs, err := os.ReadDir(filepath.Join(t.dir, "objects")); err == nil {
+		for _, sd := range subdirs {
+			if !sd.IsDir() {
+				continue
+			}
+			files, err := os.ReadDir(filepath.Join(t.dir, "objects", sd.Name()))
+			if err != nil {
+				continue
+			}
+			for _, f := range files {
+				if !indexed[f.Name()] {
+					os.Remove(filepath.Join(t.dir, "objects", sd.Name(), f.Name()))
+					t.stats.Recovered++
+				}
+			}
+		}
+	}
+	evicted := t.stats.Evicted
+	t.evictLocked(nil)
+	// Compact a journal that has grown far past the live set (or whose
+	// deletions could not be journaled because recovery eviction runs
+	// before the journal reopens), so reopen cost tracks occupancy
+	// rather than history.
+	if t.ops > 2*int64(len(t.entries))+16 || t.stats.Evicted > evicted {
+		t.compact()
+	}
+	return nil
+}
+
+// compact rewrites the journal to one put line per live entry
+// (tmp+rename, so a crash mid-compaction keeps the old journal).
+func (t *DiskTier) compact() {
+	tmp := filepath.Join(t.dir, "tmp", "journal.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	enc := json.NewEncoder(f)
+	n := int64(0)
+	for e := t.tail; e != nil; e = e.prev { // oldest first
+		enc.Encode(putRecord(e))
+		n++
+	}
+	if f.Sync() != nil || f.Close() != nil {
+		os.Remove(tmp)
+		return
+	}
+	if os.Rename(tmp, t.journalPath()) == nil {
+		t.ops = n
+	}
+}
+
+func putRecord(e *diskEntry) diskRecord {
+	return diskRecord{
+		Op:     "put",
+		Kind:   e.kind,
+		Key:    e.key.String(),
+		Size:   e.size,
+		Sum:    hex.EncodeToString(e.sum[:]),
+		Layout: e.layout,
+	}
+}
+
+// Close drains the write-behind queue and closes the journal.
+// Idempotent; concurrent spills after Close are dropped.
+func (t *DiskTier) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.wq)
+	t.wg.Wait()
+	t.mu.Lock()
+	t.journal.Close()
+	t.mu.Unlock()
+}
+
+// Stats returns a snapshot of the tier's counters and occupancy.
+// Nil-safe (zero).
+func (t *DiskTier) Stats() DiskStats {
+	if t == nil {
+		return DiskStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.Entries = len(t.entries)
+	st.Bytes = t.bytes
+	return st
+}
+
+// bindTelemetry attaches the owning server's labeled-metric handles so
+// tier events land on /metrics. Nil-safe on both sides.
+func (t *DiskTier) bindTelemetry(tel *telemetry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tel = tel
+	t.syncGaugesLocked()
+	t.mu.Unlock()
+}
+
+func (t *DiskTier) syncGaugesLocked() {
+	if t.tel == nil {
+		return
+	}
+	t.tel.diskBytes.Set(t.bytes)
+	t.tel.diskEntries.Set(int64(len(t.entries)))
+}
+
+// putAsync enqueues one spill on the write-behind queue. The data is
+// copied, so callers may keep mutating their buffer. A full queue or a
+// closed tier drops the spill. Nil-safe.
+func (t *DiskTier) putAsync(key Key, kind string, data []byte, layout string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	// Holding t.mu across the send is safe: the writer never takes t.mu
+	// while receiving, and the send is non-blocking.
+	select {
+	case t.wq <- diskJob{key: key, kind: kind, data: append([]byte(nil), data...), layout: layout}:
+	default:
+		t.stats.WriteDropped++
+	}
+	t.mu.Unlock()
+}
+
+// writer is the write-behind goroutine: content to tmp, sync, rename,
+// then index + journal + eviction under the lock.
+func (t *DiskTier) writer() {
+	defer t.wg.Done()
+	for job := range t.wq {
+		t.write(job)
+	}
+}
+
+func (t *DiskTier) write(job diskJob) {
+	if int64(len(job.data)) > t.budget {
+		return
+	}
+	h := job.key.String()
+	tmp := filepath.Join(t.dir, "tmp", h+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(job.data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if f.Sync() != nil || f.Close() != nil {
+		os.Remove(tmp)
+		return
+	}
+	dst := t.objectPath(job.key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	e := &diskEntry{
+		key:    job.key,
+		kind:   job.kind,
+		size:   int64(len(job.data)),
+		sum:    sha256.Sum256(job.data),
+		layout: job.layout,
+	}
+	t.mu.Lock()
+	if old := t.entries[e.key]; old != nil {
+		t.removeLocked(old, false)
+	}
+	t.entries[e.key] = e
+	t.pushFront(e)
+	t.bytes += e.size
+	t.appendJournalLocked(putRecord(e))
+	t.evictLocked(e)
+	t.syncGaugesLocked()
+	t.mu.Unlock()
+}
+
+// get returns the digest-verified bytes for key, or ok=false. A failed
+// digest check quarantines the object and drops the entry. inj may
+// arm fault.DiskTierCorrupt, which flips one byte of the read before
+// verification — the check must turn it into a quarantined miss.
+// Nil-safe.
+func (t *DiskTier) get(key Key, inj *fault.Injector) (data []byte, layout string, ok bool) {
+	if t == nil {
+		return nil, "", false
+	}
+	t.mu.Lock()
+	e := t.entries[key]
+	if e == nil {
+		t.stats.Misses++
+		t.mu.Unlock()
+		return nil, "", false
+	}
+	sum, lay := e.sum, e.layout
+	t.mu.Unlock()
+
+	data, err := os.ReadFile(t.objectPath(key))
+	if err == nil && inj.Fires(fault.DiskTierCorrupt, key.site()) && len(data) > 0 {
+		data[inj.Pick(fault.DiskTierCorrupt, key.site(), len(data))] ^= 0xFF
+	}
+	if err != nil || sha256.Sum256(data) != sum {
+		t.quarantine(key, e, err == nil)
+		return nil, "", false
+	}
+	t.mu.Lock()
+	if cur := t.entries[key]; cur == e {
+		t.unlink(e)
+		t.pushFront(e)
+	}
+	t.stats.Hits++
+	t.mu.Unlock()
+	return data, lay, true
+}
+
+// getSnap / putSnapAsync store one most-recent placement snapshot per
+// ancestor index key, content-addressed under a derived key.
+func (t *DiskTier) getSnap(anc string, inj *fault.Injector) ([]byte, string, bool) {
+	if t == nil {
+		return nil, "", false
+	}
+	return t.get(snapDiskKey(anc), inj)
+}
+
+func (t *DiskTier) putSnapAsync(anc string, blob []byte, layout string) {
+	if t == nil {
+		return
+	}
+	t.putAsync(snapDiskKey(anc), diskKindSnap, blob, layout)
+}
+
+func (t *DiskTier) delSnap(anc string) {
+	if t == nil {
+		return
+	}
+	key := snapDiskKey(anc)
+	t.mu.Lock()
+	if e := t.entries[key]; e != nil {
+		t.removeLocked(e, true)
+		t.syncGaugesLocked()
+	}
+	t.mu.Unlock()
+}
+
+// snapDiskKey derives the disk-tier address of an ancestor's snapshot
+// slot. The "snap\x00" domain separator keeps it disjoint from output
+// keys (which are raw SHA-256 of input||fingerprint digests).
+func snapDiskKey(anc string) Key {
+	h := sha256.New()
+	h.Write([]byte("snap\x00"))
+	h.Write([]byte(anc))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// quarantine handles a failed read: the entry leaves the index (and
+// journal), and a corrupt file is moved aside for postmortem rather
+// than deleted. fileOK reports whether the object file was readable
+// (false: it vanished; nothing to move).
+func (t *DiskTier) quarantine(key Key, e *diskEntry, fileOK bool) {
+	t.mu.Lock()
+	if cur := t.entries[key]; cur == e {
+		t.removeLocked(e, true)
+	}
+	t.stats.Corrupt++
+	if t.tel != nil {
+		t.tel.diskCorrupt.Add(1)
+	}
+	t.syncGaugesLocked()
+	t.mu.Unlock()
+	if fileOK {
+		os.Rename(t.objectPath(key), filepath.Join(t.dir, "quarantine", key.String()))
+	}
+}
+
+// removeLocked drops e from the index, recency list and byte total,
+// optionally journaling the deletion. Caller holds t.mu.
+func (t *DiskTier) removeLocked(e *diskEntry, journal bool) {
+	if t.entries[e.key] != e {
+		return
+	}
+	delete(t.entries, e.key)
+	t.unlink(e)
+	t.bytes -= e.size
+	if journal {
+		t.appendJournalLocked(diskRecord{Op: "del", Key: e.key.String()})
+	}
+}
+
+// evictLocked unlinks cold entries until the byte budget holds. keep,
+// when non-nil, is never evicted (the entry just inserted). Caller
+// holds t.mu.
+func (t *DiskTier) evictLocked(keep *diskEntry) {
+	for t.bytes > t.budget && t.tail != nil && t.tail != keep {
+		victim := t.tail
+		t.stats.Evicted++
+		t.removeLocked(victim, true)
+		os.Remove(t.objectPath(victim.key))
+	}
+}
+
+// appendJournalLocked writes one journal line; caller holds t.mu. The
+// journal is not synced per line — recovery tolerates a torn tail.
+func (t *DiskTier) appendJournalLocked(r diskRecord) {
+	if t.journal == nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	t.journal.Write(append(b, '\n'))
+	t.ops++
+}
+
+func (t *DiskTier) pushFront(e *diskEntry) {
+	e.prev, e.next = nil, t.head
+	if t.head != nil {
+		t.head.prev = e
+	}
+	t.head = e
+	if t.tail == nil {
+		t.tail = e
+	}
+}
+
+func (t *DiskTier) unlink(e *diskEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if t.head == e {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if t.tail == e {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,295 @@
+package serve
+
+// Disk-tier tests: spilled outputs survive a restart and answer an
+// empty-RAM server without a pipeline run; crash debris (truncated tmp
+// files, a torn journal tail, missing objects, orphans) is dropped and
+// counted on reopen; corruption is quarantined and degrades to a miss
+// (never wrong bytes); eviction honors the byte budget; and placement
+// snapshots spill so delta ancestry survives a restart too.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zipr"
+	"zipr/internal/fault"
+	"zipr/internal/obs"
+)
+
+// openTier opens a disk tier rooted in dir, failing the test on error
+// and closing it on cleanup.
+func openTier(t *testing.T, dir string, budget int64) *DiskTier {
+	t.Helper()
+	tier, err := OpenDiskTier(dir, budget)
+	if err != nil {
+		t.Fatalf("open disk tier: %v", err)
+	}
+	t.Cleanup(tier.Close)
+	return tier
+}
+
+// TestDiskTierRestartHit is the durability contract: a rewrite spilled
+// by one server is answered by a restarted, empty-RAM server from disk
+// — digest-verified, no pipeline run — and promoted so the next repeat
+// is a RAM hit.
+func TestDiskTierRestartHit(t *testing.T) {
+	in := testImages(t)[0]
+	cfg := nullCfg()
+	dir := t.TempDir()
+
+	tier := openTier(t, dir, 0)
+	a := New(Options{Workers: 1, SnapshotBytes: -1, Disk: tier})
+	cold, _, err := a.Rewrite(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	tier.Close() // drains the write-behind queue
+
+	tier2 := openTier(t, dir, 0)
+	if st := tier2.Stats(); st.Entries != 1 {
+		t.Fatalf("reopened tier holds %d entries, want 1", st.Entries)
+	}
+	b := New(Options{Workers: 1, SnapshotBytes: -1, Disk: tier2, Trace: obs.New()})
+	defer b.Close()
+	out, rep, meta, err := b.RewriteMeta(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, cold) {
+		t.Fatal("disk-tier answer diverges from the original rewrite")
+	}
+	if meta.Outcome != OutcomeHit || meta.Tier != TierDisk {
+		t.Fatalf("outcome/tier = %s/%s, want hit/disk", meta.Outcome, meta.Tier)
+	}
+	if rep.OutputSize != len(cold) {
+		t.Fatalf("report output size = %d, want %d", rep.OutputSize, len(cold))
+	}
+	st := b.Stats()
+	if st.PipelineRuns != 0 {
+		t.Fatalf("restarted server ran the pipeline %d times, want 0", st.PipelineRuns)
+	}
+	if st.DiskHits != 1 || st.DiskPromotes != 1 {
+		t.Fatalf("disk hits/promotes = %d/%d, want 1/1", st.DiskHits, st.DiskPromotes)
+	}
+	// Promotion landed in RAM: the repeat is a ram-tier hit.
+	_, _, meta, err = b.RewriteMeta(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Outcome != OutcomeHit || meta.Tier != TierRAM {
+		t.Fatalf("repeat outcome/tier = %s/%s, want hit/ram", meta.Outcome, meta.Tier)
+	}
+}
+
+// TestDiskTierCrashRecovery: every class of crash debris is dropped,
+// counted as recovered, and the store reopens serving what survived.
+func TestDiskTierCrashRecovery(t *testing.T) {
+	images := testImages(t)
+	cfg := nullCfg()
+	dir := t.TempDir()
+
+	tier := openTier(t, dir, 0)
+	s := New(Options{Workers: 1, SnapshotBytes: -1, Disk: tier})
+	var want [][]byte
+	for _, in := range images {
+		out, _, err := s.Rewrite(context.Background(), in, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, out)
+	}
+	s.Close()
+	tier.Close()
+
+	// Crash debris, one of each kind:
+	// (a) a truncated in-flight temp file,
+	if err := os.WriteFile(filepath.Join(dir, "tmp", "deadbeef.tmp"), []byte("half a wri"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// (b) a torn journal tail (crash mid-append),
+	jf, err := os.OpenFile(filepath.Join(dir, "journal"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.WriteString(`{"op":"put","kind":"out","key":"ab12`); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	// (c) an object whose journal entry promises different bytes
+	// (truncate it, so the size check drops the entry),
+	victimKey := CacheKey(images[0], cfg)
+	victimPath := filepath.Join(dir, "objects", victimKey.String()[:2], victimKey.String())
+	if err := os.Truncate(victimPath, 3); err != nil {
+		t.Fatal(err)
+	}
+	// (d) an orphaned object file with no journal line.
+	orphan := strings.Repeat("ab", 32)
+	if err := os.MkdirAll(filepath.Join(dir, "objects", orphan[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "objects", orphan[:2], orphan), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tier2 := openTier(t, dir, 0)
+	st := tier2.Stats()
+	if st.Recovered < 4 {
+		t.Fatalf("recovered = %d, want >= 4 (tmp + torn line + truncated + orphan)", st.Recovered)
+	}
+	if st.Entries != len(images)-1 {
+		t.Fatalf("reopened tier holds %d entries, want %d", st.Entries, len(images)-1)
+	}
+	// The damaged entry is gone (miss), the intact ones still verify.
+	if _, _, ok := tier2.get(victimKey, nil); ok {
+		t.Fatal("truncated entry survived recovery")
+	}
+	for i := 1; i < len(images); i++ {
+		data, _, ok := tier2.get(CacheKey(images[i], cfg), nil)
+		if !ok || !bytes.Equal(data, want[i]) {
+			t.Fatalf("image %d: surviving entry unreadable or wrong after recovery", i)
+		}
+	}
+}
+
+// TestDiskTierEvictionAndRestart: the byte budget is enforced LRU-cold-
+// first, eviction is journaled, and a reopen sees only the survivors.
+func TestDiskTierEvictionAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 0)
+	blob := func(b byte) []byte { return bytes.Repeat([]byte{b}, 1000) }
+	var keys []Key
+	for i := 0; i < 4; i++ {
+		k := CacheKey([]byte{byte(i)}, nullCfg())
+		keys = append(keys, k)
+		tier.putAsync(k, diskKindOut, blob(byte(i)), "optimized")
+	}
+	tier.Close()
+
+	tier2 := openTier(t, dir, 2500) // room for two entries
+	st := tier2.Stats()
+	if st.Entries != 2 || st.Bytes != 2000 {
+		t.Fatalf("after budgeted reopen: %d entries / %d bytes, want 2 / 2000", st.Entries, st.Bytes)
+	}
+	// The survivors are the most recent puts; evicted keys miss.
+	for i, k := range keys {
+		_, _, ok := tier2.get(k, nil)
+		if want := i >= 2; ok != want {
+			t.Fatalf("key %d present=%v, want %v", i, ok, want)
+		}
+	}
+	tier2.Close()
+	// The journaled deletions hold across another reopen.
+	tier3 := openTier(t, dir, 2500)
+	if st := tier3.Stats(); st.Entries != 2 {
+		t.Fatalf("third open holds %d entries, want 2", st.Entries)
+	}
+}
+
+// TestChaosDiskTierCorruptQuarantines pins the two-outcome contract for
+// fault.DiskTierCorrupt: a corrupted disk read is caught by the digest
+// check, the file is quarantined, the entry degrades to a miss, and the
+// request is answered by a fresh pipeline run with the same bytes —
+// never divergent output.
+func TestChaosDiskTierCorruptQuarantines(t *testing.T) {
+	in := testImages(t)[1]
+	cfg := nullCfg()
+	// Find a chaos seed whose schedule fires at this request's disk-read
+	// site, folding the candidate injector into the key as the server
+	// will.
+	var inj *fault.Injector
+	for seed := int64(1); seed <= 1000; seed++ {
+		cand := fault.NewArmed(seed, fault.DiskTierCorrupt)
+		c := cfg
+		c.Chaos = cand
+		if cand.Fires(fault.DiskTierCorrupt, CacheKey(in, c).site()) {
+			inj = cand
+			break
+		}
+	}
+	if inj == nil {
+		t.Fatal("no firing seed found in 1000 tries")
+	}
+	dir := t.TempDir()
+	tier := openTier(t, dir, 0)
+	// Warm the disk tier with a clean server run, then restart with
+	// chaos armed and RAM caching off so the read must go to disk.
+	warm := New(Options{Workers: 1, SnapshotBytes: -1, Disk: tier, Chaos: inj})
+	want, _, err := warm.Rewrite(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	tier.Close()
+
+	tier2 := openTier(t, dir, 0)
+	s := New(Options{Workers: 1, CacheBytes: -1, SnapshotBytes: -1, Disk: tier2, Chaos: inj})
+	defer s.Close()
+	out, _, meta, err := s.RewriteMeta(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("degraded request returned divergent bytes")
+	}
+	if meta.Outcome != OutcomeMiss {
+		t.Fatalf("outcome = %s, want miss (corruption must degrade)", meta.Outcome)
+	}
+	st := s.Stats()
+	if st.DiskCorrupt != 1 || st.DiskHits != 0 {
+		t.Fatalf("disk corrupt/hits = %d/%d, want 1/0", st.DiskCorrupt, st.DiskHits)
+	}
+	if st.PipelineRuns != 1 {
+		t.Fatalf("pipeline runs = %d, want 1 (the verified fallback)", st.PipelineRuns)
+	}
+	// The poisoned file moved to quarantine and the entry is gone.
+	key := CacheKey(in, s.effective(cfg))
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key.String())); err != nil {
+		t.Fatalf("corrupt object not quarantined: %v", err)
+	}
+	if _, _, ok := tier2.get(key, nil); ok {
+		t.Fatal("corrupt entry still indexed after quarantine")
+	}
+}
+
+// TestDiskTierSnapshotSpill: placement snapshots spill to disk, so a
+// restarted server with no SnapshotDB still answers an edited input via
+// the delta path.
+func TestDiskTierSnapshotSpill(t *testing.T) {
+	base, edited := deltaImages(t, 1)
+	cfg := zipr.Config{Transforms: []zipr.Transform{zipr.CFI()}}
+	dir := t.TempDir()
+
+	tier := openTier(t, dir, 0)
+	a := New(Options{Workers: 1, Disk: tier})
+	if _, _, meta, err := a.RewriteMeta(context.Background(), base, cfg); err != nil || meta.Outcome != OutcomeMiss {
+		t.Fatalf("base request: outcome %s err %v, want miss", meta.Outcome, err)
+	}
+	a.Close()
+	tier.Close()
+
+	tier2 := openTier(t, dir, 0)
+	b := New(Options{Workers: 1, Disk: tier2})
+	defer b.Close()
+	out, _, meta, err := b.RewriteMeta(context.Background(), edited[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Outcome != OutcomeDelta {
+		t.Fatalf("edited request outcome = %s, want delta (snapshot restored from disk)", meta.Outcome)
+	}
+	// Byte identity against a cold server that never saw the base.
+	fresh := New(Options{Workers: 1})
+	defer fresh.Close()
+	want, _, err := fresh.Rewrite(context.Background(), edited[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("disk-restored delta answer diverges from a from-scratch rewrite")
+	}
+}

@@ -71,6 +71,14 @@ type Options struct {
 	// daemon keeps its delta ancestry. Purely an optimization: rows are
 	// integrity-verified on load and dropped when stale.
 	SnapshotDB *irdb.DB
+	// Disk, when non-nil, is the disk-backed second cache tier: rewrite
+	// outputs and placement snapshots spill to it asynchronously
+	// (write-behind; the hot path never blocks on disk), and a RAM miss
+	// consults it before running the pipeline, promoting verified hits
+	// back into the in-memory cache. The caller owns the tier's
+	// lifecycle (OpenDiskTier / Close); a tier may not be shared by two
+	// live Servers.
+	Disk *DiskTier
 	// Trace receives the serving layer's counters, gauges and
 	// per-request spans; nil disables instrumentation.
 	Trace *obs.Trace
@@ -105,6 +113,19 @@ type Stats struct {
 	SnapEntries  int   // current placement-snapshot count
 	SnapBytes    int64 // current placement-snapshot bytes
 
+	// Snapshot-index and disk-tier occupancy (appended fields; the JSON
+	// shape of everything above stays byte-compatible).
+	SnapAncestors int   // distinct (fingerprint, length) ancestor index entries
+	DiskHits      int64 // disk-tier reads served after digest verification
+	DiskMisses    int64 // disk-tier lookups with no entry
+	DiskPromotes  int64 // disk hits promoted into the in-memory cache
+	DiskCorrupt   int64 // disk reads quarantined for a failed digest check
+	DiskEvicted   int64 // disk entries dropped for the byte budget
+	DiskDropped   int64 // spills dropped on a full write-behind queue
+	DiskRecovered int64 // partial/orphaned artifacts discarded at open
+	DiskEntries   int   // current disk-tier index entries
+	DiskBytes     int64 // current disk-tier stored bytes
+
 	// Metrics is the labeled-registry snapshot (request totals and
 	// rolling latency quantiles by outcome); nil when the server was
 	// built without a Registry. Appended after the flat counters so
@@ -122,7 +143,8 @@ type Server struct {
 	inj  *fault.Injector
 	sem  chan struct{}
 
-	sdb *irdb.DB
+	sdb  *irdb.DB
+	disk *DiskTier
 
 	mu       sync.Mutex
 	cache    *lruCache  // nil when caching is disabled
@@ -167,6 +189,10 @@ func New(opts Options) *Server {
 	if opts.CacheBytes > 0 {
 		s.cache = newLRUCache(opts.CacheBytes)
 	}
+	if opts.Disk != nil {
+		s.disk = opts.Disk
+		s.disk.bindTelemetry(&s.tel)
+	}
 	if opts.SnapshotBytes > 0 {
 		s.snaps = newSnapStore(opts.SnapshotBytes)
 		if opts.SnapshotDB != nil && ensureSnapTable(opts.SnapshotDB) == nil {
@@ -188,6 +214,18 @@ func (s *Server) Stats() Stats {
 	if s.snaps != nil {
 		st.SnapEntries = len(s.snaps.entries)
 		st.SnapBytes = s.snaps.bytes
+		st.SnapAncestors = len(s.snaps.byAnc)
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.DiskHits = ds.Hits
+		st.DiskMisses = ds.Misses
+		st.DiskCorrupt = ds.Corrupt
+		st.DiskEvicted = ds.Evicted
+		st.DiskDropped = ds.WriteDropped
+		st.DiskRecovered = ds.Recovered
+		st.DiskEntries = ds.Entries
+		st.DiskBytes = ds.Bytes
 	}
 	st.Metrics = s.reg.Snapshot()
 	return st
@@ -269,7 +307,7 @@ func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 			if sha256.Sum256(out) == sum {
 				s.count("serve.cache.hit", &s.stats.Hits)
 				s.span("serve.hit")
-				meta.Outcome = OutcomeHit
+				meta.Outcome, meta.Tier = OutcomeHit, TierRAM
 				return out, rep, meta, nil
 			}
 			// Verified fallback: drop the poisoned entry and rewrite.
@@ -283,6 +321,30 @@ func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 			s.tel.corrupt.Add(1)
 			s.mu.Lock()
 		}
+	}
+	// Disk tier: a RAM miss consults the on-disk store before anything
+	// expensive. A miss is an index lookup (no IO); a hit reads and
+	// digest-verifies the file and is promoted into the in-memory cache
+	// so the next repeat stays at RAM latency.
+	if cacheable && s.disk != nil {
+		s.mu.Unlock()
+		if data, layout, ok := s.disk.get(key, s.inj); ok {
+			rep := &zipr.Report{Layout: layout, InputSize: len(input), OutputSize: len(data)}
+			if s.cache != nil {
+				s.cachePut(key, data, rep)
+				s.mu.Lock()
+				s.stats.DiskPromotes++
+				s.mu.Unlock()
+				s.tr.Add("serve.disk.promote", 1)
+				s.tel.diskPromotes.Add(1)
+			}
+			s.tr.Add("serve.disk.hit", 1)
+			s.tel.diskHits.Add(1)
+			s.span("serve.disk-hit")
+			meta.Outcome, meta.Tier = OutcomeHit, TierDisk
+			return data, rep, meta, nil
+		}
+		s.mu.Lock()
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
@@ -327,6 +389,7 @@ func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 			if s.cache != nil {
 				s.cachePut(key, out, rep)
 			}
+			s.disk.putAsync(key, diskKindOut, out, rep.Layout)
 			if !cfg.CaptureSnapshot {
 				snap = nil
 			}
@@ -373,6 +436,9 @@ func (s *Server) rewrite(ctx context.Context, input []byte, cfg zipr.Config) ([]
 	}
 	if cacheable && s.cache != nil {
 		s.cachePut(key, out, rep)
+	}
+	if cacheable {
+		s.disk.putAsync(key, diskKindOut, out, rep.Layout)
 	}
 	finish(out, rep, err)
 	repCopy := *rep

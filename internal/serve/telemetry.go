@@ -24,6 +24,37 @@ const (
 // never does a label lookup.
 var outcomes = [...]string{OutcomeHit, OutcomeMiss, OutcomeShared, OutcomeDelta, OutcomeBusy, OutcomeError}
 
+// Cache tiers: the label set of serve.tier.latency and the Tier field
+// of RequestMeta. A hit names the tier that answered (ram or disk);
+// delta and pipeline classify the non-hit latency populations so each
+// tier's rolling p95 is scrapeable on its own.
+const (
+	TierRAM      = "ram"      // in-memory LRU answered
+	TierDisk     = "disk"     // disk tier answered (promoted into RAM)
+	TierDelta    = "delta"    // placement-snapshot patch answered
+	TierPipeline = "pipeline" // full pipeline run
+)
+
+// tiers enumerates the serve.tier.latency label values.
+var tiers = [...]string{TierRAM, TierDisk, TierDelta, TierPipeline}
+
+// tierOf maps a finished request onto its latency tier ("" for busy,
+// shared and error requests, which have no tier population).
+func tierOf(m RequestMeta) string {
+	switch m.Outcome {
+	case OutcomeHit:
+		if m.Tier != "" {
+			return m.Tier
+		}
+		return TierRAM
+	case OutcomeDelta:
+		return TierDelta
+	case OutcomeMiss:
+		return TierPipeline
+	}
+	return ""
+}
+
 // RequestMeta is the per-request telemetry record RewriteMeta returns:
 // what happened and where the time went. Access logs and labeled
 // metrics are derived from it.
@@ -33,6 +64,9 @@ type RequestMeta struct {
 	Key Key
 	// Outcome is one of the Outcome* constants.
 	Outcome string
+	// Tier names the cache tier that answered a hit (TierRAM or
+	// TierDisk); empty for non-hit outcomes.
+	Tier string
 	// QueueWait is time spent waiting for a worker slot (0 when a
 	// worker — or the cache — answered immediately).
 	QueueWait time.Duration
@@ -56,6 +90,13 @@ type telemetry struct {
 	deltaStale *obs.Counter                 // serve.delta.stale
 	snapBytes  *obs.Gauge                   // serve.snapshot.bytes
 	snapCount  *obs.Gauge                   // serve.snapshot.entries
+
+	tier         map[string]*obs.WindowSeries // serve.tier.latency{tier}, µs
+	diskHits     *obs.Counter                 // serve.disk.hits
+	diskPromotes *obs.Counter                 // serve.disk.promotes
+	diskCorrupt  *obs.Counter                 // serve.disk.corrupt
+	diskBytes    *obs.Gauge                   // serve.disk.bytes
+	diskEntries  *obs.Gauge                   // serve.disk.entries
 }
 
 // newTelemetry registers the serving layer's metric families on reg
@@ -81,6 +122,16 @@ func newTelemetry(reg *obs.Registry) telemetry {
 	t.deltaStale = reg.Counter("serve.delta.stale", "placement snapshots dropped for failed integrity checks").With()
 	t.snapBytes = reg.Gauge("serve.snapshot.bytes", "placement-snapshot store bytes").With()
 	t.snapCount = reg.Gauge("serve.snapshot.entries", "stored placement snapshots").With()
+	t.tier = make(map[string]*obs.WindowSeries, len(tiers))
+	tierVec := reg.Window("serve.tier.latency", "request wall time in microseconds by answering tier", 5*time.Minute, "tier")
+	for _, tr := range tiers {
+		t.tier[tr] = tierVec.With(tr)
+	}
+	t.diskHits = reg.Counter("serve.disk.hits", "disk-tier reads served after digest verification").With()
+	t.diskPromotes = reg.Counter("serve.disk.promotes", "disk-tier hits promoted into the in-memory cache").With()
+	t.diskCorrupt = reg.Counter("serve.disk.corrupt", "disk-tier reads quarantined for a failed digest check").With()
+	t.diskBytes = reg.Gauge("serve.disk.bytes", "disk-tier stored bytes").With()
+	t.diskEntries = reg.Gauge("serve.disk.entries", "disk-tier index entries").With()
 	return t
 }
 
@@ -88,6 +139,9 @@ func newTelemetry(reg *obs.Registry) telemetry {
 func (t *telemetry) observe(m RequestMeta) {
 	t.total[m.Outcome].Add(1)
 	t.latency[m.Outcome].Observe(m.Wall.Microseconds())
+	if tier := tierOf(m); tier != "" {
+		t.tier[tier].Observe(m.Wall.Microseconds())
+	}
 	if m.QueueWait > 0 {
 		t.queueWait.Observe(m.QueueWait.Microseconds())
 	}
