@@ -35,7 +35,7 @@ cover:
 # diet (compare DisassembleSerial vs DisassembleParallel, EvalJ1 vs
 # EvalJN). The run is converted to BENCH_pipeline.json (ns/op, allocs/op
 # and the speedup-x metrics, machine-readable) via cmd/benchjson.
-BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented|RewriteDelta|ServeDeltaHit|DaemonHotCache|GatewayHotCache|DiskTierHit|DiskTierPromote
+BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented|RewriteDelta|ServeDeltaHit|DaemonHotCache|GatewayHotCache|DiskTierHit|DiskTierPromote|CorpusPins
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
 
@@ -48,11 +48,15 @@ bench:
 #    must stay at least 10x faster than a cold pipeline run;
 #  - gateway overhead bar (ISSUE 8): the gateway hop may cost at most
 #    3x the single-daemon hot-cache round trip (speedup daemon/gateway
-#    >= 1/3).
+#    >= 1/3);
+#  - arbitration pin bar (ISSUE 9): the corpus-aggregate pin count
+#    under weighted three-way arbitration must be strictly below the
+#    two-way baseline (ratio > 1, gated at 1.0001).
 benchgate:
 	$(GO) run ./cmd/benchjson -compare BenchmarkRewriteDeltaCold,BenchmarkRewriteDelta -min 5 BENCH_pipeline.json
 	$(GO) run ./cmd/benchjson -compare BenchmarkServeColdMiss,BenchmarkDiskTierHit -min 10 BENCH_pipeline.json
 	$(GO) run ./cmd/benchjson -compare BenchmarkDaemonHotCache,BenchmarkGatewayHotCache -min 0.333 BENCH_pipeline.json
+	$(GO) run ./cmd/benchjson -compare BenchmarkCorpusPinsTwoWay,BenchmarkCorpusPinsWeighted -metric pins -min 1.0001 BENCH_pipeline.json
 
 # Allocator bench smoke: one iteration of the indexed-allocator
 # microbenches against their sorted-slice reference, enough to catch a
@@ -72,6 +76,7 @@ fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAlloc$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineEquivalence$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEquivalence$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzInferEquivalence$$' -fuzztime $(FUZZTIME) .
 
 # Fleet smoke: build ziprd, boot two disk-backed workers plus a
 # consistent-hash gateway on real TCP, then drill the fleet contract —

@@ -122,13 +122,21 @@ func TestChaosScheduleSweep(t *testing.T) {
 			pi := int(seed) % len(bins)
 			orig, img := bins[pi], imgs[pi]
 			snapshot := append([]byte(nil), img...)
+			// Alternate arbitration by seed parity so the sweep covers
+			// the weighted path (including infer-rule-disagree sites)
+			// without doubling the schedule count.
+			arb := ArbitrationTwoWay
+			if seed%2 == 0 {
+				arb = ArbitrationWeighted
+			}
 			for _, stack := range chaosStacks {
 				for _, lay := range chaosLayouts {
 					out, _, err := Rewrite(img, Config{
-						Transforms: stack.transforms(),
-						Layout:     lay,
-						Seed:       7,
-						Chaos:      NewFaultInjector(seed),
+						Transforms:  stack.transforms(),
+						Layout:      lay,
+						Arbitration: arb,
+						Seed:        7,
+						Chaos:       NewFaultInjector(seed),
 					})
 					if !bytes.Equal(img, snapshot) {
 						t.Fatalf("%s/%s: rewrite mutated the caller's input bytes", stack.name, lay)
@@ -205,6 +213,72 @@ func TestChaosDisasmFaultsDegrade(t *testing.T) {
 		if derr := transcriptsMatch(t, bins[1], rewritten); derr != nil {
 			t.Fatalf("seed %d: %v", seed, derr)
 		}
+	}
+}
+
+// TestChaosInferDisagree: a vetoed demotion falls back to the pin the
+// two-way aggregation would have kept — a pure evidence reduction. The
+// weighted rewrite under an armed InferRuleDisagree schedule must stay
+// transcript-equivalent and pin at least as much as the clean weighted
+// run (and never more than two-way); with arbitration off the kind has
+// no sites, so the output must be byte-identical to a clean two-way run.
+func TestChaosInferDisagree(t *testing.T) {
+	bins, _ := chaosCorpus(t)
+	base := Config{Transforms: []Transform{Null()}}
+	_, rep2, err := RewriteBinary(bins[1].Clone(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanW := base
+	cleanW.Arbitration = ArbitrationWeighted
+	_, repW, err := RewriteBinary(bins[1].Clone(), cleanW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vetoed bool
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := cleanW
+		cfg.Chaos = fault.NewArmed(seed, fault.InferRuleDisagree)
+		tr := obs.New()
+		cfg.Trace = tr
+		rewritten, rep, err := RewriteBinary(bins[1].Clone(), cfg)
+		if err != nil {
+			t.Fatalf("seed %d: infer disagreement must degrade, got error: %v", seed, err)
+		}
+		if derr := transcriptsMatch(t, bins[1], rewritten); derr != nil {
+			t.Fatalf("seed %d: %v", seed, derr)
+		}
+		if rep.Stats.Pinned < repW.Stats.Pinned {
+			t.Fatalf("seed %d: vetoes shrank the pin set: %d < clean weighted %d",
+				seed, rep.Stats.Pinned, repW.Stats.Pinned)
+		}
+		if rep.Stats.Pinned > rep2.Stats.Pinned {
+			t.Fatalf("seed %d: vetoes grew the pin set past two-way: %d > %d",
+				seed, rep.Stats.Pinned, rep2.Stats.Pinned)
+		}
+		if tr.Snapshot().Metrics.Counters["disasm.arb.disputed"] > 0 {
+			vetoed = true
+		}
+	}
+	if !vetoed {
+		t.Fatal("no seed vetoed a demotion")
+	}
+	// Arbitration off: the kind has no sites, so an armed schedule is a
+	// no-op and the bytes must match a clean two-way rewrite.
+	cfg := base
+	cfg.Chaos = fault.NewArmed(5, fault.InferRuleDisagree)
+	faulted, _, err := RewriteBinary(bins[1].Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _, err := RewriteBinary(bins[1].Clone(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fImg, _ := faulted.Marshal()
+	cImg, _ := clean.Marshal()
+	if !bytes.Equal(fImg, cImg) {
+		t.Fatal("armed InferRuleDisagree changed a two-way rewrite's bytes")
 	}
 }
 

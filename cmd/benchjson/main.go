@@ -24,8 +24,10 @@
 // With -compare BASE,NEW the program reads no stdin: it loads the
 // trajectory file named as the positional argument, takes the newest
 // run holding both benchmarks, and prints NEW's speedup over BASE from
-// their ns/op. -min X turns the print into a gate: a speedup below X
-// exits nonzero, so `make ci` fails when a perf bar regresses.
+// their ns/op — or any other reported metric chosen with -metric (e.g.
+// -metric pins for a size bar). -min X turns the print into a gate: a
+// ratio below X exits nonzero, so `make ci` fails when a perf bar
+// regresses.
 package main
 
 import (
@@ -79,14 +81,15 @@ func main() {
 	mergePath := flag.String("merge", "", "append this run to the runs in `file` (old single-run files are wrapped)")
 	outPath := flag.String("o", "", "write output to `file` instead of stdout")
 	compare := flag.String("compare", "", "compare two benchmarks (`base,new`) from the trajectory file given as the positional argument")
-	minRatio := flag.Float64("min", 0, "with -compare, fail unless base/new ns/op is at least this speedup")
+	minRatio := flag.Float64("min", 0, "with -compare, fail unless the base/new metric ratio is at least this value")
+	metric := flag.String("metric", "ns/op", "with -compare, the benchmark metric to compare")
 	flag.Parse()
 	if *compare != "" {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one trajectory file argument")
 			os.Exit(2)
 		}
-		if err := runCompare(os.Stdout, flag.Arg(0), *compare, *minRatio); err != nil {
+		if err := runCompare(os.Stdout, flag.Arg(0), *compare, *metric, *minRatio); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -98,11 +101,13 @@ func main() {
 	}
 }
 
-// runCompare loads the trajectory at path and reports new's speedup
-// over base (ns/op ratio) from the newest run holding both, failing
-// when it misses minRatio. Earlier runs may predate one of the
-// benchmarks, so the scan walks newest-first until a run has both.
-func runCompare(w io.Writer, path, pair string, minRatio float64) error {
+// runCompare loads the trajectory at path and reports the base/new
+// ratio of the chosen metric from the newest run holding both
+// benchmarks, failing when it misses minRatio. Earlier runs may predate
+// one of the benchmarks, so the scan walks newest-first until a run has
+// both. For ns/op the ratio is the conventional speedup; for any other
+// metric it is simply base over new, so -min gates "new is smaller".
+func runCompare(w io.Writer, path, pair, metric string, minRatio float64) error {
 	baseName, newName, ok := strings.Cut(pair, ",")
 	if !ok || baseName == "" || newName == "" {
 		return fmt.Errorf("-compare wants base,new benchmark names, got %q", pair)
@@ -116,15 +121,20 @@ func runCompare(w io.Writer, path, pair string, minRatio float64) error {
 		if base == nil || new_ == nil {
 			continue
 		}
-		bns, nns := base.Metrics["ns/op"], new_.Metrics["ns/op"]
-		if bns <= 0 || nns <= 0 {
-			return fmt.Errorf("run %d: ns/op missing or zero (%s=%g, %s=%g)", i, baseName, bns, newName, nns)
+		bv, nv := base.Metrics[metric], new_.Metrics[metric]
+		if bv <= 0 || nv <= 0 {
+			return fmt.Errorf("run %d: %s missing or zero (%s=%g, %s=%g)", i, metric, baseName, bv, newName, nv)
 		}
-		speedup := bns / nns
-		fmt.Fprintf(w, "%s / %s = %.2fx speedup (%.4gms vs %.4gms)\n",
-			baseName, newName, speedup, bns/1e6, nns/1e6)
-		if minRatio > 0 && speedup < minRatio {
-			return fmt.Errorf("speedup %.2fx is below the %.2fx floor", speedup, minRatio)
+		ratio := bv / nv
+		if metric == "ns/op" {
+			fmt.Fprintf(w, "%s / %s = %.2fx speedup (%.4gms vs %.4gms)\n",
+				baseName, newName, ratio, bv/1e6, nv/1e6)
+		} else {
+			fmt.Fprintf(w, "%s / %s = %.4fx %s ratio (%g vs %g)\n",
+				baseName, newName, ratio, metric, bv, nv)
+		}
+		if minRatio > 0 && ratio < minRatio {
+			return fmt.Errorf("%s ratio %.4fx is below the %.4fx floor", metric, ratio, minRatio)
 		}
 		return nil
 	}

@@ -292,8 +292,8 @@ func compareFixture(t *testing.T) string {
 			{Name: "BenchmarkRewriteFull", Iters: 3, Metrics: map[string]float64{"ns/op": 9e8}},
 		}},
 		{Benchmarks: []Result{
-			{Name: "BenchmarkRewriteFull", Iters: 3, Metrics: map[string]float64{"ns/op": 5e8}},
-			{Name: "BenchmarkRewriteDelta", Iters: 100, Metrics: map[string]float64{"ns/op": 5e7}},
+			{Name: "BenchmarkRewriteFull", Iters: 3, Metrics: map[string]float64{"ns/op": 5e8, "pins": 8364}},
+			{Name: "BenchmarkRewriteDelta", Iters: 100, Metrics: map[string]float64{"ns/op": 5e7, "pins": 8281}},
 		}},
 	}}
 	data, err := json.Marshal(traj)
@@ -309,7 +309,7 @@ func compareFixture(t *testing.T) string {
 func TestComparePassesAboveFloor(t *testing.T) {
 	path := compareFixture(t)
 	var out strings.Builder
-	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", 5); err != nil {
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", "ns/op", 5); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "10.00x speedup") {
@@ -320,7 +320,7 @@ func TestComparePassesAboveFloor(t *testing.T) {
 func TestCompareFailsBelowFloor(t *testing.T) {
 	path := compareFixture(t)
 	var out strings.Builder
-	err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", 20)
+	err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", "ns/op", 20)
 	if err == nil || !strings.Contains(err.Error(), "below the") {
 		t.Fatalf("err = %v, want below-floor failure", err)
 	}
@@ -342,7 +342,7 @@ func TestCompareSkipsRunsMissingABenchmark(t *testing.T) {
 	data, _ = json.Marshal(traj)
 	os.WriteFile(path, data, 0o644)
 	var out strings.Builder
-	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", 0); err != nil {
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", "ns/op", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "10.00x") {
@@ -350,16 +350,37 @@ func TestCompareSkipsRunsMissingABenchmark(t *testing.T) {
 	}
 }
 
+func TestCompareCustomMetric(t *testing.T) {
+	path := compareFixture(t)
+	var out strings.Builder
+	// 8364/8281 = 1.0100x: passes a 1.0001 floor, fails a 1.02 floor.
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", "pins", 1.0001); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pins ratio") {
+		t.Fatalf("compare output = %q, want a pins ratio line", out.String())
+	}
+	err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteDelta", "pins", 1.02)
+	if err == nil || !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("err = %v, want below-floor failure", err)
+	}
+	// The older run has no pins metric at all: selecting it must error,
+	// not divide zeros.
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkRewriteFull", "watts", 0); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+}
+
 func TestCompareErrors(t *testing.T) {
 	path := compareFixture(t)
 	var out strings.Builder
-	if err := runCompare(&out, path, "BenchmarkRewriteFull", 0); err == nil {
+	if err := runCompare(&out, path, "BenchmarkRewriteFull", "ns/op", 0); err == nil {
 		t.Fatal("malformed pair accepted")
 	}
-	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkNope", 0); err == nil {
+	if err := runCompare(&out, path, "BenchmarkRewriteFull,BenchmarkNope", "ns/op", 0); err == nil {
 		t.Fatal("missing benchmark accepted")
 	}
-	if err := runCompare(&out, filepath.Join(t.TempDir(), "gone.json"), "A,B", 0); err == nil {
+	if err := runCompare(&out, filepath.Join(t.TempDir(), "gone.json"), "A,B", "ns/op", 0); err == nil {
 		t.Fatal("empty trajectory accepted")
 	}
 }

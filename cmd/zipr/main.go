@@ -3,8 +3,8 @@
 // Usage:
 //
 //	zipr [-transforms null,cfi,stackpad,canary] [-layout optimized|diversity|profile-guided]
-//	     [-seed N] [-pad N] [-stats] [-phase-times] [-trace-out trace.jsonl]
-//	     [-sql "SELECT ..."] [-chaos-seed N] input.zelf output.zelf
+//	     [-arbitration two-way|weighted] [-seed N] [-pad N] [-stats] [-phase-times]
+//	     [-trace-out trace.jsonl] [-sql "SELECT ..."] [-chaos-seed N] input.zelf output.zelf
 //
 // The -sql flag runs a query against the captured IR database after
 // construction (tables: instructions, functions, fixed_ranges,
@@ -90,6 +90,7 @@ func main() {
 func run() error {
 	transforms := flag.String("transforms", "null", "comma-separated: null,cfi,stackpad,canary")
 	layoutFlag := flag.String("layout", "optimized", "optimized | diversity | profile-guided")
+	arbFlag := flag.String("arbitration", "two-way", "ambiguity arbitration: two-way | weighted")
 	seed := flag.Int64("seed", 1, "diversity layout seed")
 	pad := flag.Int("pad", 64, "stackpad padding bytes")
 	stats := flag.Bool("stats", false, "print reassembly statistics")
@@ -145,12 +146,13 @@ func run() error {
 		tr = zipr.NewTrace(sinks...)
 	}
 	cfg := zipr.Config{
-		Transforms: tfs,
-		Layout:     zipr.LayoutKind(*layoutFlag),
-		Seed:       *seed,
-		CaptureIR:  *sql != "",
-		EmitMap:    *mapOut != "",
-		Trace:      tr,
+		Transforms:  tfs,
+		Layout:      zipr.LayoutKind(*layoutFlag),
+		Arbitration: zipr.ArbitrationKind(*arbFlag),
+		Seed:        *seed,
+		CaptureIR:   *sql != "",
+		EmitMap:     *mapOut != "",
+		Trace:       tr,
 	}
 	if *chaosSeed != 0 {
 		cfg.Chaos = zipr.NewFaultInjector(*chaosSeed)

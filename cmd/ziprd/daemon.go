@@ -175,12 +175,24 @@ func (d *daemon) handle(ctx context.Context, req request) response {
 		}
 		return response{ID: req.ID, Trace: traceID, Error: err.Error(), Class: "usage"}
 	}
+	switch req.Arbitration {
+	case "", string(zipr.ArbitrationTwoWay), string(zipr.ArbitrationWeighted):
+	default:
+		msg := "unknown arbitration " + strconv.Quote(req.Arbitration)
+		rec.Outcome, rec.Error, rec.Class = serve.OutcomeError, msg, "usage"
+		d.logRecord(rec)
+		if sampled {
+			d.ring.add(rec)
+		}
+		return response{ID: req.ID, Trace: traceID, Error: msg, Class: "usage"}
+	}
 	tr := obs.New()
 	cfg := zipr.Config{
-		Transforms: tfs,
-		Layout:     zipr.LayoutKind(req.Layout),
-		Seed:       req.Seed,
-		Trace:      tr,
+		Transforms:  tfs,
+		Layout:      zipr.LayoutKind(req.Layout),
+		Arbitration: zipr.ArbitrationKind(req.Arbitration),
+		Seed:        req.Seed,
+		Trace:       tr,
 	}
 	rec.ConfigSHA = shortDigest([]byte(cfg.Fingerprint()))
 	out, rep, meta, err := d.s.RewriteMeta(ctx, req.Input, cfg)
@@ -294,10 +306,11 @@ func newHandler(d *daemon) http.Handler {
 		}
 		q := r.URL.Query()
 		req := request{
-			Input:      input,
-			Transforms: q.Get("transforms"),
-			Layout:     q.Get("layout"),
-			Trace:      r.Header.Get("X-Zipr-Trace"),
+			Input:       input,
+			Transforms:  q.Get("transforms"),
+			Layout:      q.Get("layout"),
+			Arbitration: q.Get("arbitration"),
+			Trace:       r.Header.Get("X-Zipr-Trace"),
 		}
 		if v := q.Get("seed"); v != "" {
 			if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {

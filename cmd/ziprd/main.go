@@ -29,7 +29,7 @@
 //
 // With -listen, ziprd serves HTTP:
 //
-//	POST /rewrite?transforms=cfi,stackpad:32&layout=diversity&seed=7
+//	POST /rewrite?transforms=cfi,stackpad:32&layout=diversity&seed=7&arbitration=weighted
 //	    request body: the ZELF input image; response body: the
 //	    rewritten image. X-Zipr-Cache reports hit, miss, or delta
 //	    (answered by patching a placement-snapshot ancestor of an
@@ -49,7 +49,8 @@
 // Without -listen, ziprd runs in JSONL batch mode: one request object
 // per stdin line, one response object per stdout line, responses in
 // input order regardless of -j. Request fields: id, trace, input
-// (base64), transforms, layout, seed, deadline_ms. Response fields:
+// (base64), transforms, layout, arbitration (two-way, the default, or
+// weighted — DESIGN.md §13), seed, deadline_ms. Response fields:
 // id, trace, output (base64), input_size, output_size, layout, cached,
 // delta, error, class.
 //
@@ -176,13 +177,14 @@ func run() error {
 // (encoding/json's []byte convention). Trace is an optional
 // caller-supplied trace ID, echoed back on the response.
 type request struct {
-	ID         string `json:"id,omitempty"`
-	Trace      string `json:"trace,omitempty"`
-	Input      []byte `json:"input"`
-	Transforms string `json:"transforms,omitempty"`
-	Layout     string `json:"layout,omitempty"`
-	Seed       int64  `json:"seed,omitempty"`
-	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	ID          string `json:"id,omitempty"`
+	Trace       string `json:"trace,omitempty"`
+	Input       []byte `json:"input"`
+	Transforms  string `json:"transforms,omitempty"`
+	Layout      string `json:"layout,omitempty"`
+	Arbitration string `json:"arbitration,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	DeadlineMS  int64  `json:"deadline_ms,omitempty"`
 }
 
 // response is one JSONL batch response (also the /stats error shape).

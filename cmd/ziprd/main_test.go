@@ -193,6 +193,14 @@ func TestHTTPErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown transform: %d, want 400", resp.StatusCode)
 	}
+	resp, err = http.Post(ts.URL+"/rewrite?arbitration=bogus", "application/octet-stream", bytes.NewReader(buildImage(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown arbitration: %d, want 400", resp.StatusCode)
+	}
 	resp, err = http.Get(ts.URL + "/rewrite")
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +208,42 @@ func TestHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /rewrite: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPArbitrationParam: the arbitration query parameter reaches the
+// pipeline config — weighted and default answers come from different
+// cache entries (the fingerprint folds |arb=weighted), and both modes
+// rewrite successfully.
+func TestHTTPArbitrationParam(t *testing.T) {
+	d := newTestDaemon(t)
+	ts := httptest.NewServer(newHandler(d))
+	defer ts.Close()
+	img := buildImage(t)
+
+	post := func(q string) *http.Response {
+		resp, err := http.Post(ts.URL+"/rewrite"+q, "application/octet-stream", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(""); resp.Header.Get("X-Zipr-Cache") != "miss" {
+		t.Fatalf("default cold request: cache %q, want miss", resp.Header.Get("X-Zipr-Cache"))
+	}
+	// A weighted request must not be answered from the default entry.
+	w := post("?arbitration=weighted")
+	if w.StatusCode != http.StatusOK {
+		t.Fatalf("weighted request: %d", w.StatusCode)
+	}
+	if got := w.Header.Get("X-Zipr-Cache"); got != "miss" {
+		t.Fatalf("weighted cold request: cache %q, want miss", got)
+	}
+	// Explicit two-way IS the default entry.
+	if resp := post("?arbitration=two-way"); resp.Header.Get("X-Zipr-Cache") != "hit" {
+		t.Fatalf("explicit two-way: cache %q, want hit of the default entry", resp.Header.Get("X-Zipr-Cache"))
 	}
 }
 

@@ -34,6 +34,13 @@ func TestFingerprintCanonicalStrings(t *testing.T) {
 			"cfg-v1|layout=profile-guided|hot=10,20,30,"},
 		{"hot set ignored outside profile-guided",
 			Config{HotFuncs: []uint32{0x10}}, "cfg-v1|layout=optimized"},
+		{"two-way arbitration is the default and does not fold",
+			Config{Arbitration: ArbitrationTwoWay}, "cfg-v1|layout=optimized"},
+		{"weighted arbitration folds",
+			Config{Arbitration: ArbitrationWeighted}, "cfg-v1|layout=optimized|arb=weighted"},
+		{"weighted arbitration folds before transforms",
+			Config{Arbitration: ArbitrationWeighted, Transforms: []Transform{CFI()}},
+			"cfg-v1|layout=optimized|arb=weighted|t:cfi"},
 	}
 	for _, tt := range cases {
 		if got := tt.cfg.Fingerprint(); got != tt.want {

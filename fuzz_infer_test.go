@@ -1,0 +1,111 @@
+package zipr
+
+// Native-fuzzing form of the arbitration equivalence property (ISSUE
+// 9): for any synthesized program, transform stack, layout, and program
+// input, the inference-on (weighted three-way) and inference-off
+// (two-way baseline) pipelines must produce execution-equivalent
+// binaries — identical transcripts on the same input — and the weighted
+// rewrite must never pin more than the baseline. `make fuzzsmoke` runs
+// this for a bounded time in CI; `go test -fuzz FuzzInferEquivalence .`
+// explores open-endedly.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zipr/internal/synth"
+)
+
+func FuzzInferEquivalence(f *testing.F) {
+	f.Add(int64(1), byte(0x00), byte(0), []byte{0, 1, 2, 3})
+	f.Add(int64(9), byte(0x10), byte(1), []byte{5, 4, 3, 2, 1, 0})
+	f.Add(int64(77), byte(0x1f), byte(2), []byte{0xff, 0x00, 0x7f, 0x80})
+	f.Fuzz(func(t *testing.T, seed int64, stackBits, layoutSel byte, input []byte) {
+		r := rand.New(rand.NewSource(seed))
+		profile := synth.Profile{
+			Name:             "fuzzarb",
+			NumFuncs:         4 + r.Intn(12),
+			OpsMin:           2 + r.Intn(4),
+			OpsMax:           8 + r.Intn(12),
+			HandwrittenFrac:  r.Float64() * 0.6,
+			FuncPtrTableFrac: r.Float64() * 0.5,
+			DataWords:        16 + r.Intn(128),
+			InputLen:         4 + r.Intn(12),
+			LoopIters:        2 + r.Intn(8),
+		}
+		orig, err := synth.Build(seed, profile)
+		if err != nil {
+			t.Fatalf("synth: %v", err)
+		}
+		stack := func() []Transform {
+			var tfs []Transform
+			if stackBits&1 != 0 {
+				tfs = append(tfs, Stir(seed))
+			}
+			if stackBits&2 != 0 {
+				tfs = append(tfs, NopElide())
+			}
+			if stackBits&4 != 0 {
+				tfs = append(tfs, StackPad(32))
+			}
+			if stackBits&8 != 0 {
+				tfs = append(tfs, Canary(uint32(seed)|1))
+			}
+			if stackBits&16 != 0 {
+				tfs = append(tfs, CFI())
+			}
+			if len(tfs) == 0 {
+				tfs = []Transform{Null()}
+			}
+			return tfs
+		}
+		layouts := []LayoutKind{LayoutOptimized, LayoutDiversity, LayoutProfileGuided}
+		layout := layouts[int(layoutSel)%len(layouts)]
+
+		run := func(arb ArbitrationKind) (want vmOutcome, pinned int) {
+			rw, report, err := RewriteBinary(orig.Clone(), Config{
+				Transforms:  stack(),
+				Layout:      layout,
+				Arbitration: arb,
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatalf("rewrite (%s, bits=%#x, %s): %v", arb, stackBits, layout, err)
+			}
+			in := make([]byte, profile.InputLen)
+			copy(in, input)
+			res, err := execute(t, rw, nil, string(in))
+			if err != nil {
+				t.Fatalf("rewritten faulted (%s, bits=%#x, %s, stats %+v): %v",
+					arb, stackBits, layout, report.Stats, err)
+			}
+			return vmOutcome{res.ExitCode, res.Output}, report.Stats.Pinned
+		}
+		two, pins2 := run(ArbitrationTwoWay)
+		wtd, pinsW := run(ArbitrationWeighted)
+		if two.exit != wtd.exit || !bytes.Equal(two.output, wtd.output) {
+			t.Fatalf("arbitration modes diverged (bits=%#x, %s): exit %d/%d output %x/%x",
+				stackBits, layout, two.exit, wtd.exit, two.output, wtd.output)
+		}
+		if pinsW > pins2 {
+			t.Fatalf("weighted arbitration pinned more (%d) than two-way (%d)", pinsW, pins2)
+		}
+		// Both must also match the original program, not just each other.
+		in := make([]byte, profile.InputLen)
+		copy(in, input)
+		origRes, err := execute(t, orig, nil, string(in))
+		if err != nil {
+			t.Fatalf("original faulted: %v", err)
+		}
+		if origRes.ExitCode != two.exit || !bytes.Equal(origRes.Output, two.output) {
+			t.Fatalf("rewrites diverged from the original (bits=%#x, %s)", stackBits, layout)
+		}
+	})
+}
+
+// vmOutcome is the transcript-relevant slice of a VM run.
+type vmOutcome struct {
+	exit   int32
+	output []byte
+}

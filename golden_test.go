@@ -1,11 +1,11 @@
 package zipr
 
 // Golden-transcript regression suite: every corpus program is rewritten
-// under every (transform stack x layout) cell and two digests are pinned
-// in testdata/golden/corpus.json — the SHA-256 of the rewritten image
-// and the SHA-256 of its execution transcripts over the CB's pollers.
-// Any drift in pipeline output, byte-level or behavioral, fails the
-// suite with the exact cell that moved.
+// under every (transform stack x layout x arbitration) cell and two
+// digests are pinned in testdata/golden/corpus.json — the SHA-256 of the
+// rewritten image and the SHA-256 of its execution transcripts over the
+// CB's pollers. Any drift in pipeline output, byte-level or behavioral,
+// fails the suite with the exact cell that moved.
 //
 // Regenerate after an intentional output change with:
 //
@@ -37,7 +37,7 @@ var updateGolden = flag.Bool("update", false, "regenerate testdata/golden/corpus
 
 const goldenPath = "testdata/golden/corpus.json"
 
-// goldenCell pins one (program, stack, layout) cell.
+// goldenCell pins one (program, stack, layout, arbitration) cell.
 type goldenCell struct {
 	Image      string `json:"image"`      // sha256 of the rewritten ZELF image
 	Transcript string `json:"transcript"` // sha256 of the poller transcripts
@@ -78,6 +78,22 @@ func goldenLayouts() []goldenLayout {
 	}
 }
 
+// goldenArb is one pinned arbitration mode. The default two-way mode
+// keeps the bare (suffix-free) cell keys the suite has always pinned,
+// so this dimension's addition provably left all pre-existing digests
+// untouched: their keys and values are byte-identical in corpus.json.
+type goldenArb struct {
+	suffix string // "" = legacy key format
+	arb    ArbitrationKind
+}
+
+func goldenArbs() []goldenArb {
+	return []goldenArb{
+		{"", ArbitrationTwoWay},
+		{"weighted", ArbitrationWeighted},
+	}
+}
+
 // transcriptDigest hashes a transcript set with length-prefixed framing
 // so (exit, output) pairs cannot alias across pollers.
 func transcriptDigest(ts []cgcsim.Transcript) string {
@@ -94,9 +110,14 @@ func transcriptDigest(ts []cgcsim.Transcript) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// goldenCellKey names one cell in the golden file.
-func goldenCellKey(cb, stack, layout string) string {
-	return cb + "/" + stack + "/" + layout
+// goldenCellKey names one cell in the golden file. An empty arb suffix
+// (the default two-way mode) yields the legacy three-part key.
+func goldenCellKey(cb, stack, layout, arb string) string {
+	key := cb + "/" + stack + "/" + layout
+	if arb != "" {
+		key += "/" + arb
+	}
+	return key
 }
 
 func loadGolden(t *testing.T) *goldenFile {
@@ -132,7 +153,7 @@ func TestGoldenCorpus(t *testing.T) {
 	if !*updateGolden {
 		pinned = loadGolden(t)
 	}
-	stacks, layouts := goldenStacks(), goldenLayouts()
+	stacks, layouts, arbs := goldenStacks(), goldenLayouts(), goldenArbs()
 	cells := 0
 	for i, cb := range corpus {
 		if i%stride != 0 {
@@ -161,70 +182,72 @@ func TestGoldenCorpus(t *testing.T) {
 		}
 		for _, stack := range stacks {
 			for _, lay := range layouts {
-				key := goldenCellKey(cb.Name, stack.name, lay.name)
-				cfg := Config{Transforms: stack.tfs(), Layout: lay.layout, Seed: lay.seed}
-				out, _, err := Rewrite(input, cfg)
-				if err != nil {
-					t.Errorf("%s: rewrite: %v", key, err)
-					continue
-				}
-				imgSum := sha256.Sum256(out)
-				imgHex := hex.EncodeToString(imgSum[:])
-				cells++
-
-				execute := func() (string, bool) {
-					rw, err := binfmt.Unmarshal(out)
+				for _, ga := range arbs {
+					key := goldenCellKey(cb.Name, stack.name, lay.name, ga.suffix)
+					cfg := Config{Transforms: stack.tfs(), Layout: lay.layout, Seed: lay.seed, Arbitration: ga.arb}
+					out, _, err := Rewrite(input, cfg)
 					if err != nil {
-						t.Errorf("%s: unmarshal rewritten image: %v", key, err)
-						return "", false
+						t.Errorf("%s: rewrite: %v", key, err)
+						continue
 					}
-					_, rwTS, err := cgcsim.Measure(rw, nil, cb.Pollers)
-					if err != nil {
-						t.Errorf("%s: rewritten execution: %v", key, err)
-						return "", false
-					}
-					// Behavioral parity with the original is a
-					// precondition for pinning: a golden file must never
-					// freeze a broken transcript.
-					if !cgcsim.Equivalent(measureOrig(), rwTS) {
-						t.Errorf("%s: rewritten transcripts differ from the original binary", key)
-						return "", false
-					}
-					return transcriptDigest(rwTS), true
-				}
+					imgSum := sha256.Sum256(out)
+					imgHex := hex.EncodeToString(imgSum[:])
+					cells++
 
-				if *updateGolden {
+					execute := func() (string, bool) {
+						rw, err := binfmt.Unmarshal(out)
+						if err != nil {
+							t.Errorf("%s: unmarshal rewritten image: %v", key, err)
+							return "", false
+						}
+						_, rwTS, err := cgcsim.Measure(rw, nil, cb.Pollers)
+						if err != nil {
+							t.Errorf("%s: rewritten execution: %v", key, err)
+							return "", false
+						}
+						// Behavioral parity with the original is a
+						// precondition for pinning: a golden file must never
+						// freeze a broken transcript.
+						if !cgcsim.Equivalent(measureOrig(), rwTS) {
+							t.Errorf("%s: rewritten transcripts differ from the original binary", key)
+							return "", false
+						}
+						return transcriptDigest(rwTS), true
+					}
+
+					if *updateGolden {
+						td, ok := execute()
+						if ok {
+							updated.Cells[key] = goldenCell{Image: imgHex, Transcript: td}
+						}
+						continue
+					}
+					want, ok := pinned.Cells[key]
+					if !ok {
+						t.Errorf("%s: no pinned digests (new cell?); regenerate with -update", key)
+						continue
+					}
+					if imgHex == want.Image {
+						continue // identical bytes imply identical transcripts
+					}
+					// The image drifted: report whether behavior moved too —
+					// a byte-only drift (same transcript digest) is a layout
+					// change, a transcript drift is a correctness alarm.
 					td, ok := execute()
-					if ok {
-						updated.Cells[key] = goldenCell{Image: imgHex, Transcript: td}
+					if !ok {
+						continue
 					}
-					continue
-				}
-				want, ok := pinned.Cells[key]
-				if !ok {
-					t.Errorf("%s: no pinned digests (new cell?); regenerate with -update", key)
-					continue
-				}
-				if imgHex == want.Image {
-					continue // identical bytes imply identical transcripts
-				}
-				// The image drifted: report whether behavior moved too —
-				// a byte-only drift (same transcript digest) is a layout
-				// change, a transcript drift is a correctness alarm.
-				td, ok := execute()
-				if !ok {
-					continue
-				}
-				if td != want.Transcript {
-					t.Errorf("%s: image AND execution transcript digests drifted\n  pinned image %s\n  got    image %s\n  pinned transcript %s\n  got    transcript %s",
-						key, want.Image, imgHex, want.Transcript, td)
-				} else {
-					t.Errorf("%s: rewritten image digest drifted (transcripts unchanged)\n  pinned %s\n  got    %s", key, want.Image, imgHex)
+					if td != want.Transcript {
+						t.Errorf("%s: image AND execution transcript digests drifted\n  pinned image %s\n  got    image %s\n  pinned transcript %s\n  got    transcript %s",
+							key, want.Image, imgHex, want.Transcript, td)
+					} else {
+						t.Errorf("%s: rewritten image digest drifted (transcripts unchanged)\n  pinned %s\n  got    %s", key, want.Image, imgHex)
+					}
 				}
 			}
 		}
 	}
-	wantCells := len(stacks) * len(layouts) * ((len(corpus) + stride - 1) / stride)
+	wantCells := len(stacks) * len(layouts) * len(arbs) * ((len(corpus) + stride - 1) / stride)
 	if cells != wantCells && !t.Failed() {
 		t.Errorf("covered %d cells, want %d", cells, wantCells)
 	}
@@ -265,7 +288,9 @@ func TestGoldenFileComplete(t *testing.T) {
 		_, profile := synth.CBProfile(i)
 		for _, stack := range goldenStacks() {
 			for _, lay := range goldenLayouts() {
-				want[goldenCellKey(profile.Name, stack.name, lay.name)] = true
+				for _, ga := range goldenArbs() {
+					want[goldenCellKey(profile.Name, stack.name, lay.name, ga.suffix)] = true
+				}
 			}
 		}
 	}

@@ -29,6 +29,7 @@ import (
 
 	"zipr/internal/binfmt"
 	"zipr/internal/fault"
+	"zipr/internal/infer"
 	"zipr/internal/ir"
 	"zipr/internal/isa"
 	"zipr/internal/obs"
@@ -252,6 +253,17 @@ type Aggregated struct {
 	// Warnings lists conservative-fallback diagnostics (the paper's
 	// case-4 warnings), in ascending address order.
 	Warnings []string
+	// Demoted counts ambiguous candidates the weighted arbitration
+	// reclassified as data (always 0 under two-way aggregation).
+	Demoted int
+	// Disputed counts demotions vetoed by infer-rule-disagree fault
+	// injection (the candidate kept its conservative pin treatment).
+	Disputed int
+
+	// warnCands lists the linear-origin ambiguous direct branches, in
+	// ascending order; finishAggregate turns the survivors into
+	// Warnings after any arbitration pass has pruned the set.
+	warnCands []uint32
 }
 
 // Aggregate merges the two disassemblers' views per the four-case
@@ -259,6 +271,16 @@ type Aggregated struct {
 // ambiguous set and the warning list come out deterministic (the old
 // hash-map walk emitted warnings in random order).
 func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
+	agg := aggregateCore(bin, linear, recursive)
+	finishAggregate(&agg, bin)
+	return agg
+}
+
+// aggregateCore builds the per-byte classification and the ambiguous
+// instruction set. Fixed ranges and warnings are derived afterwards by
+// finishAggregate, so an arbitration pass can prune the ambiguous set
+// in between.
+func aggregateCore(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 	text := bin.Text()
 	n := len(text.Data)
 	agg := Aggregated{
@@ -288,9 +310,7 @@ func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 		if agg.Classes[off] == Ambig {
 			agg.AmbigInsts.Put(addr, in)
 			if in.IsDirectBranch() {
-				agg.Warnings = append(agg.Warnings, fmt.Sprintf(
-					"disasm: ambiguous bytes at %#x decode to %s; treating as code and data",
-					addr, in.String()))
+				agg.warnCands = append(agg.warnCands, addr)
 			}
 		}
 		return true
@@ -313,7 +333,25 @@ func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 		}
 		return true
 	})
-	// Fixed ranges: maximal runs of Data/Ambig bytes.
+	return agg
+}
+
+// finishAggregate derives the outputs that depend on the final
+// ambiguous set: the case-4 warnings (ascending order, survivors of
+// any arbitration pruning) and the fixed ranges (maximal runs of
+// Data/Ambig bytes).
+func finishAggregate(agg *Aggregated, bin *binfmt.Binary) {
+	text := bin.Text()
+	n := len(text.Data)
+	for _, addr := range agg.warnCands {
+		in, ok := agg.AmbigInsts.Get(addr)
+		if !ok {
+			continue // demoted by arbitration
+		}
+		agg.Warnings = append(agg.Warnings, fmt.Sprintf(
+			"disasm: ambiguous bytes at %#x decode to %s; treating as code and data",
+			addr, in.String()))
+	}
 	var fixed []ir.Range
 	i := 0
 	for i < n {
@@ -332,7 +370,60 @@ func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 		i = j
 	}
 	agg.Fixed = ir.MergeRanges(fixed)
-	return agg
+}
+
+// applyArbitration is the weighted three-way vote. The linear sweep
+// and the recursive traversal have already produced the conservative
+// two-way view in agg; the inference result res casts the third vote.
+// Arbitration is demote-only by construction: an ambiguous candidate
+// whose inference verdict is confidently-data is dropped from the
+// ambiguous set and its bytes (where no surviving candidate still
+// covers them) become conclusive Data — removing the conservative pins
+// its branch targets and address-shaped immediates would have forced.
+// Candidates below threshold, or with any code belief, keep the
+// conservative case-3 treatment, and no byte is ever promoted to
+// relocatable Code, so fixed ranges cannot shrink and the in-place
+// execution story of every kept byte is unchanged. An armed
+// InferRuleDisagree injector vetoes individual demotions (site = the
+// candidate's address): the worst case of every veto firing is exactly
+// the two-way baseline.
+func applyArbitration(agg *Aggregated, bin *binfmt.Binary, res *infer.Result, inj *fault.Injector) {
+	text := bin.Text()
+	n := len(text.Data)
+	const (
+		coverKept uint8 = 1 << iota
+		coverDemoted
+	)
+	cover := make([]uint8, n)
+	var demote []uint32
+	agg.AmbigInsts.All(func(addr uint32, in isa.Inst) bool {
+		off := int(addr - text.VAddr)
+		verdict, _ := res.Verdict(addr, in.Len())
+		bit := coverKept
+		if verdict == infer.VerdictData {
+			if inj.Fires(fault.InferRuleDisagree, addr) {
+				// Injected rule disagreement: the demotion is vetoed and
+				// the candidate keeps its conservative pin treatment.
+				agg.Disputed++
+			} else {
+				demote = append(demote, addr)
+				bit = coverDemoted
+			}
+		}
+		for i := 0; i < in.Len() && off+i < n; i++ {
+			cover[off+i] |= bit
+		}
+		return true
+	})
+	for _, addr := range demote {
+		agg.AmbigInsts.Delete(addr)
+	}
+	agg.Demoted = len(demote)
+	for i := 0; i < n; i++ {
+		if agg.Classes[i] == Ambig && cover[i]&coverDemoted != 0 && cover[i]&coverKept == 0 {
+			agg.Classes[i] = Data
+		}
+	}
 }
 
 // scratch holds the per-disassembly buffers that do not survive into
@@ -366,17 +457,38 @@ func grow[T Class | uint8](b []T, n int) []T {
 	return b
 }
 
+// Arbitration selects the code/data disambiguation policy.
+type Arbitration uint8
+
+// Arbitration policies.
+const (
+	// ArbTwoWay is the paper's four-case policy over the linear sweep
+	// and the recursive traversal (the default): every decodable but
+	// unproven byte stays ambiguous and its targets get pinned.
+	ArbTwoWay Arbitration = iota
+	// ArbWeighted adds the inference disassembler (internal/infer) as a
+	// third vote: ambiguous candidates it confidently classifies as
+	// data are demoted — dropped from the ambiguous set so their pins
+	// disappear — while everything below its thresholds keeps the
+	// conservative two-way treatment.
+	ArbWeighted
+)
+
 // Options configures a disassembly run.
 type Options struct {
-	// Serial forces the two disassemblers to run back-to-back on the
+	// Serial forces the disassemblers to run back-to-back on the
 	// calling goroutine instead of concurrently. The output is identical
 	// either way; the knob exists for benchmarking and debugging.
 	Serial bool
+	// Arbitration selects two-way (default) or weighted three-way
+	// disambiguation.
+	Arbitration Arbitration
 	// Trace receives per-stage spans and classification metrics; nil
 	// disables instrumentation.
 	Trace *obs.Trace
 	// Inject enables deterministic fault injection (disassembler
-	// disagreement, truncated linear decode); nil disables it.
+	// disagreement, truncated linear decode, vetoed inference
+	// demotions); nil disables it.
 	Inject *fault.Injector
 }
 
@@ -423,6 +535,11 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 		Classes: sc.recCls,
 	}
 
+	// The inference disassembler is the third, independent vote under
+	// weighted arbitration; it shares no state with the other two, so
+	// the concurrent mode runs all three in parallel.
+	var inf *infer.Result
+
 	if opts.Serial {
 		sp := tr.Start("linear-sweep")
 		linearSweepInto(&lin, text.Data, text.VAddr)
@@ -430,6 +547,11 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 		sp = tr.Start("recursive-traversal")
 		recursiveInto(&rec, bin, &sc.rec, opts.Inject)
 		sp.End()
+		if opts.Arbitration == ArbWeighted {
+			sp = tr.Start("inference")
+			inf = infer.Analyze(bin)
+			sp.End()
+		}
 	} else {
 		// The spans are created detached on this goroutine — in a
 		// deterministic order, attached under the currently open phase —
@@ -437,6 +559,10 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 		// concurrent-span pattern).
 		linSp := tr.StartDetached("linear-sweep")
 		recSp := tr.StartDetached("recursive-traversal")
+		var infSp *obs.Span
+		if opts.Arbitration == ArbWeighted {
+			infSp = tr.StartDetached("inference")
+		}
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
@@ -444,6 +570,14 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 			linearSweepInto(&lin, text.Data, text.VAddr)
 			linSp.End()
 		}()
+		if opts.Arbitration == ArbWeighted {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				inf = infer.Analyze(bin)
+				infSp.End()
+			}()
+		}
 		recursiveInto(&rec, bin, &sc.rec, opts.Inject)
 		recSp.End()
 		wg.Wait()
@@ -466,9 +600,24 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 	}
 
 	sp := tr.Start("disambiguate")
-	agg := Aggregate(bin, lin, rec)
+	agg := aggregateCore(bin, lin, rec)
+	if opts.Arbitration == ArbWeighted && inf != nil {
+		applyArbitration(&agg, bin, inf, opts.Inject)
+	}
+	finishAggregate(&agg, bin)
 	sp.End()
 	scratchPool.Put(sc)
+	if tr.Enabled() && inf != nil {
+		st := inf.Stats()
+		tr.SetGauge("infer.candidates", int64(st.Candidates))
+		tr.SetGauge("infer.strong-starts", int64(st.StrongStarts))
+		tr.SetGauge("infer.fact-bytes", int64(st.FactBytes))
+		tr.SetGauge("infer.nonviable", int64(st.Nonviable))
+		tr.SetGauge("infer.raised", int64(st.Raised))
+		tr.SetGauge("infer.iterations", int64(st.Iterations))
+		tr.Add("disasm.arb.demoted", int64(agg.Demoted))
+		tr.Add("disasm.arb.disputed", int64(agg.Disputed))
+	}
 	if tr.Enabled() {
 		var code, data, ambig int64
 		for _, c := range agg.Classes {

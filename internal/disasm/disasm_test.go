@@ -6,6 +6,7 @@ import (
 
 	"zipr/internal/asm"
 	"zipr/internal/binfmt"
+	"zipr/internal/fault"
 	"zipr/internal/isa"
 )
 
@@ -244,5 +245,112 @@ main:
 	}
 	if len(agg.Fixed) != 0 {
 		t.Fatalf("unexpected fixed ranges %+v", agg.Fixed)
+	}
+}
+
+// arbFixture is a program whose in-text string decodes as plausible
+// instructions: the two-way aggregation leaves it ambiguous (pinnable),
+// weighted arbitration demotes it to data on string-run evidence.
+const arbFixture = `
+.text 0x00100000
+main:
+    jmp after
+msg: .asciz "hello world!!"
+after:
+    movi r0, 1
+    movi r1, 0
+    syscall
+`
+
+func TestWeightedArbitrationDemotes(t *testing.T) {
+	bin, err := asm.Assemble(arbFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg2, err := DisassembleOpts(bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggW, err := DisassembleOpts(bin, Options{Arbitration: ArbWeighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg2.Demoted != 0 || agg2.Disputed != 0 {
+		t.Fatalf("two-way aggregation demoted (%d) or disputed (%d)", agg2.Demoted, agg2.Disputed)
+	}
+	if agg2.AmbigInsts.Len() == 0 {
+		t.Fatal("fixture produced no ambiguity under two-way aggregation")
+	}
+	if aggW.Demoted == 0 {
+		t.Fatal("weighted arbitration demoted nothing")
+	}
+	if aggW.AmbigInsts.Len() >= agg2.AmbigInsts.Len() {
+		t.Fatalf("ambiguous set did not shrink: %d -> %d", agg2.AmbigInsts.Len(), aggW.AmbigInsts.Len())
+	}
+	// Demotion reclassifies the string bytes as data but never moves
+	// them: the blob stays inside a fixed range either way.
+	msgAddr := bin.Text().VAddr + 5
+	for i := uint32(0); i < 13; i++ {
+		if c := classAt(t, aggW, bin, msgAddr+i); c == Ambig {
+			t.Fatalf("msg byte %d still Ambig after demotion", i)
+		}
+		if c := classAt(t, aggW, bin, msgAddr+i); c == Code {
+			t.Fatalf("demotion promoted msg byte %d to Code", i)
+		}
+	}
+	for _, want := range []uint32{msgAddr, msgAddr + 13} {
+		covered := false
+		for _, r := range aggW.Fixed {
+			if r.Contains(want) {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Fatalf("demoted byte %#x left fixed coverage %+v", want, aggW.Fixed)
+		}
+	}
+	// Reached code is untouched.
+	if classAt(t, aggW, bin, bin.Entry) != Code {
+		t.Fatal("entry no longer Code under weighted arbitration")
+	}
+	if len(aggW.Warnings) > len(agg2.Warnings) {
+		t.Fatalf("weighted arbitration grew warnings: %d -> %d", len(agg2.Warnings), len(aggW.Warnings))
+	}
+}
+
+// TestArbitrationDisputeVeto: an armed infer-rule-disagree schedule
+// vetoes individual demotions; vetoed candidates keep their two-way
+// classification, and every ambiguous instruction is either demoted or
+// disputed — never silently dropped.
+func TestArbitrationDisputeVeto(t *testing.T) {
+	bin, err := asm.Assemble(arbFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := DisassembleOpts(bin, Options{Arbitration: ArbWeighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disputedOnce bool
+	for seed := int64(1); seed <= 20; seed++ {
+		inj := fault.NewArmed(seed, fault.InferRuleDisagree)
+		agg, err := DisassembleOpts(bin, Options{Arbitration: ArbWeighted, Inject: inj})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if agg.Demoted+agg.Disputed != clean.Demoted {
+			t.Fatalf("seed %d: demoted %d + disputed %d != clean demotions %d",
+				seed, agg.Demoted, agg.Disputed, clean.Demoted)
+		}
+		if agg.AmbigInsts.Len() != clean.AmbigInsts.Len()+agg.Disputed {
+			t.Fatalf("seed %d: ambig count %d, want clean %d + disputed %d",
+				seed, agg.AmbigInsts.Len(), clean.AmbigInsts.Len(), agg.Disputed)
+		}
+		if agg.Disputed > 0 {
+			disputedOnce = true
+		}
+	}
+	if !disputedOnce {
+		t.Fatal("no seed disputed a demotion")
 	}
 }

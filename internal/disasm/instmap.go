@@ -62,6 +62,18 @@ func (m *InstMap) Put(addr uint32, in isa.Inst) {
 	m.insts[off] = in
 }
 
+// Delete removes the instruction starting at addr, if one was
+// recorded. The weighted arbitration pass uses it to drop demoted
+// candidates from the ambiguous set.
+func (m *InstMap) Delete(addr uint32) {
+	off := addr - m.base
+	if off >= uint32(len(m.insts)) || m.insts[off].Op == isa.OpInvalid {
+		return
+	}
+	m.insts[off] = isa.Inst{}
+	m.count--
+}
+
 // Get returns the instruction starting at addr, if one was recorded.
 func (m *InstMap) Get(addr uint32) (isa.Inst, bool) {
 	if m == nil {

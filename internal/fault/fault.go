@@ -38,6 +38,14 @@ const (
 	// cut point lose their linear Code claim, thinning the ambiguous
 	// set the aggregation would otherwise report. Degrades.
 	DisasmTruncate
+	// InferRuleDisagree vetoes individual inference-driven demotions in
+	// the weighted arbitration stage (site = the candidate's address): a
+	// candidate the rules would confidently reclassify as data keeps its
+	// conservative ambiguous treatment instead, as if the rule vote had
+	// been contested. The worst case — every veto firing — is exactly
+	// the two-way baseline, so the fault can only add pins. Degrades.
+	// No-op unless the rewrite runs with weighted arbitration.
+	InferRuleDisagree
 	// PinFlood makes pin discovery report bogus extra pins at decoded
 	// instruction addresses, in seeded clusters — dense runs escalate
 	// through chains into sleds. Degrades.
@@ -92,6 +100,7 @@ const (
 var kindNames = [numKinds]string{
 	"disasm-disagree",
 	"disasm-truncate",
+	"infer-rule-disagree",
 	"pin-flood",
 	"entry-lost",
 	"alloc-exhaust",
@@ -135,6 +144,7 @@ type kindProfile struct {
 var profiles = [numKinds]kindProfile{
 	DisasmDisagree:     {armOneIn: 3, rate: 1 << 14}, // 1/4 of data-scan seeds
 	DisasmTruncate:     {armOneIn: 4, rate: 3 << 14}, // 3/4 chance of one cut
+	InferRuleDisagree:  {armOneIn: 3, rate: 1 << 14}, // 1/4 of demotions vetoed
 	PinFlood:           {armOneIn: 3, rate: 1 << 11}, // 1/32 of instructions
 	EntryLost:          {armOneIn: 10, rate: 1 << 16},
 	AllocExhaust:       {armOneIn: 3, rate: 1 << 13}, // 1/8 of placements

@@ -131,7 +131,10 @@ func (g *Gateway) syncUp() {
 // to the same worker shard. A transform-spec parse error falls back to
 // an input-only key — the chosen worker will produce the 400.
 func routeKey(input []byte, q map[string]string) serve.Key {
-	cfg := zipr.Config{Layout: zipr.LayoutKind(q["layout"])}
+	cfg := zipr.Config{
+		Layout:      zipr.LayoutKind(q["layout"]),
+		Arbitration: zipr.ArbitrationKind(q["arbitration"]),
+	}
 	if tfs, err := serve.ParseTransforms(q["transforms"]); err == nil {
 		cfg.Transforms = tfs
 	}
@@ -158,9 +161,10 @@ func (g *Gateway) rewrite(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query()
 	key := routeKey(input, map[string]string{
-		"transforms": q.Get("transforms"),
-		"layout":     q.Get("layout"),
-		"seed":       q.Get("seed"),
+		"transforms":  q.Get("transforms"),
+		"layout":      q.Get("layout"),
+		"arbitration": q.Get("arbitration"),
+		"seed":        q.Get("seed"),
 	})
 	site := binary.LittleEndian.Uint32(key[:4])
 	reps := g.ring.replicas(key.String(), maxAttempts)

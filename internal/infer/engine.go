@@ -1,0 +1,174 @@
+package infer
+
+import (
+	"encoding/binary"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/isa"
+)
+
+// This file is the fixed-point engine: two semi-naive evaluations over
+// the flow-edge relation. Both are worklist-driven — each round
+// processes only the delta derived in the previous round — and both
+// ascend (or descend) a finite lattice monotonically, so termination
+// is structural, not fuel-limited:
+//
+//   - refuteDeadEnds descends: viability bits only flip true→false,
+//     at most once per candidate, and each flip enqueues only the
+//     flipped candidate's predecessors.
+//   - propagateCode ascends: code weights only increase, are capped at
+//     WeightStrong, and a candidate re-enters the worklist only when
+//     its weight actually rose.
+//
+// A cyclic edge graph is the interesting case for both. Mutually
+// looping candidates have no dead end to propagate from, so the
+// greatest fixed point keeps them viable (conservative: they stay
+// pinnable ambiguity unless positive data evidence demotes them); and
+// code-weight propagation around a cycle stabilizes the first time the
+// decayed weight stops exceeding the stored one.
+
+// refuteDeadEnds computes candidate viability as a greatest fixed
+// point: start from "every decode is viable" and retract every
+// candidate one of whose required successors is undecodable,
+// structurally impossible, or already refuted. Refuted candidates gain
+// the RuleDeadEnd junk belief — the decode cannot be real code because
+// executing it would inevitably reach bytes that do not decode.
+func (r *Result) refuteDeadEnds(bin *binfmt.Binary) {
+	n := len(r.text)
+	// preds[s] lists the candidates whose viability requires s.
+	preds := make([][]int32, n)
+	var dead []int32 // retraction worklist (the semi-naive delta)
+	var succs []int
+
+	for off := 0; off < n; off++ {
+		in := r.cand[off]
+		if in.Op == isa.OpInvalid {
+			continue
+		}
+		r.viable[off] = true
+		var ok bool
+		succs, ok = flowSuccs(bin, in, off, n, r.base, succs[:0])
+		if !ok {
+			r.viable[off] = false
+			dead = append(dead, int32(off))
+			continue
+		}
+		for _, s := range succs {
+			if r.cand[s].Op == isa.OpInvalid {
+				// Required successor does not decode: refuted outright.
+				if r.viable[off] {
+					r.viable[off] = false
+					dead = append(dead, int32(off))
+				}
+				continue
+			}
+			preds[s] = append(preds[s], int32(off))
+		}
+	}
+
+	for len(dead) > 0 {
+		s := dead[len(dead)-1]
+		dead = dead[:len(dead)-1]
+		r.stats.Iterations++
+		for _, p := range preds[s] {
+			if r.viable[p] {
+				r.viable[p] = false
+				dead = append(dead, p)
+			}
+		}
+	}
+
+	for off := 0; off < n; off++ {
+		if r.cand[off].Op == isa.OpInvalid || r.viable[off] || r.strong[off] {
+			continue
+		}
+		r.stats.Nonviable++
+		if WeightDeadEnd > r.junkW[off] {
+			r.junkW[off], r.junkRule[off] = WeightDeadEnd, RuleDeadEnd
+		}
+	}
+}
+
+// propagateCode computes code beliefs as a least fixed point. Seeds:
+// provably-reached starts at WeightStrong (the axiom), and viable
+// targets of stored pointer words at WeightPtrTarget — an address
+// something in the binary *names* is plausibly an entry even when no
+// direct flow reaches it (the jump-table case). Belief then flows
+// along fallthrough and direct branch/call edges, decaying hopDecay
+// per edge but never below codeFloor, so any candidate transitively
+// named by real evidence keeps enough belief to block demotion.
+func (r *Result) propagateCode(bin *binfmt.Binary) {
+	n := len(r.text)
+	type raise struct {
+		off int32
+		w   uint8
+	}
+	var work []raise
+
+	lift := func(off int, w uint8, rule RuleID) {
+		if w <= r.codeW[off] {
+			return
+		}
+		r.codeW[off], r.codeRule[off] = w, rule
+		r.stats.Raised++
+		work = append(work, raise{int32(off), w})
+	}
+
+	for off := 0; off < n; off++ {
+		if r.strong[off] {
+			lift(off, WeightStrong, RuleStrongReach)
+		}
+	}
+	// Pointer-word targets: both the data-segment scan and the in-text
+	// table slots found by extractFacts. The in-text slots were recorded
+	// as RuleTableSlot data bytes; recover their targets here.
+	text := bin.Text()
+	for si := range bin.Segments {
+		seg := &bin.Segments[si]
+		if seg.Kind != binfmt.Data {
+			continue
+		}
+		for o := 0; o+4 <= len(seg.Data); o += 4 {
+			v := binary.LittleEndian.Uint32(seg.Data[o:])
+			if text.Contains(v) {
+				if toff := int(v - r.base); r.viable[toff] {
+					lift(toff, WeightPtrTarget, RulePtrTarget)
+				}
+			}
+		}
+	}
+	for _, toff := range r.ptrTargets {
+		if r.viable[toff] {
+			lift(int(toff), WeightPtrTarget, RulePtrTarget)
+		}
+	}
+
+	var succs []int
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		r.stats.Iterations++
+		off := int(cur.off)
+		if cur.w < r.codeW[off] {
+			continue // superseded by a later, higher raise
+		}
+		in := r.cand[off]
+		if in.Op == isa.OpInvalid {
+			continue
+		}
+		next := cur.w - hopDecay
+		if next < codeFloor {
+			next = codeFloor
+		}
+		var ok bool
+		succs, ok = flowSuccs(bin, in, off, n, r.base, succs[:0])
+		if !ok {
+			continue
+		}
+		for _, s := range succs {
+			if r.viable[s] {
+				lift(s, next, RuleCodeFlow)
+			}
+		}
+	}
+}

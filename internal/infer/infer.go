@@ -1,0 +1,483 @@
+// Package infer is the third disassembler: a Datalog-style inference
+// engine over facts extracted from the binary, modeled on Datalog
+// Disassembly (ddisasm). Where the linear sweep answers "does it
+// decode" and the recursive traversal answers "is it provably
+// reached", inference answers the question the two-way aggregation
+// cannot: of the bytes that decode but are not provably reached, which
+// are *actually* data?
+//
+// The pipeline is classic bottom-up Datalog, specialized and
+// hand-compiled:
+//
+//  1. Fact extraction walks the binary once and materializes the
+//     ground relations: candidate instruction starts (a decode attempt
+//     at every text offset), fallthrough/branch/call edges between
+//     candidates, data-access targets (loadpc reads), in-text pointer
+//     words, printable-string runs, and overlap conflicts against the
+//     provably-reached instruction set.
+//  2. A semi-naive fixed-point engine evaluates the weighted rule set
+//     (see rules.go): each round propagates only the delta — beliefs
+//     raised in the previous round — along edges, so work is
+//     proportional to derived facts, not rounds times relations.
+//     Beliefs combine by max and are capped at WeightStrong, so the
+//     ascent is monotone on a finite lattice and terminates on any
+//     input, including cyclic edge graphs.
+//  3. The output is a per-address belief map: code weight and data
+//     weight in [0,100], each tagged with the rule that set it
+//     (provenance), plus run statistics for the infer.* metrics.
+//
+// The consumer (internal/disasm's weighted arbitration) only ever uses
+// a confident *data* verdict to demote an ambiguous candidate — it
+// never promotes bytes to relocatable code — so an inference mistake
+// in the code direction costs nothing, and a mistake in the data
+// direction is bounded by the verdict thresholds and vetoable per-site
+// through fault injection.
+package infer
+
+import (
+	"encoding/binary"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/isa"
+)
+
+// RuleID names the inference rule that established a belief, for
+// provenance in diagnostics and tests.
+type RuleID uint8
+
+// Rule identifiers. Code rules raise code beliefs; data rules raise
+// data beliefs (per byte or per candidate start).
+const (
+	RuleNone        RuleID = iota
+	RuleStrongReach        // code: reached from entry/export/data-pointer seeds
+	RulePtrTarget          // code: an in-text pointer word names this address
+	RuleCodeFlow           // code: flow edge from a believed-code candidate
+	RuleDataAccess         // data: a provably-reached loadpc reads these bytes
+	RuleTableSlot          // data: aligned in-text word holding a code pointer
+	RuleStringRun          // data: printable/NUL string run
+	RuleDeadEnd            // data: every decode chain hits undecodable bytes
+	RuleOverlap            // data: decode straddles a provably-reached instruction
+	RuleDataGap            // data: short gap bridging two data-evidenced bytes
+)
+
+var ruleNames = [...]string{
+	RuleNone:        "none",
+	RuleStrongReach: "strong-reach",
+	RulePtrTarget:   "ptr-target",
+	RuleCodeFlow:    "code-flow",
+	RuleDataAccess:  "data-access",
+	RuleTableSlot:   "table-slot",
+	RuleStringRun:   "string-run",
+	RuleDeadEnd:     "dead-end",
+	RuleOverlap:     "overlap",
+	RuleDataGap:     "data-gap",
+}
+
+// String returns the rule's stable kebab-case name.
+func (r RuleID) String() string {
+	if int(r) < len(ruleNames) {
+		return ruleNames[r]
+	}
+	return "rule(?)"
+}
+
+// Rule weights and verdict thresholds. Weights live on a 0..100 scale;
+// beliefs combine by max. The thresholds encode the safety policy: a
+// candidate is only demoted to data when its data belief clears
+// DataThreshold AND its code belief stays below CodeKeep — any code
+// evidence at all (reachability from a pointer word, a coherent flow
+// chain) blocks demotion, and everything below both thresholds falls
+// back to the conservative pin treatment.
+const (
+	WeightStrong     = 100 // axiom: provably reached
+	WeightDataAccess = 90  // loadpc from strong code reads these bytes
+	WeightOverlap    = 85  // decode straddles strong code
+	WeightDeadEnd    = 80  // all decode chains reach undecodable bytes
+	WeightPtrTarget  = 70  // pointer word names this address
+	WeightTableSlot  = 70  // the pointer word's own bytes
+	WeightString     = 60  // printable run
+	WeightDataGap    = 60  // bytes bridging two data-evidenced neighbors
+	maxDataGap       = 8   // widest gap the coalescing rule bridges
+	hopDecay         = 5   // code belief lost per flow edge
+	codeFloor        = 55  // flow propagation never decays below this
+
+	// CodeKeep is the code-belief level at or above which a candidate is
+	// never demoted.
+	CodeKeep = 50
+	// DataThreshold is the data-belief level required to demote.
+	DataThreshold = 60
+)
+
+// Verdict is the arbitration-facing summary of a candidate's beliefs.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictUnknown: neither belief clears its threshold — the caller
+	// must fall back to the conservative (pin) treatment.
+	VerdictUnknown Verdict = iota
+	// VerdictCode: code belief at or above CodeKeep.
+	VerdictCode
+	// VerdictData: data belief at or above DataThreshold with code
+	// belief below CodeKeep — safe to treat as data.
+	VerdictData
+)
+
+// Stats summarizes one inference run for the infer.* metrics.
+type Stats struct {
+	Candidates   int // offsets that decode
+	StrongStarts int // provably-reached instruction starts
+	FactBytes    int // bytes covered by ground data facts
+	Nonviable    int // candidates refuted by the dead-end rule
+	Raised       int // belief raises during fixed-point evaluation
+	Iterations   int // worklist pops across both fixed points
+}
+
+// Result holds per-address beliefs with rule provenance.
+type Result struct {
+	base uint32
+	text []byte
+
+	cand      []isa.Inst // candidate decode at each offset (OpInvalid: none)
+	strongCov []bool     // byte is covered by a provably-reached instruction
+	strong    []bool     // offset is a provably-reached instruction start
+	viable    []bool     // candidate's decode chains avoid dead ends
+
+	codeW    []uint8 // per-start code belief
+	codeRule []RuleID
+	dataW    []uint8 // per-byte data belief
+	dataRule []RuleID
+	junkW    []uint8 // per-start data belief (the decode itself is junk)
+	junkRule []RuleID
+
+	// ptrTargets are in-text offsets named by stored pointer words
+	// (table slots); propagateCode seeds them at WeightPtrTarget.
+	ptrTargets []int32
+
+	stats Stats
+}
+
+// Stats returns the run's fact and fixed-point counters.
+func (r *Result) Stats() Stats { return r.stats }
+
+// CodeBelief returns the code belief and provenance for a candidate
+// starting at addr (0, RuleNone outside the text segment).
+func (r *Result) CodeBelief(addr uint32) (uint8, RuleID) {
+	off := addr - r.base
+	if off >= uint32(len(r.codeW)) {
+		return 0, RuleNone
+	}
+	return r.codeW[off], r.codeRule[off]
+}
+
+// ByteBelief returns the per-byte data belief and provenance for the
+// single byte at addr — the ground-fact view, without the
+// candidate-level junk-decode component DataBelief folds in. Rule
+// tests and diagnostics use it to check which fact covered a byte.
+func (r *Result) ByteBelief(addr uint32) (uint8, RuleID) {
+	off := addr - r.base
+	if off >= uint32(len(r.dataW)) {
+		return 0, RuleNone
+	}
+	return r.dataW[off], r.dataRule[off]
+}
+
+// DataBelief returns the data belief and provenance for a candidate
+// instruction spanning [addr, addr+length). The per-byte component is
+// the *minimum* over the span — every byte must carry data evidence —
+// maxed with the candidate-level junk-decode belief.
+func (r *Result) DataBelief(addr uint32, length int) (uint8, RuleID) {
+	off := int(addr - r.base)
+	if off < 0 || off >= len(r.dataW) || length <= 0 {
+		return 0, RuleNone
+	}
+	w, rule := r.junkW[off], r.junkRule[off]
+	end := off + length
+	if end > len(r.dataW) {
+		end = len(r.dataW)
+	}
+	minW, minRule := uint8(255), RuleNone
+	for i := off; i < end; i++ {
+		if r.dataW[i] < minW {
+			minW, minRule = r.dataW[i], r.dataRule[i]
+		}
+	}
+	if minW != 255 && minW > w {
+		w, rule = minW, minRule
+	}
+	return w, rule
+}
+
+// Verdict arbitrates the beliefs for a candidate spanning
+// [addr, addr+length) against the demotion thresholds.
+func (r *Result) Verdict(addr uint32, length int) (Verdict, RuleID) {
+	if cw, crule := r.CodeBelief(addr); cw >= CodeKeep {
+		return VerdictCode, crule
+	}
+	if dw, drule := r.DataBelief(addr, length); dw >= DataThreshold {
+		return VerdictData, drule
+	}
+	return VerdictUnknown, RuleNone
+}
+
+// Analyze runs fact extraction and the weighted fixed point over bin's
+// text segment. It is a pure function of the binary: no shared state,
+// safe to run concurrently with the other two disassemblers.
+func Analyze(bin *binfmt.Binary) *Result {
+	text := bin.Text()
+	if text == nil {
+		return &Result{}
+	}
+	n := len(text.Data)
+	r := &Result{
+		base:      text.VAddr,
+		text:      text.Data,
+		cand:      make([]isa.Inst, n),
+		strongCov: make([]bool, n),
+		strong:    make([]bool, n),
+		viable:    make([]bool, n),
+		codeW:     make([]uint8, n),
+		codeRule:  make([]RuleID, n),
+		dataW:     make([]uint8, n),
+		dataRule:  make([]RuleID, n),
+		junkW:     make([]uint8, n),
+		junkRule:  make([]RuleID, n),
+	}
+	r.extractFacts(bin)
+	r.refuteDeadEnds(bin)
+	r.propagateCode(bin)
+	return r
+}
+
+// extractFacts materializes the ground relations: candidate decodes,
+// the strong-reachability closure, data-access targets, table slots,
+// and string runs.
+func (r *Result) extractFacts(bin *binfmt.Binary) {
+	text := bin.Text()
+	n := len(r.text)
+
+	// Candidate instruction starts: a decode attempt at every offset.
+	for off := 0; off < n; off++ {
+		in, err := isa.Decode(r.text[off:])
+		if err != nil {
+			continue
+		}
+		r.cand[off] = in
+		r.stats.Candidates++
+	}
+
+	// Strong reachability: the same seed set the recursive traversal
+	// trusts (entry, exports, aligned data-segment words pointing into
+	// text), closed over fallthrough and direct-branch edges. Inference
+	// recomputes it rather than importing the recursive result so the
+	// three disassemblers stay independent votes.
+	var work []uint32
+	seed := func(a uint32) {
+		if text.Contains(a) {
+			work = append(work, a)
+		}
+	}
+	if bin.Type == binfmt.Exec {
+		seed(bin.Entry)
+	}
+	for _, e := range bin.Exports {
+		seed(e.Addr)
+	}
+	for si := range bin.Segments {
+		seg := &bin.Segments[si]
+		if seg.Kind != binfmt.Data {
+			continue
+		}
+		for off := 0; off+4 <= len(seg.Data); off += 4 {
+			seed(binary.LittleEndian.Uint32(seg.Data[off:]))
+		}
+	}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		off := addr - r.base
+		if r.strong[off] {
+			continue
+		}
+		in := r.cand[off]
+		if in.Op == isa.OpInvalid {
+			continue
+		}
+		r.strong[off] = true
+		r.stats.StrongStarts++
+		for i := 0; i < in.Len() && int(off)+i < n; i++ {
+			r.strongCov[int(off)+i] = true
+		}
+		if in.HasFallthrough() {
+			seed(addr + uint32(in.Len()))
+		}
+		if t, ok := in.TargetAddr(addr); ok {
+			switch in.Op {
+			case isa.OpLea, isa.OpLoadPC:
+				// Address formation / data reference, not a code edge.
+			default:
+				seed(t)
+			}
+		}
+	}
+
+	markData := func(b int, w uint8, rule RuleID) {
+		if b < 0 || b >= n || r.strongCov[b] || w <= r.dataW[b] {
+			return
+		}
+		if r.dataW[b] == 0 {
+			r.stats.FactBytes++
+		}
+		r.dataW[b], r.dataRule[b] = w, rule
+	}
+
+	// Data-access targets: a provably-reached loadpc names four bytes
+	// that the program reads as data.
+	for off := 0; off < n; off++ {
+		if !r.strong[off] {
+			continue
+		}
+		in := r.cand[off]
+		if in.Op != isa.OpLoadPC {
+			continue
+		}
+		if t, ok := in.TargetAddr(r.base + uint32(off)); ok && text.Contains(t) {
+			for i := 0; i < 4; i++ {
+				markData(int(t-r.base)+i, WeightDataAccess, RuleDataAccess)
+			}
+		}
+	}
+
+	// Table slots: an aligned word inside text, outside strong coverage,
+	// whose value is the address of a decodable candidate is a stored
+	// code pointer — its four bytes are data, and its target is a code
+	// entry (consumed as a seed by propagateCode).
+	for off := 0; off+4 <= n; off += 1 {
+		if (r.base+uint32(off))%4 != 0 {
+			continue
+		}
+		if r.strongCov[off] || r.strongCov[off+1] || r.strongCov[off+2] || r.strongCov[off+3] {
+			continue
+		}
+		v := binary.LittleEndian.Uint32(r.text[off:])
+		if !text.Contains(v) {
+			continue
+		}
+		toff := v - r.base
+		if r.cand[toff].Op == isa.OpInvalid {
+			continue
+		}
+		r.ptrTargets = append(r.ptrTargets, int32(toff))
+		for i := 0; i < 4; i++ {
+			markData(off+i, WeightTableSlot, RuleTableSlot)
+		}
+	}
+
+	// String runs: maximal runs of printable bytes outside strong
+	// coverage, length >= 5, or >= 4 with a NUL terminator (which joins
+	// the run).
+	for i := 0; i < n; {
+		if r.strongCov[i] || !printable(r.text[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && !r.strongCov[j] && printable(r.text[j]) {
+			j++
+		}
+		end, runLen := j, j-i
+		if runLen >= 4 && j < n && r.text[j] == 0 && !r.strongCov[j] {
+			end++
+		}
+		if runLen >= 5 || end > j {
+			for b := i; b < end; b++ {
+				markData(b, WeightString, RuleStringRun)
+			}
+		}
+		i = j
+	}
+
+	// Data coalescing: data objects sit adjacent in memory (a program
+	// that stores one word and one string back to back rarely wedges
+	// live code in between), so a short unevidenced gap whose both
+	// neighbors inside the same non-strong run carry data evidence is
+	// itself data. Bounded at maxDataGap bytes: anything wider could be
+	// a small in-place code island and keeps the conservative
+	// treatment. Code-believed candidates are additionally protected by
+	// the Verdict threshold order (code belief always wins).
+	for i := 0; i < n; {
+		if r.strongCov[i] || r.dataW[i] == 0 {
+			i++
+			continue
+		}
+		j := i + 1 // i is evidenced; find the next evidenced byte in the run
+		for j < n && !r.strongCov[j] && r.dataW[j] == 0 {
+			j++
+		}
+		if j < n && !r.strongCov[j] && r.dataW[j] != 0 && j-i-1 <= maxDataGap {
+			for b := i + 1; b < j; b++ {
+				markData(b, WeightDataGap, RuleDataGap)
+			}
+		}
+		i = j
+	}
+
+	// Overlap conflicts: a candidate whose span straddles bytes of a
+	// provably-reached instruction without being one is a junk decode.
+	for off := 0; off < n; off++ {
+		in := r.cand[off]
+		if in.Op == isa.OpInvalid || r.strong[off] {
+			continue
+		}
+		for i := 0; i < in.Len() && off+i < n; i++ {
+			if r.strongCov[off+i] {
+				r.junkW[off], r.junkRule[off] = WeightOverlap, RuleOverlap
+				break
+			}
+		}
+	}
+}
+
+func printable(b byte) bool { return b >= 0x20 && b <= 0x7E }
+
+// flowSuccs appends the offsets candidate in (at off) requires to be
+// viable code for itself to be viable: its fallthrough and its direct
+// branch/call target. ok=false means a successor is structurally
+// impossible (falls off the end of text, branches outside text, or
+// forms a PC-relative address outside every segment) and the candidate
+// is refuted outright.
+func flowSuccs(bin *binfmt.Binary, in isa.Inst, off int, n int, base uint32, dst []int) (_ []int, ok bool) {
+	if in.HasFallthrough() {
+		ft := off + in.Len()
+		if ft >= n {
+			return dst, false // execution would run off the end of text
+		}
+		dst = append(dst, ft)
+	}
+	if t, tok := in.TargetAddr(base + uint32(off)); tok {
+		switch in.Op {
+		case isa.OpLea, isa.OpLoadPC:
+			// A PC-relative address pointing into no segment at all is a
+			// wild displacement — strong junk evidence. (One-past-end of a
+			// segment is allowed: end pointers are legitimate.)
+			hit := false
+			for si := range bin.Segments {
+				seg := &bin.Segments[si]
+				if t >= seg.VAddr && t <= seg.End() {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return dst, false
+			}
+		default:
+			text := bin.Text()
+			if !text.Contains(t) {
+				return dst, false // direct branch out of text
+			}
+			dst = append(dst, int(t-base))
+		}
+	}
+	return dst, true
+}

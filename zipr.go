@@ -213,12 +213,33 @@ const (
 	LayoutProfileGuided LayoutKind = "profile-guided"
 )
 
+// ArbitrationKind selects the disassembly code/data arbitration
+// policy (see internal/disasm and internal/infer).
+type ArbitrationKind string
+
+// Arbitration policies.
+const (
+	// ArbitrationTwoWay aggregates the linear sweep and the recursive
+	// traversal with the paper's conservative four-case policy (the
+	// default; the empty string means the same).
+	ArbitrationTwoWay ArbitrationKind = "two-way"
+	// ArbitrationWeighted adds the Datalog-style inference disassembler
+	// as a third vote: ambiguous candidates it confidently classifies
+	// as data lose their conservative pins, shrinking sleds and output
+	// size. Candidates below the inference thresholds keep the two-way
+	// pin treatment, so rewrites stay transcript-safe.
+	ArbitrationWeighted ArbitrationKind = "weighted"
+)
+
 // Config controls a rewrite.
 type Config struct {
 	// Transforms are applied in order after the mandatory transforms.
 	Transforms []Transform
 	// Layout selects the placement strategy; default LayoutOptimized.
 	Layout LayoutKind
+	// Arbitration selects the disassembly arbitration policy; default
+	// ArbitrationTwoWay.
+	Arbitration ArbitrationKind
 	// Seed drives LayoutDiversity's randomness.
 	Seed int64
 	// HotFuncs lists original function-entry addresses to treat as hot
@@ -305,6 +326,12 @@ func (c Config) Fingerprint() string {
 			fmt.Fprintf(&sb, "%x,", a)
 			last = a
 		}
+	}
+	if c.Arbitration != "" && c.Arbitration != ArbitrationTwoWay {
+		// Two-way is the default: folding it in explicitly would split
+		// the default's cache entries. Any other mode changes which
+		// addresses get pinned and therefore the output bytes.
+		fmt.Fprintf(&sb, "|arb=%s", c.Arbitration)
 	}
 	for _, t := range c.Transforms {
 		fmt.Fprintf(&sb, "|t:%s", t.Name())
@@ -481,9 +508,40 @@ func rewriteBinaryPlacer(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Pro
 	root := tr.Start("rewrite")
 	defer root.End()
 
+	var arb disasm.Arbitration
+	switch cfgv.Arbitration {
+	case "", ArbitrationTwoWay:
+		arb = disasm.ArbTwoWay
+	case ArbitrationWeighted:
+		arb = disasm.ArbWeighted
+	default:
+		return nil, nil, fmt.Errorf("zipr: %w: unknown arbitration %q", zerr.ErrDisasm, cfgv.Arbitration)
+	}
+	out, report, err := rewriteOnce(bin, cfgv, newPlacer, arb, tr, inj)
+	if err != nil && arb == disasm.ArbWeighted {
+		// Weighted arbitration is advisory: its demotions shrink the pin
+		// set, and a downstream phase can fail on the reshaped inputs
+		// (e.g. a deferred table sized for the smaller target set hits a
+		// probe-bound cluster). The documented worst case of arbitration
+		// is the two-way baseline, so fall back to it deterministically
+		// rather than failing a rewrite the baseline can complete.
+		ferr := err
+		if out, report, err = rewriteOnce(bin, cfgv, newPlacer, disasm.ArbTwoWay, tr, inj); err == nil {
+			tr.Add("rewrite.arb-fallback", 1)
+			report.Warnings = append(report.Warnings,
+				fmt.Sprintf("weighted arbitration fell back to two-way: %v", ferr))
+		} else {
+			err = ferr // report the weighted attempt's failure
+		}
+	}
+	return out, report, err
+}
+
+// rewriteOnce runs the three-phase pipeline under one arbitration mode.
+func rewriteOnce(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Program) core.Placer, arb disasm.Arbitration, tr *Trace, inj *FaultInjector) (*binfmt.Binary, *Report, error) {
 	// Phase 1: IR construction (disassembly, CFG, pinned addresses).
 	sp := tr.Start("disassemble")
-	agg, err := disasm.DisassembleOpts(bin, disasm.Options{Trace: tr, Inject: inj})
+	agg, err := disasm.DisassembleOpts(bin, disasm.Options{Trace: tr, Inject: inj, Arbitration: arb})
 	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrDisasm, err))
