@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the full local gate.
 GO ?= go
 
-.PHONY: build vet test race cover bench benchgate benchsmoke fuzzsmoke fleet-smoke examples metricslint ci
+.PHONY: build vet test race cover bench benchgate benchsmoke fuzzsmoke isasweep fleet-smoke examples metricslint ci
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 # internal/vm, ... — -coverpkg credits those lines), print the
 # per-function rollup's total, and fail if it drops below COVER_FLOOR
 # percent. The profile lands in cover.out for `go tool cover -html`.
-COVER_FLOOR = 75
+COVER_FLOOR = 77
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
@@ -35,7 +35,7 @@ cover:
 # diet (compare DisassembleSerial vs DisassembleParallel, EvalJ1 vs
 # EvalJN). The run is converted to BENCH_pipeline.json (ns/op, allocs/op
 # and the speedup-x metrics, machine-readable) via cmd/benchjson.
-BENCH_PAT = RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented|RewriteDelta|ServeDeltaHit|DaemonHotCache|GatewayHotCache|DiskTierHit|DiskTierPromote|CorpusPins
+BENCH_PAT = RewriteStress|RewriteNull|RewriteNoTrace|RewriteTraced|DisassembleSerial|DisassembleParallel|EvalJ1|EvalJN|PlaceLargeSynth|ServeHotCache|ServeColdMiss|ServeInstrumented|RewriteDelta|ServeDeltaHit|DaemonHotCache|GatewayHotCache|DiskTierHit|DiskTierPromote|CorpusPins
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchtime 1x -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -merge BENCH_pipeline.json -o BENCH_pipeline.json
 
@@ -57,6 +57,7 @@ benchgate:
 	$(GO) run ./cmd/benchjson -compare BenchmarkServeColdMiss,BenchmarkDiskTierHit -min 10 BENCH_pipeline.json
 	$(GO) run ./cmd/benchjson -compare BenchmarkDaemonHotCache,BenchmarkGatewayHotCache -min 0.333 BENCH_pipeline.json
 	$(GO) run ./cmd/benchjson -compare BenchmarkCorpusPinsTwoWay,BenchmarkCorpusPinsWeighted -metric pins -min 1.0001 BENCH_pipeline.json
+	$(GO) run ./cmd/benchjson -compare BenchmarkRewriteStressZVM32,BenchmarkRewriteStressZVM64 -min 0.666 BENCH_pipeline.json
 
 # Allocator bench smoke: one iteration of the indexed-allocator
 # microbenches against their sorted-slice reference, enough to catch a
@@ -77,6 +78,15 @@ fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineEquivalence$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEquivalence$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzInferEquivalence$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzZVMEquivalence$$' -fuzztime $(FUZZTIME) .
+
+# Per-ISA sweep: the golden matrices, the veneer program's fail-closed
+# contract, and the chaos schedule sweeps for every supported
+# instruction set, under the race detector (where the golden suites
+# stride-subsample the corpus to stay inside CI budgets; plain
+# `make test` still covers every cell).
+isasweep:
+	$(GO) test -race -run 'TestGoldenCorpus|TestGoldenFileComplete|TestGoldenZVM64|TestVeneerFragmentationFailsClosed|TestChaosScheduleSweep' .
 
 # Fleet smoke: build ziprd, boot two disk-backed workers plus a
 # consistent-hash gateway on real TCP, then drill the fleet contract —
@@ -99,4 +109,4 @@ examples:
 metricslint:
 	$(GO) test -run 'TestMetricsNamingLint|TestPromExposition|TestPromName' ./internal/serve/ ./internal/obs/
 
-ci: build vet race cover bench benchgate benchsmoke fuzzsmoke fleet-smoke examples metricslint
+ci: build vet race cover bench benchgate benchsmoke fuzzsmoke isasweep fleet-smoke examples metricslint

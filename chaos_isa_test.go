@@ -1,0 +1,136 @@
+package zipr
+
+// ZVM-64 chaos sweep: the fixed-width twin of TestChaosScheduleSweep.
+// The same profiles, schedule seeds, stacks and layouts run against
+// fixed-width builds of the chaos corpus with Config.ISA = "zvm64", so
+// every existing fault kind fires on the bounded-reach pipeline too —
+// including in code paths the default ISA never takes (aligned carves,
+// reach checks, veneer placement, the no-sled reference planner). The
+// contract is unchanged: every schedule ends in a transcript-equivalent
+// binary or a typed error with the input intact; silent divergence and
+// panics are the two forbidden outcomes, and both permitted outcomes
+// must occur across the sweep.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/isa"
+	"zipr/internal/loader"
+	"zipr/internal/synth"
+	"zipr/internal/vm"
+)
+
+var (
+	chaos64Once sync.Once
+	chaos64Bins []*binfmt.Binary
+	chaos64Imgs [][]byte
+)
+
+func chaos64Corpus(t *testing.T) ([]*binfmt.Binary, [][]byte) {
+	t.Helper()
+	chaos64Once.Do(func() {
+		for i, p := range chaosProfiles {
+			bin, err := synth.BuildArch(int64(0xC5+i), p, isa.ZVM64)
+			if err != nil {
+				panic(fmt.Sprintf("synth %s/zvm64: %v", p.Name, err))
+			}
+			img, err := bin.Marshal()
+			if err != nil {
+				panic(fmt.Sprintf("marshal %s/zvm64: %v", p.Name, err))
+			}
+			chaos64Bins = append(chaos64Bins, bin)
+			chaos64Imgs = append(chaos64Imgs, img)
+		}
+	})
+	return chaos64Bins, chaos64Imgs
+}
+
+// execute64 runs a fixed-width binary on one input.
+func execute64(t *testing.T, bin *binfmt.Binary, input string) (vm.Result, error) {
+	t.Helper()
+	m := vm.New(vm.WithStdin(strings.NewReader(input)), vm.WithMaxSteps(5_000_000), vm.WithArch(isa.ZVM64))
+	if err := loader.Load(m, bin, nil); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return m.Run()
+}
+
+func transcriptsMatch64(t *testing.T, orig, rewritten *binfmt.Binary) error {
+	t.Helper()
+	for _, input := range chaosInputs {
+		want, err := execute64(t, orig, input)
+		if err != nil {
+			t.Fatalf("original run: %v", err)
+		}
+		got, err := execute64(t, rewritten, input)
+		if err != nil {
+			return fmt.Errorf("input %q: rewritten faulted: %v", input, err)
+		}
+		if want.ExitCode != got.ExitCode {
+			return fmt.Errorf("input %q: exit %d != original %d", input, got.ExitCode, want.ExitCode)
+		}
+		if !bytes.Equal(want.Output, got.Output) {
+			return fmt.Errorf("input %q: output %q != original %q", input, got.Output, want.Output)
+		}
+	}
+	return nil
+}
+
+func TestChaosScheduleSweepZVM64(t *testing.T) {
+	bins, imgs := chaos64Corpus(t)
+	var okRewrites, typedErrors int
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			pi := int(seed) % len(bins)
+			orig, img := bins[pi], imgs[pi]
+			snapshot := append([]byte(nil), img...)
+			arb := ArbitrationTwoWay
+			if seed%2 == 0 {
+				arb = ArbitrationWeighted
+			}
+			for _, stack := range chaosStacks {
+				for _, lay := range chaosLayouts {
+					out, _, err := Rewrite(img, Config{
+						Transforms:  stack.transforms(),
+						Layout:      lay,
+						Arbitration: arb,
+						Seed:        7,
+						ISA:         "zvm64",
+						Chaos:       NewFaultInjector(seed),
+					})
+					if !bytes.Equal(img, snapshot) {
+						t.Fatalf("%s/%s: rewrite mutated the caller's input bytes", stack.name, lay)
+					}
+					if err != nil {
+						if ErrorClass(err) == "" {
+							t.Fatalf("%s/%s: untyped error: %v", stack.name, lay, err)
+						}
+						typedErrors++
+						continue
+					}
+					rewritten, uerr := binfmt.Unmarshal(out)
+					if uerr != nil {
+						t.Fatalf("%s/%s: rewrite emitted an unparseable binary: %v", stack.name, lay, uerr)
+					}
+					if derr := transcriptsMatch64(t, orig, rewritten); derr != nil {
+						t.Fatalf("%s/%s: silent divergence under fault schedule: %v", stack.name, lay, derr)
+					}
+					okRewrites++
+				}
+			}
+		})
+	}
+	if t.Failed() {
+		return
+	}
+	if okRewrites == 0 || typedErrors == 0 {
+		t.Fatalf("sweep outcomes unbalanced: %d equivalent rewrites, %d typed errors", okRewrites, typedErrors)
+	}
+	t.Logf("zvm64 schedules: %d transcript-equivalent rewrites, %d typed errors", okRewrites, typedErrors)
+}

@@ -1,8 +1,8 @@
-// Command zasm assembles ZVM-32 assembly source into a ZELF binary.
+// Command zasm assembles ZVM assembly source into a ZELF binary.
 //
 // Usage:
 //
-//	zasm input.s output.zelf
+//	zasm [-isa zvm32|zvm64] input.s output.zelf
 package main
 
 import (
@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"zipr/internal/asm"
+	"zipr/internal/isa"
 )
 
 func main() {
@@ -21,15 +22,20 @@ func main() {
 }
 
 func run() error {
+	isaFlag := flag.String("isa", "zvm32", "target instruction set: zvm32 | zvm64")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		return fmt.Errorf("usage: zasm input.s output.zelf")
+		return fmt.Errorf("usage: zasm [flags] input.s output.zelf")
+	}
+	arch, err := isa.ByName(*isaFlag)
+	if err != nil {
+		return err
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		return err
 	}
-	bin, err := asm.Assemble(string(src))
+	bin, err := asm.AssembleArch(string(src), arch)
 	if err != nil {
 		return err
 	}

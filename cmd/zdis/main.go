@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	zdis [-pins] [-classes] prog.zelf
+//	zdis [-pins] [-classes] [-isa zvm32|zvm64] prog.zelf
 package main
 
 import (
@@ -29,9 +29,14 @@ func main() {
 func run() error {
 	pins := flag.Bool("pins", false, "print pinned addresses instead of instructions")
 	classes := flag.Bool("classes", false, "print byte-classification summary")
+	isaFlag := flag.String("isa", "zvm32", "instruction set of the binary: zvm32 | zvm64")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: zdis [flags] prog.zelf")
+	}
+	arch, err := isa.ByName(*isaFlag)
+	if err != nil {
+		return err
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -41,7 +46,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	agg, err := disasm.Disassemble(bin)
+	agg, err := disasm.DisassembleOpts(bin, disasm.Options{Arch: arch})
 	if err != nil {
 		return err
 	}
@@ -78,11 +83,11 @@ func run() error {
 			fmt.Printf("%#08x  ... %d non-code byte(s) ...\n", prev, a-prev)
 		}
 		extra := ""
-		if t, ok := in.TargetAddr(a); ok {
+		if t, ok := arch.TargetAddr(in, a); ok {
 			extra = fmt.Sprintf("\t; -> %#x", t)
 		}
 		fmt.Printf("%#08x  %s%s\n", a, in.String(), extra)
-		prev = a + uint32(in.Len())
+		prev = a + uint32(arch.InstLen(in))
 		return true
 	})
 	return nil

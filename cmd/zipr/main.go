@@ -3,8 +3,9 @@
 // Usage:
 //
 //	zipr [-transforms null,cfi,stackpad,canary] [-layout optimized|diversity|profile-guided]
-//	     [-arbitration two-way|weighted] [-seed N] [-pad N] [-stats] [-phase-times]
-//	     [-trace-out trace.jsonl] [-sql "SELECT ..."] [-chaos-seed N] input.zelf output.zelf
+//	     [-arbitration two-way|weighted] [-isa zvm32|zvm64] [-seed N] [-pad N] [-stats]
+//	     [-phase-times] [-trace-out trace.jsonl] [-sql "SELECT ..."] [-chaos-seed N]
+//	     input.zelf output.zelf
 //
 // The -sql flag runs a query against the captured IR database after
 // construction (tables: instructions, functions, fixed_ranges,
@@ -26,6 +27,7 @@ import (
 
 	"zipr"
 	"zipr/internal/binfmt"
+	"zipr/internal/isa"
 	"zipr/internal/loader"
 	"zipr/internal/vm"
 )
@@ -33,7 +35,7 @@ import (
 // verifyPair runs the original and rewritten images on the same input
 // and compares their transcripts — the paper's functionality oracle as a
 // command-line check.
-func verifyPair(origImage, newImage []byte, inputPath string) (string, error) {
+func verifyPair(origImage, newImage []byte, inputPath string, arch isa.Arch) (string, error) {
 	input, err := os.ReadFile(inputPath)
 	if err != nil {
 		return "", err
@@ -43,7 +45,8 @@ func verifyPair(origImage, newImage []byte, inputPath string) (string, error) {
 		if err != nil {
 			return vm.Result{}, err
 		}
-		m := vm.New(vm.WithStdin(bytes.NewReader(input)), vm.WithMaxSteps(500_000_000))
+		m := vm.New(vm.WithStdin(bytes.NewReader(input)),
+			vm.WithMaxSteps(500_000_000), vm.WithArch(arch))
 		if err := loader.Load(m, bin, nil); err != nil {
 			return vm.Result{}, err
 		}
@@ -91,6 +94,7 @@ func run() error {
 	transforms := flag.String("transforms", "null", "comma-separated: null,cfi,stackpad,canary")
 	layoutFlag := flag.String("layout", "optimized", "optimized | diversity | profile-guided")
 	arbFlag := flag.String("arbitration", "two-way", "ambiguity arbitration: two-way | weighted")
+	isaFlag := flag.String("isa", "zvm32", "instruction set of the input binary: zvm32 | zvm64")
 	seed := flag.Int64("seed", 1, "diversity layout seed")
 	pad := flag.Int("pad", 64, "stackpad padding bytes")
 	stats := flag.Bool("stats", false, "print reassembly statistics")
@@ -149,6 +153,7 @@ func run() error {
 		Transforms:  tfs,
 		Layout:      zipr.LayoutKind(*layoutFlag),
 		Arbitration: zipr.ArbitrationKind(*arbFlag),
+		ISA:         *isaFlag,
 		Seed:        *seed,
 		CaptureIR:   *sql != "",
 		EmitMap:     *mapOut != "",
@@ -186,8 +191,8 @@ func run() error {
 		s := report.Stats
 		fmt.Printf("pins %d (inline %d, 5-byte %d, 2-byte %d, chains %d, sleds %d/%d entries)\n",
 			s.Pinned, s.InlinePins, s.Stubs5, s.Stubs2, s.Chains, s.Sleds, s.SledEntries)
-		fmt.Printf("dollops %d (splits %d), overflow %d bytes, text growth %d, free left %d\n",
-			s.Dollops, s.Splits, s.OverflowUsed, s.TextGrowth, s.FreeLeft)
+		fmt.Printf("dollops %d (splits %d), overflow %d bytes, text growth %d, free left %d, veneers %d\n",
+			s.Dollops, s.Splits, s.OverflowUsed, s.TextGrowth, s.FreeLeft, s.Veneers)
 	}
 	if *warns {
 		for _, w := range report.Warnings {
@@ -195,7 +200,11 @@ func run() error {
 		}
 	}
 	if *verify != "" {
-		verdict, err := verifyPair(input, out, *verify)
+		arch, err := isa.ByName(*isaFlag)
+		if err != nil {
+			return err
+		}
+		verdict, err := verifyPair(input, out, *verify, arch)
 		if err != nil {
 			return err
 		}

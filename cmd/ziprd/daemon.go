@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"zipr"
+	"zipr/internal/isa"
 	"zipr/internal/obs"
 	"zipr/internal/serve"
 )
@@ -186,11 +187,21 @@ func (d *daemon) handle(ctx context.Context, req request) response {
 		}
 		return response{ID: req.ID, Trace: traceID, Error: msg, Class: "usage"}
 	}
+	if _, err := isa.ByName(req.ISA); err != nil {
+		msg := err.Error()
+		rec.Outcome, rec.Error, rec.Class = serve.OutcomeError, msg, "usage"
+		d.logRecord(rec)
+		if sampled {
+			d.ring.add(rec)
+		}
+		return response{ID: req.ID, Trace: traceID, Error: msg, Class: "usage"}
+	}
 	tr := obs.New()
 	cfg := zipr.Config{
 		Transforms:  tfs,
 		Layout:      zipr.LayoutKind(req.Layout),
 		Arbitration: zipr.ArbitrationKind(req.Arbitration),
+		ISA:         req.ISA,
 		Seed:        req.Seed,
 		Trace:       tr,
 	}
@@ -310,6 +321,7 @@ func newHandler(d *daemon) http.Handler {
 			Transforms:  q.Get("transforms"),
 			Layout:      q.Get("layout"),
 			Arbitration: q.Get("arbitration"),
+			ISA:         q.Get("isa"),
 			Trace:       r.Header.Get("X-Zipr-Trace"),
 		}
 		if v := q.Get("seed"); v != "" {

@@ -183,6 +183,7 @@ type request struct {
 	Transforms  string `json:"transforms,omitempty"`
 	Layout      string `json:"layout,omitempty"`
 	Arbitration string `json:"arbitration,omitempty"`
+	ISA         string `json:"isa,omitempty"`
 	Seed        int64  `json:"seed,omitempty"`
 	DeadlineMS  int64  `json:"deadline_ms,omitempty"`
 }

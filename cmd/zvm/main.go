@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	zvm [-lib name=file.zelf ...] [-max-steps N] [-stats] prog.zelf < input
+//	zvm [-lib name=file.zelf ...] [-max-steps N] [-stats] [-isa zvm32|zvm64] prog.zelf < input
 package main
 
 import (
@@ -48,9 +48,14 @@ func run() error {
 	stats := flag.Bool("stats", false, "print CGC-style metrics to stderr")
 	seed := flag.Uint64("seed", 1, "random() syscall seed")
 	trace := flag.Int("trace", 0, "on abnormal exit, print the last N program counters with disassembly")
+	isaFlag := flag.String("isa", "zvm32", "instruction set of the binary: zvm32 | zvm64")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: zvm [flags] prog.zelf")
+	}
+	arch, err := isa.ByName(*isaFlag)
+	if err != nil {
+		return err
 	}
 
 	load := func(path string) (*binfmt.Binary, error) {
@@ -73,7 +78,8 @@ func run() error {
 		libBins[name] = b
 	}
 
-	opts := []vm.Option{vm.WithStdin(os.Stdin), vm.WithMaxSteps(*maxSteps), vm.WithRandomSeed(*seed)}
+	opts := []vm.Option{vm.WithStdin(os.Stdin), vm.WithMaxSteps(*maxSteps),
+		vm.WithRandomSeed(*seed), vm.WithArch(arch)}
 	if *trace > 0 {
 		opts = append(opts, vm.WithTrace(*trace))
 	}
@@ -93,8 +99,8 @@ func run() error {
 		if *trace > 0 {
 			for _, pc := range m.LastPCs() {
 				line := fmt.Sprintf("%#08x  ??", pc)
-				if raw, err := m.ReadMem(pc, isa.MaxLen); err == nil {
-					if in, derr := isa.Decode(raw); derr == nil {
+				if raw, err := m.ReadMem(pc, arch.MaxLen()); err == nil {
+					if in, derr := arch.Decode(raw, pc); derr == nil {
 						line = fmt.Sprintf("%#08x  %s", pc, in.String())
 					}
 				}

@@ -1,0 +1,407 @@
+package zipr
+
+// Per-ISA golden suite: the ZVM-64 companion to golden_test.go. A
+// spread of corpus programs plus the handwritten veneer-stress program
+// are rewritten under the same (stack x layout x arbitration) matrix
+// with Config.ISA = "zvm64", and image + transcript digests are pinned
+// in testdata/golden/corpus_zvm64.json. The suite exists so the
+// architecture abstraction cannot rot in one direction only: a change
+// that keeps the variable-width pipeline byte-identical but perturbs
+// fixed-width reassembly (alignment, reach checks, veneer placement)
+// fails here with the exact cell that moved.
+//
+// The veneer program runs on a reduced cell set by design (see
+// veneerGoldenCells): its address-space accounting is engineered down
+// to the byte so that the null stack packs without islands, the CFI
+// stack must emit them, and the remaining configurations exhaust free
+// space and fail closed — the fail-closed half is pinned by
+// TestVeneerFragmentationFailsClosed rather than by digests.
+//
+// Regenerate after an intentional output change with:
+//
+//	go test -run TestGoldenZVM64 -update .
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/cgcsim"
+	"zipr/internal/isa"
+	"zipr/internal/synth"
+)
+
+const goldenISAPath = "testdata/golden/corpus_zvm64.json"
+
+// goldenISACBs is the corpus slice the fixed-width suite pins: the
+// first and last profiles plus a spread across the generator's shape
+// space (handwritten-heavy, table-heavy, loop-heavy). The full 62-way
+// product stays with the default ISA; this suite buys per-cell variety
+// instead of volume.
+func goldenISACBs() []int { return []int{0, 7, 21, 42, 61} }
+
+// veneerGoldenCells returns the (stack, layout) pairs the veneer-stress
+// program pins, with the veneer-count contract each must satisfy. Both
+// arbitration modes run for every pair.
+type veneerCellSpec struct {
+	stack       string
+	layout      string
+	wantVeneers bool
+}
+
+func veneerGoldenCells() []veneerCellSpec {
+	return []veneerCellSpec{
+		{"null", "optimized", false}, // demand == supply: packs island-free
+		{"cfi", "optimized", true},   // thunk evicts vn_fb: islands required
+	}
+}
+
+// veneerFailCells are the veneer-program configurations engineered to
+// exhaust the pre-blob zone (fragmentation leaves no in-reach island
+// slot); they must fail closed with ErrExhausted, never diverge.
+func veneerFailCells() []struct{ stack, layout string } {
+	return []struct{ stack, layout string }{
+		{"full", "optimized"},
+		{"null", "diversity"},
+		{"cfi", "diversity"},
+		{"full", "diversity"},
+	}
+}
+
+func findGoldenStack(t *testing.T, name string) goldenStack {
+	t.Helper()
+	for _, s := range goldenStacks() {
+		if s.name == name {
+			return s
+		}
+	}
+	t.Fatalf("unknown golden stack %q", name)
+	return goldenStack{}
+}
+
+func findGoldenLayout(t *testing.T, name string) goldenLayout {
+	t.Helper()
+	for _, l := range goldenLayouts() {
+		if l.name == name {
+			return l
+		}
+	}
+	t.Fatalf("unknown golden layout %q", name)
+	return goldenLayout{}
+}
+
+func loadGoldenISA(t *testing.T) *goldenFile {
+	t.Helper()
+	raw, err := os.ReadFile(goldenISAPath)
+	if err != nil {
+		t.Fatalf("zvm64 golden file missing (%v); generate it with: go test -run TestGoldenZVM64 -update .", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("zvm64 golden file corrupt: %v", err)
+	}
+	if g.Version != 1 {
+		t.Fatalf("zvm64 golden file version %d, this suite expects 1", g.Version)
+	}
+	return &g
+}
+
+// goldenISAKey appends the ISA dimension to the shared cell-key format,
+// so a zvm64 key can never collide with a default-ISA key even if the
+// two files are ever merged.
+func goldenISAKey(cb, stack, layout, arb string) string {
+	return goldenCellKey(cb, stack, layout, arb) + "/zvm64"
+}
+
+// zvm64GoldenCBs builds the suite's program list: the corpus slice plus
+// the veneer-stress program.
+func zvm64GoldenCBs(t *testing.T) []cgcsim.CB {
+	t.Helper()
+	var cbs []cgcsim.CB
+	for _, idx := range goldenISACBs() {
+		cb, err := cgcsim.CBArch(idx, isa.ZVM64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbs = append(cbs, cb)
+	}
+	vcb, err := cgcsim.VeneerCB(isa.ZVM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbs = append(cbs, vcb)
+	return cbs
+}
+
+func TestGoldenZVM64(t *testing.T) {
+	stride := goldenStride
+	if testing.Short() && stride < 4 {
+		stride = 4
+	}
+	if *updateGolden && stride != 1 {
+		t.Fatal("-update needs the full matrix: run without -race and -short")
+	}
+	var pinned *goldenFile
+	updated := &goldenFile{Version: 1, Cells: make(map[string]goldenCell)}
+	if !*updateGolden {
+		pinned = loadGoldenISA(t)
+	}
+	stacks, layouts, arbs := goldenStacks(), goldenLayouts(), goldenArbs()
+
+	type cellPlan struct {
+		cb          *cgcsim.CB
+		stack       goldenStack
+		layout      goldenLayout
+		arb         goldenArb
+		checkVeneer bool
+		wantVeneers bool
+	}
+	cbs := zvm64GoldenCBs(t)
+	var plan []cellPlan
+	for i := range cbs {
+		cb := &cbs[i]
+		if cb.Name == synth.VeneerStressName {
+			for _, spec := range veneerGoldenCells() {
+				for _, ga := range arbs {
+					plan = append(plan, cellPlan{cb, findGoldenStack(t, spec.stack),
+						findGoldenLayout(t, spec.layout), ga, true, spec.wantVeneers})
+				}
+			}
+			continue
+		}
+		for _, stack := range stacks {
+			for _, lay := range layouts {
+				for _, ga := range arbs {
+					plan = append(plan, cellPlan{cb, stack, lay, ga, false, false})
+				}
+			}
+		}
+	}
+
+	origTS := make(map[string][]cgcsim.Transcript)
+	measureOrig := func(cb *cgcsim.CB) []cgcsim.Transcript {
+		ts, ok := origTS[cb.Name]
+		if !ok {
+			var err error
+			_, ts, err = cgcsim.MeasureArch(cb.Bin, nil, cb.Pollers, isa.ZVM64)
+			if err != nil {
+				t.Fatalf("%s: original execution: %v", cb.Name, err)
+			}
+			origTS[cb.Name] = ts
+		}
+		return ts
+	}
+
+	inputs := make(map[string][]byte)
+	cells := 0
+	for i, pc := range plan {
+		if i%stride != 0 {
+			continue
+		}
+		key := goldenISAKey(pc.cb.Name, pc.stack.name, pc.layout.name, pc.arb.suffix)
+		input, ok := inputs[pc.cb.Name]
+		if !ok {
+			var err error
+			input, err = pc.cb.Bin.Marshal()
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", pc.cb.Name, err)
+			}
+			inputs[pc.cb.Name] = input
+		}
+		cfg := Config{Transforms: pc.stack.tfs(), Layout: pc.layout.layout,
+			Seed: pc.layout.seed, Arbitration: pc.arb.arb, ISA: "zvm64"}
+		out, rep, err := Rewrite(input, cfg)
+		if err != nil {
+			t.Errorf("%s: rewrite: %v", key, err)
+			continue
+		}
+		if pc.checkVeneer {
+			// The veneer program's contract is structural, not just
+			// byte-level: the CFI cells must need range islands, the null
+			// cells must not. A digest match cannot substitute — it would
+			// also pin a world where veneers silently stopped mattering.
+			if pc.wantVeneers && rep.Stats.Veneers == 0 {
+				t.Errorf("%s: expected range-extension veneers, placement used none", key)
+			}
+			if !pc.wantVeneers && rep.Stats.Veneers != 0 {
+				t.Errorf("%s: expected island-free placement, got %d veneers", key, rep.Stats.Veneers)
+			}
+		}
+		imgSum := sha256.Sum256(out)
+		imgHex := hex.EncodeToString(imgSum[:])
+		cells++
+
+		execute := func() (string, bool) {
+			rw, err := binfmt.Unmarshal(out)
+			if err != nil {
+				t.Errorf("%s: unmarshal rewritten image: %v", key, err)
+				return "", false
+			}
+			_, rwTS, err := cgcsim.MeasureArch(rw, nil, pc.cb.Pollers, isa.ZVM64)
+			if err != nil {
+				t.Errorf("%s: rewritten execution: %v", key, err)
+				return "", false
+			}
+			if !cgcsim.Equivalent(measureOrig(pc.cb), rwTS) {
+				t.Errorf("%s: rewritten transcripts differ from the original binary", key)
+				return "", false
+			}
+			return transcriptDigest(rwTS), true
+		}
+
+		if *updateGolden {
+			td, ok := execute()
+			if ok {
+				updated.Cells[key] = goldenCell{Image: imgHex, Transcript: td}
+			}
+			continue
+		}
+		want, ok := pinned.Cells[key]
+		if !ok {
+			t.Errorf("%s: no pinned digests (new cell?); regenerate with -update", key)
+			continue
+		}
+		if imgHex == want.Image {
+			continue // identical bytes imply identical transcripts
+		}
+		td, ok := execute()
+		if !ok {
+			continue
+		}
+		if td != want.Transcript {
+			t.Errorf("%s: image AND execution transcript digests drifted\n  pinned image %s\n  got    image %s\n  pinned transcript %s\n  got    transcript %s",
+				key, want.Image, imgHex, want.Transcript, td)
+		} else {
+			t.Errorf("%s: rewritten image digest drifted (transcripts unchanged)\n  pinned %s\n  got    %s", key, want.Image, imgHex)
+		}
+	}
+	wantCells := (len(plan) + stride - 1) / stride
+	if cells != wantCells && !t.Failed() {
+		t.Errorf("covered %d cells, want %d", cells, wantCells)
+	}
+	if *updateGolden {
+		if t.Failed() {
+			t.Fatal("not writing zvm64 golden file: some cells failed")
+		}
+		raw, err := json.MarshalIndent(updated, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, '\n')
+		tmp := goldenISAPath + ".tmp"
+		if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, goldenISAPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("pinned %d cells to %s", len(updated.Cells), goldenISAPath)
+	}
+}
+
+// TestGoldenZVM64FileComplete pins the key set itself: the file must
+// contain exactly (corpus slice x stacks x layouts x arbs) plus the
+// veneer program's reduced cell set, every key carrying the /zvm64 ISA
+// suffix — so the five-dimensional cross product (program, stack,
+// layout, arbitration, ISA) is enumerated in one place and a stale or
+// over-pinned file fails even when a strided run skips the cells.
+func TestGoldenZVM64FileComplete(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	pinned := loadGoldenISA(t)
+	want := make(map[string]bool)
+	for _, idx := range goldenISACBs() {
+		_, profile := synth.CBProfile(idx)
+		for _, stack := range goldenStacks() {
+			for _, lay := range goldenLayouts() {
+				for _, ga := range goldenArbs() {
+					want[goldenISAKey(profile.Name, stack.name, lay.name, ga.suffix)] = true
+				}
+			}
+		}
+	}
+	for _, spec := range veneerGoldenCells() {
+		for _, ga := range goldenArbs() {
+			want[goldenISAKey(synth.VeneerStressName, spec.stack, spec.layout, ga.suffix)] = true
+		}
+	}
+	for key := range want {
+		if _, ok := pinned.Cells[key]; !ok {
+			t.Errorf("cell %s missing from zvm64 golden file; regenerate with -update", key)
+		}
+	}
+	for key := range pinned.Cells {
+		if !want[key] {
+			t.Errorf("zvm64 golden file pins unknown cell %s; regenerate with -update", key)
+		}
+	}
+	if len(pinned.Cells) != len(want) {
+		t.Errorf("zvm64 golden file has %d cells, matrix defines %d", len(pinned.Cells), len(want))
+	}
+	for key, cell := range pinned.Cells {
+		for _, d := range []string{cell.Image, cell.Transcript} {
+			if len(d) != 64 {
+				t.Errorf("cell %s: digest %q is not a sha256 hex string", key, d)
+			} else if _, err := hex.DecodeString(d); err != nil {
+				t.Errorf("cell %s: digest %q: %v", key, d, err)
+			}
+		}
+	}
+}
+
+// TestVeneerFragmentationFailsClosed pins the other half of the veneer
+// program's contract: the configurations whose placement shreds the
+// pre-blob zone into sub-island fragments (instrumentation demand under
+// the full stack, random scatter under diversity) must surface
+// ErrExhausted — "no in-reach island slot" is an error, never a
+// silently mis-reaching branch — and leave the caller's input intact.
+func TestVeneerFragmentationFailsClosed(t *testing.T) {
+	vcb, err := cgcsim.VeneerCB(isa.ZVM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := vcb.Bin.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), input...)
+	for _, cell := range veneerFailCells() {
+		for _, ga := range goldenArbs() {
+			key := goldenISAKey(vcb.Name, cell.stack, cell.layout, ga.suffix)
+			stack := findGoldenStack(t, cell.stack)
+			lay := findGoldenLayout(t, cell.layout)
+			_, _, err := Rewrite(input, Config{Transforms: stack.tfs(), Layout: lay.layout,
+				Seed: lay.seed, Arbitration: ga.arb, ISA: "zvm64"})
+			if err == nil {
+				t.Errorf("%s: expected exhaustion, rewrite succeeded", key)
+				continue
+			}
+			if !errors.Is(err, ErrExhausted) {
+				t.Errorf("%s: error is not ErrExhausted: %v", key, err)
+			}
+			if ErrorClass(err) == "" {
+				t.Errorf("%s: exhaustion error carries no class: %v", key, err)
+			}
+		}
+	}
+	if !equalBytes(input, snapshot) {
+		t.Fatal("failed rewrites mutated the caller's input bytes")
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"zipr/internal/binfmt"
+	"zipr/internal/isa"
 )
 
 // SyntaxError reports an assembly failure with its source line.
@@ -48,11 +49,21 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
 }
 
-// Assemble translates source text into a ZELF binary.
+// Assemble translates source text into a ZELF binary for the default
+// (ZVM-32) instruction set.
 func Assemble(src string) (*binfmt.Binary, error) {
+	return AssembleArch(src, isa.DefaultArch())
+}
+
+// AssembleArch translates source text into a ZELF binary targeting the
+// given instruction set. Fixed-width ISAs reject the ".s" short-branch
+// mnemonics and require every instruction to start on an aligned
+// address (interleave data with ".align").
+func AssembleArch(src string, arch isa.Arch) (*binfmt.Binary, error) {
 	a := &assembler{
 		labels:  map[string]uint32{},
 		secBase: map[string]uint32{},
+		arch:    isa.Of(arch),
 	}
 	if err := a.pass(src, 1); err != nil {
 		return nil, err
@@ -74,6 +85,15 @@ func MustAssemble(src string) *binfmt.Binary {
 	return b
 }
 
+// MustAssembleArch is AssembleArch for sources known valid.
+func MustAssembleArch(src string, arch isa.Arch) *binfmt.Binary {
+	b, err := AssembleArch(src, arch)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 type pendingExport struct {
 	name  string
 	label string
@@ -89,6 +109,7 @@ type pendingImport struct {
 type assembler struct {
 	labels  map[string]uint32
 	secBase map[string]uint32 // section name -> base address
+	arch    isa.Arch
 	text    []byte
 	data    []byte
 	section string // "text" or "data"

@@ -139,9 +139,17 @@ func (a *assembler) instruction(s string, pass int) error {
 	}
 	rest := strings.TrimSpace(s[len(fields[0]):])
 	in := isa.Inst{Op: mn.op, Cc: mn.cc}
+	ilen := a.arch.InstLen(in)
 
 	if pass == 1 {
 		// Reserve exact space; operands may reference undefined labels.
+		if ilen == 0 {
+			return fmt.Errorf("mnemonic %q unsupported on %s", name, a.arch.Name())
+		}
+		if al := a.arch.Align(); al > 1 && a.pc()%al != 0 {
+			return fmt.Errorf("instruction at %#x misaligned for %s (use .align %d)",
+				a.pc(), a.arch.Name(), al)
+		}
 		if err := a.checkArity(mn.shape, rest); err != nil {
 			return err
 		}
@@ -149,7 +157,7 @@ func (a *assembler) instruction(s string, pass int) error {
 		if err != nil {
 			return err
 		}
-		*buf = append(*buf, make([]byte, in.Len())...)
+		*buf = append(*buf, make([]byte, ilen)...)
 		return nil
 	}
 
@@ -191,7 +199,7 @@ func (a *assembler) instruction(s string, pass int) error {
 		if err != nil {
 			return err
 		}
-		disp := target - int64(a.pc()) - int64(in.Len())
+		disp := target - int64(a.pc()) - int64(ilen)
 		if in.Op == isa.OpJmp8 || in.Op == isa.OpJcc8 {
 			if disp < -128 || disp > 127 {
 				return fmt.Errorf("short branch to %q out of range (disp %d)", ops[0], disp)
@@ -237,7 +245,7 @@ func (a *assembler) instruction(s string, pass int) error {
 			return err
 		}
 		in.Rd = rd
-		in.Imm = int32(target - int64(a.pc()) - int64(in.Len()))
+		in.Imm = int32(target - int64(a.pc()) - int64(ilen))
 	case shLoad:
 		if err := wantOps(2); err != nil {
 			return err
@@ -265,7 +273,7 @@ func (a *assembler) instruction(s string, pass int) error {
 		}
 		in.Rd, in.Rs, in.Imm = rd, rs, disp
 	}
-	enc, err := isa.Encode(in)
+	enc, err := a.arch.Encode(in)
 	if err != nil {
 		return fmt.Errorf("%s: %v", name, err)
 	}

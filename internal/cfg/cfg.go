@@ -154,6 +154,8 @@ func BuildOpts(bin *binfmt.Binary, agg disasm.Aggregated, opts Options) (*ir.Pro
 	inj := opts.Inject
 	sp := tr.Start("lift")
 	p := ir.NewProgram(bin)
+	p.Arch = agg.Arch
+	arch := p.ISA()
 	p.Fixed = append(p.Fixed, agg.Fixed...)
 	p.Warnings = append(p.Warnings, agg.Warnings...)
 	text := bin.Text()
@@ -184,7 +186,7 @@ func BuildOpts(bin *binfmt.Binary, agg disasm.Aggregated, opts Options) (*ir.Pro
 	for _, a := range addrs {
 		node := p.ByAddr[a]
 		in := node.Inst
-		next := a + uint32(in.Len())
+		next := a + uint32(arch.InstLen(in))
 		if in.HasFallthrough() {
 			if ft, ok := p.ByAddr[next]; ok {
 				node.Fallthrough = ft
@@ -200,7 +202,7 @@ func BuildOpts(bin *binfmt.Binary, agg disasm.Aggregated, opts Options) (*ir.Pro
 				node.Fallthrough = p.NewInst(isa.Inst{Op: isa.OpHlt})
 			}
 		}
-		t, hasTarget := in.TargetAddr(a)
+		t, hasTarget := arch.TargetAddr(in, a)
 		if !hasTarget {
 			continue
 		}
@@ -321,11 +323,11 @@ func BuildOpts(bin *binfmt.Binary, agg disasm.Aggregated, opts Options) (*ir.Pro
 	// working (including through CFI checks). The dense map iterates in
 	// address order, so this pass is deterministic too.
 	agg.AmbigInsts.All(func(a uint32, in isa.Inst) bool {
-		if t, ok := in.TargetAddr(a); ok && in.Op != isa.OpLoadPC {
+		if t, ok := arch.TargetAddr(in, a); ok && in.Op != isa.OpLoadPC {
 			pinNode(t, "ambiguous-region branch")
 		}
 		if in.IsCall() {
-			pinNode(a+uint32(in.Len()), "ambiguous-region return site")
+			pinNode(a+uint32(arch.InstLen(in)), "ambiguous-region return site")
 		}
 		switch in.Op {
 		case isa.OpMovI, isa.OpPushI32:

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"zipr/internal/binfmt"
+	"zipr/internal/isa"
 	"zipr/internal/loader"
 	"zipr/internal/par"
 	"zipr/internal/synth"
@@ -32,28 +33,67 @@ const PollersPerCB = 4
 // derived solely from its index, so construction fans out across
 // workers and fills the slice by index.
 func Corpus(n int) ([]CB, error) {
+	return CorpusArch(n, isa.DefaultArch())
+}
+
+// CorpusArch builds the corpus for the given instruction set. Profiles,
+// seeds and pollers are identical across ISAs; only the generated
+// machine code differs.
+func CorpusArch(n int, arch isa.Arch) ([]CB, error) {
 	cbs := make([]CB, n)
 	workers := par.ScaledWorkers(n, 4)
 	err := par.Each(workers, n, func(i int) error {
-		seed, profile := synth.CBProfile(i)
-		bin, err := synth.Build(seed, profile)
+		cb, err := CBArch(i, arch)
 		if err != nil {
-			return fmt.Errorf("cgcsim: build cb%d: %w", i, err)
+			return err
 		}
-		rng := rand.New(rand.NewSource(seed ^ 0x9E3779B9))
-		pollers := make([][]byte, PollersPerCB)
-		for pi := range pollers {
-			in := make([]byte, profile.InputLen)
-			rng.Read(in)
-			pollers[pi] = in
-		}
-		cbs[i] = CB{Name: profile.Name, Bin: bin, Pollers: pollers}
+		cbs[i] = cb
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return cbs, nil
+}
+
+// CBArch builds the single corpus entry with index i for the given
+// instruction set — the unit CorpusArch fans out over. Suites that pin
+// a sparse slice of the corpus (the per-ISA golden matrix) use it to
+// get exactly the programs they need, with the same binaries and
+// pollers a full CorpusArch run would produce at that index.
+func CBArch(i int, arch isa.Arch) (CB, error) {
+	seed, profile := synth.CBProfile(i)
+	bin, err := synth.BuildArch(seed, profile, arch)
+	if err != nil {
+		return CB{}, fmt.Errorf("cgcsim: build cb%d: %w", i, err)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x9E3779B9))
+	pollers := make([][]byte, PollersPerCB)
+	for pi := range pollers {
+		in := make([]byte, profile.InputLen)
+		rng.Read(in)
+		pollers[pi] = in
+	}
+	return CB{Name: profile.Name, Bin: bin, Pollers: pollers}, nil
+}
+
+// VeneerCB builds the handwritten veneer-stress challenge binary for
+// arch, with deterministic pollers derived the same way as CorpusArch's.
+// On a bounded-reach ISA its rewrite must emit range-extension islands
+// (see synth.VeneerStressSource).
+func VeneerCB(arch isa.Arch) (CB, error) {
+	bin, err := synth.BuildVeneer(arch)
+	if err != nil {
+		return CB{}, fmt.Errorf("cgcsim: build veneer: %w", err)
+	}
+	rng := rand.New(rand.NewSource(synth.VeneerSeed ^ 0x9E3779B9))
+	pollers := make([][]byte, PollersPerCB)
+	for pi := range pollers {
+		in := make([]byte, synth.VeneerInputLen)
+		rng.Read(in)
+		pollers[pi] = in
+	}
+	return CB{Name: synth.VeneerStressName, Bin: bin, Pollers: pollers}, nil
 }
 
 // Metrics are the three CGC scoring dimensions for one binary across its
@@ -73,10 +113,16 @@ type Transcript struct {
 // Measure runs every poller against bin and returns metrics plus the
 // transcripts (the functionality oracle).
 func Measure(bin *binfmt.Binary, libs map[string]*binfmt.Binary, pollers [][]byte) (Metrics, []Transcript, error) {
+	return MeasureArch(bin, libs, pollers, isa.DefaultArch())
+}
+
+// MeasureArch is Measure with an explicit instruction set for the VM.
+func MeasureArch(bin *binfmt.Binary, libs map[string]*binfmt.Binary, pollers [][]byte, arch isa.Arch) (Metrics, []Transcript, error) {
 	m := Metrics{FileSize: bin.FileSize()}
 	transcripts := make([]Transcript, 0, len(pollers))
 	for pi, input := range pollers {
-		machine := vm.New(vm.WithStdin(bytes.NewReader(input)), vm.WithMaxSteps(50_000_000))
+		machine := vm.New(vm.WithStdin(bytes.NewReader(input)),
+			vm.WithMaxSteps(50_000_000), vm.WithArch(arch))
 		if err := loader.Load(machine, bin, libs); err != nil {
 			return m, nil, fmt.Errorf("cgcsim: poller %d: %w", pi, err)
 		}

@@ -43,6 +43,11 @@ type Space interface {
 	// Visit calls fn on every block in address order until fn returns
 	// false.
 	Visit(fn func(ir.Range) bool)
+	// Align returns the instruction alignment of the target ISA (1 on
+	// variable-width ISAs). Placers that synthesize interior offsets —
+	// rather than returning block starts, which are pre-aligned — must
+	// round them down to this. O(1).
+	Align() uint32
 }
 
 // Alloc is the indexed free-space allocator of the reassembly hot path:
@@ -57,6 +62,7 @@ type Alloc struct {
 	root  *anode
 	count int
 	total int
+	align uint32 // target ISA instruction alignment (0 or 1: none)
 	pool  *anode // freelist of recycled nodes, chained through l
 }
 
@@ -269,6 +275,18 @@ func (a *Alloc) build(blocks []ir.Range) *anode {
 	n.r = a.build(blocks[mid+1:])
 	n.update()
 	return n
+}
+
+// SetAlign declares the target ISA's instruction alignment so placers
+// querying this space can keep synthesized offsets fetchable.
+func (a *Alloc) SetAlign(align uint32) { a.align = align }
+
+// Align implements Space.
+func (a *Alloc) Align() uint32 {
+	if a.align == 0 {
+		return 1
+	}
+	return a.align
 }
 
 // NumBlocks implements Space.

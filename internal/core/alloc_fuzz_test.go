@@ -21,6 +21,19 @@ func FuzzAlloc(f *testing.F) {
 		0, 0x00, 0x10, 32, 0, 0x00, 0x30, 32, 0, 0x00, 0x20, 32,
 		1, 0, 1, 1, 0, 0, 1, 0, 0,
 	})
+	// FindWithin at region boundaries: carve [0x100,0x120), then probe
+	// windows that straddle the carved region's edges — one clipped by
+	// the hole's start (too-small remainder), one starting just inside
+	// the hole and reaching the free block beyond it, and one opening
+	// exactly at the hole's end (the first free byte). The differential
+	// check (compareQueries) demands the indexed tree agree with the
+	// linear reference on every clipped window.
+	f.Add([]byte{
+		0, 0x00, 0x01, 0x1f, // carve [0x100, 0x120)
+		2, 0xfe, 0x00, 7, // window [0xfe, 0x11f): only 2 free bytes before the hole
+		2, 0x18, 0x01, 3, // window [0x118, 0x129): fit begins at the hole's end
+		2, 0x20, 0x01, 0xff, // window opening exactly at the first free byte
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		whole := ir.Range{Start: 0, End: 0x10000}
 		ref := NewFreeSpace(whole, nil)

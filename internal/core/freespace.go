@@ -20,6 +20,7 @@ import (
 // linear scan.
 type FreeSpace struct {
 	blocks []ir.Range // sorted by Start, disjoint, non-empty
+	align  uint32     // target ISA instruction alignment (0 or 1: none)
 }
 
 var _ Space = (*FreeSpace)(nil)
@@ -51,6 +52,18 @@ func NewFreeSpace(whole ir.Range, holes []ir.Range) *FreeSpace {
 // Blocks returns a copy of the current free blocks, sorted by address.
 func (fs *FreeSpace) Blocks() []ir.Range {
 	return append([]ir.Range(nil), fs.blocks...)
+}
+
+// SetAlign declares the target ISA's instruction alignment, mirroring
+// Alloc.SetAlign for the differential tests.
+func (fs *FreeSpace) SetAlign(align uint32) { fs.align = align }
+
+// Align implements Space.
+func (fs *FreeSpace) Align() uint32 {
+	if fs.align == 0 {
+		return 1
+	}
+	return fs.align
 }
 
 // NumBlocks implements Space.

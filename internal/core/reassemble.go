@@ -83,6 +83,7 @@ type Stats struct {
 	OverflowUsed int // bytes placed in the overflow area
 	TextGrowth   int // final text size minus original text size
 	FreeLeft     int // free bytes remaining inside the original range
+	Veneers      int // range-extension islands emitted (fixed-width ISAs)
 }
 
 // Result is the reassembly output.
@@ -95,7 +96,7 @@ type Result struct {
 // jmpWrite is a pending jump to be encoded during the patch pass.
 type jmpWrite struct {
 	at     uint32
-	size   int // 2 or 5
+	size   int // 2 or 5 (ZVM-32), 4 (ZVM-64)
 	target *ir.Instruction
 	abs    uint32 // used when target is nil
 }
@@ -119,6 +120,8 @@ type reassembler struct {
 	tr     *obs.Trace
 	inj    *fault.Injector
 	text   ir.Range
+	arch   isa.Arch
+	ref    int // unconstrained reference size (arch.RefLen)
 
 	image    []byte // rewritten text image, starting at text.Start
 	imageEnd uint32
@@ -131,6 +134,11 @@ type reassembler struct {
 	raw      []rawWrite
 	stats    Stats
 	overflow uint32 // first overflow byte (== original text end)
+
+	// veneers maps a destination address to the range-extension islands
+	// already emitted for it, so in-reach islands are shared between
+	// branch sites instead of re-allocated.
+	veneers map[uint32][]uint32
 
 	// chainSeen/chainEpoch implement buildChain's cycle detection with
 	// one reusable map instead of a fresh allocation per dollop: an
@@ -165,12 +173,15 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 		// path either way.
 		placer = &faultPlacer{inner: placer, inj: opts.Inject}
 	}
+	arch := p.ISA()
 	r := &reassembler{
 		p:        p,
 		placer:   placer,
 		tr:       opts.Trace,
 		inj:      opts.Inject,
 		text:     text,
+		arch:     arch,
+		ref:      arch.RefLen(),
 		image:    make([]byte, text.Len()),
 		imageEnd: text.End,
 		overflow: text.End,
@@ -179,8 +190,26 @@ func Reassemble(p *ir.Program, opts Options) (*Result, error) {
 		m:         make(map[*ir.Instruction]uint32, len(p.Insts)),
 		inlines:   make(map[uint32]*inlineRegion),
 		chainSeen: make(map[*ir.Instruction]uint64, 64),
+		veneers:   make(map[uint32][]uint32),
 	}
 	r.fs = NewAlloc(text, p.Fixed)
+	r.fs.SetAlign(arch.Align())
+	if align := arch.Align(); align > 1 {
+		// Fixed-width ISAs only ever carve aligned, size-multiple-of-
+		// align ranges; trimming the initial free blocks to aligned
+		// bounds makes that invariant hold for the allocator's whole
+		// lifetime (slivers next to unaligned fixed-range edges are
+		// unusable for code anyway). The overflow frontier gets the same
+		// treatment so appended dollops and veneers start aligned.
+		if err := r.alignFreeSpace(align); err != nil {
+			return nil, err
+		}
+		if pad := (align - r.imageEnd%align) % align; pad != 0 {
+			r.image = append(r.image, make([]byte, pad)...)
+			r.imageEnd += pad
+			r.overflow = r.imageEnd
+		}
+	}
 
 	if err := r.planPins(); err != nil {
 		return nil, err
@@ -235,6 +264,7 @@ func (r *reassembler) flushMetrics() {
 		{"stats.overflow-bytes", s.OverflowUsed},
 		{"stats.text-growth", s.TextGrowth},
 		{"stats.free-left", s.FreeLeft},
+		{"stats.veneers", s.Veneers},
 	} {
 		r.tr.Add(c.name, int64(c.v))
 	}
@@ -385,10 +415,13 @@ func (r *reassembler) planPins() error {
 	r.work = make([]workItem, 0, len(pins)+1)
 
 	// Pass 1: classify every pinned site and carve its header bytes.
-	// Inline pins reserve only 5 bytes here — enough for a fallback
-	// reference — and grow into the remaining contiguous free space in
+	// Inline pins reserve only one reference here — enough for a fallback
+	// jump — and grow into the remaining contiguous free space in
 	// pass 3, after chains and dispatch blobs have taken what they need.
 	sp := r.tr.Start("pin-planting")
+	ref := uint32(r.ref)
+	chainRef := uint32(r.arch.ChainRefLen())
+	align := r.arch.Align()
 	for i := 0; i < len(pins); i++ {
 		a := pins[i].OrigAddr
 		if !r.text.Contains(a) {
@@ -401,26 +434,41 @@ func (r *reassembler) planPins() error {
 			r.p.Warnf("core: pinned address %#x inside fixed bytes; no reference planted", a)
 			continue
 		}
+		if align > 1 && a%align != 0 {
+			// A misaligned pin can never be fetched on a fixed-width ISA:
+			// execution there faults on alignment in the original binary
+			// exactly as it does in the rewritten one, so no reference is
+			// needed (and none could be encoded at that address).
+			r.p.Warnf("core: pinned address %#x misaligned for %s; skipping", a, r.arch.Name())
+			continue
+		}
 		gap := nextObstacle(a, pins, i, fixed, r.text.End) - a
 		switch {
 		case gap >= minInlineGap && inline:
-			if err := r.fs.Carve(ir.Range{Start: a, End: a + 5}); err != nil {
+			if err := r.fs.Carve(ir.Range{Start: a, End: a + ref}); err != nil {
 				return fmt.Errorf("core: pin %#x inline header: %w", a, err)
 			}
 			plans = append(plans, pinPlan{kind: kindInline, addr: a, target: pins[i]})
-		case gap >= 5:
-			if err := r.fs.Carve(ir.Range{Start: a, End: a + 5}); err != nil {
+		case gap >= ref:
+			if err := r.fs.Carve(ir.Range{Start: a, End: a + ref}); err != nil {
 				return fmt.Errorf("core: pin %#x reference: %w", a, err)
 			}
 			plans = append(plans, pinPlan{kind: kindStub5, addr: a, target: pins[i]})
 			r.stats.Stubs5++
-		case gap >= 2 && !r.escalatePin(a):
-			if err := r.fs.Carve(ir.Range{Start: a, End: a + 2}); err != nil {
+		case chainRef > 0 && gap >= chainRef && !r.escalatePin(a):
+			if err := r.fs.Carve(ir.Range{Start: a, End: a + chainRef}); err != nil {
 				return fmt.Errorf("core: pin %#x constrained reference: %w", a, err)
 			}
 			plans = append(plans, pinPlan{kind: kindStub2, addr: a, target: pins[i]})
 			r.stats.Stubs2++
 		default:
+			if !r.arch.SledsSupported() {
+				// Unreachable on zvm64 in practice: aligned pins are at
+				// least one instruction width apart, so a full reference
+				// always fits. Fail closed rather than emit garbage.
+				return zerr.Tag(zerr.ErrExhausted, fmt.Errorf(
+					"core: pin at %#x has gap %d and %s supports no sleds", a, gap, r.arch.Name()))
+			}
 			plan, last, err := r.carveSled(pins, i)
 			if err != nil {
 				return err
@@ -442,7 +490,7 @@ func (r *reassembler) planPins() error {
 	for _, pl := range plans {
 		switch pl.kind {
 		case kindStub5:
-			r.jmps = append(r.jmps, jmpWrite{at: pl.addr, size: 5, target: pl.target})
+			r.jmps = append(r.jmps, jmpWrite{at: pl.addr, size: r.ref, target: pl.target})
 			r.work = append(r.work, workItem{target: pl.target, hint: pl.addr})
 		case kindStub2:
 			var t0 time.Time
@@ -473,7 +521,7 @@ func (r *reassembler) planPins() error {
 	r.tr.Record("chaining", chainWall, chainN)
 	r.tr.Record("sled-construction", sledWall, sledN)
 
-	// Pass 3: inline regions grow from their 5-byte headers into the
+	// Pass 3: inline regions grow from their reference-sized headers into the
 	// contiguous free space that remains after them (bounded implicitly
 	// by the next carved pin site, chain slot, or fixed range).
 	sp = r.tr.Start("inline-reserve")
@@ -482,8 +530,8 @@ func (r *reassembler) planPins() error {
 		if pl.kind != kindInline {
 			continue
 		}
-		region := ir.Range{Start: pl.addr, End: pl.addr + 5}
-		if blk, ok := r.fs.BlockStartingAt(pl.addr + 5); ok {
+		region := ir.Range{Start: pl.addr, End: pl.addr + uint32(r.ref)}
+		if blk, ok := r.fs.BlockStartingAt(pl.addr + uint32(r.ref)); ok {
 			if err := r.fs.Carve(blk); err != nil {
 				return fmt.Errorf("core: pin %#x inline extension: %w", pl.addr, err)
 			}
@@ -642,6 +690,88 @@ func (r *reassembler) allocOverflow(n int) uint32 {
 	return addr
 }
 
+// alignFreeSpace trims every initial free block to align-multiple
+// bounds by carving the unusable slivers off permanently.
+func (r *reassembler) alignFreeSpace(align uint32) error {
+	var blocks []ir.Range
+	r.fs.Visit(func(b ir.Range) bool { blocks = append(blocks, b); return true })
+	for _, b := range blocks {
+		lo := (b.Start + align - 1) &^ (align - 1)
+		hi := b.End &^ (align - 1)
+		if hi <= lo {
+			if err := r.fs.Carve(b); err != nil {
+				return fmt.Errorf("core: align trim %+v: %w", b, err)
+			}
+			continue
+		}
+		if lo > b.Start {
+			if err := r.fs.Carve(ir.Range{Start: b.Start, End: lo}); err != nil {
+				return fmt.Errorf("core: align trim %+v: %w", b, err)
+			}
+		}
+		if hi < b.End {
+			if err := r.fs.Carve(ir.Range{Start: hi, End: b.End}); err != nil {
+				return fmt.Errorf("core: align trim %+v: %w", b, err)
+			}
+		}
+	}
+	return nil
+}
+
+// veneerFor returns the address of a range-extension island forwarding
+// to dest that is reachable from the branch ending at site+siteLen,
+// emitting one if no existing island for dest is in reach. Islands are
+// allocated during the patch pass — every branch site and destination
+// address is final by then — first from free space inside the branch's
+// reach window, then from the overflow frontier when that frontier is
+// itself within reach; when neither works the rewrite fails closed
+// with a typed exhaustion error.
+func (r *reassembler) veneerFor(dest, site uint32, siteLen int) (uint32, error) {
+	next := int64(site) + int64(siteLen)
+	for _, v := range r.veneers[dest] {
+		if r.arch.BranchDispOK(int64(v) - next) {
+			r.tr.Add("reassemble.veneer-reuse", 1)
+			return v, nil
+		}
+	}
+	vlen := r.arch.VeneerLen()
+	reach := int64(r.arch.BranchReach())
+	lo, hi := next-reach, next+reach-int64(r.arch.Align())+int64(vlen)
+	if lo < int64(r.text.Start) {
+		lo = int64(r.text.Start)
+	}
+	if al := int64(r.arch.Align()); al > 1 && lo%al != 0 {
+		// Keep the window start aligned: FindWithin clips a straddling
+		// free block at the window edge, and islands must start aligned.
+		lo += al - lo%al
+	}
+	if hi > int64(r.text.End) {
+		hi = int64(r.text.End)
+	}
+	var addr uint32
+	if lo < hi {
+		win := ir.Range{Start: uint32(lo), End: uint32(hi)}
+		if blk, ok := r.fs.FindWithin(win, uint32(vlen)); ok {
+			if err := r.fs.Carve(blk); err != nil {
+				return 0, err
+			}
+			addr = blk.Start
+		}
+	}
+	if addr == 0 {
+		if !r.arch.BranchDispOK(int64(r.imageEnd) - next) {
+			return 0, zerr.Tag(zerr.ErrExhausted,
+				fmt.Errorf("core: no veneer space within reach of branch at %#x to %#x", site, dest))
+		}
+		addr = r.allocOverflow(vlen)
+	}
+	copy(r.image[addr-r.text.Start:], r.arch.VeneerBytes(dest))
+	r.veneers[dest] = append(r.veneers[dest], addr)
+	r.stats.Veneers++
+	r.tr.Add("reassemble.veneer-emits", 1)
+	return addr, nil
+}
+
 // processWork drains the unresolved-reference worklist, placing the
 // dollop for each not-yet-placed target.
 func (r *reassembler) processWork() error {
@@ -708,8 +838,8 @@ func (r *reassembler) finishInlines() error {
 			return fmt.Errorf("core: inline pin target at %#x never placed", a)
 		}
 		// Fall back to an unconstrained reference; release the rest.
-		r.jmps = append(r.jmps, jmpWrite{at: reg.region.Start, size: 5, target: reg.target})
-		r.fs.Release(ir.Range{Start: reg.region.Start + 5, End: reg.region.End})
+		r.jmps = append(r.jmps, jmpWrite{at: reg.region.Start, size: r.ref, target: reg.target})
+		r.fs.Release(ir.Range{Start: reg.region.Start + uint32(r.ref), End: reg.region.End})
 		r.stats.Stubs5++
 		reg.done = true
 	}
@@ -745,9 +875,10 @@ func (r *reassembler) buildChain(t *ir.Instruction) ([]*ir.Instruction, *ir.Inst
 	return insts, nil
 }
 
-// instLen returns the emitted length of an IR instruction. Lea with a
-// logical target is materialized as movi (same 6-byte length).
-func instLen(n *ir.Instruction) int { return n.Inst.Len() }
+// instLen returns the emitted length of an IR instruction under the
+// configured ISA. Lea with a logical target is materialized as movi
+// (the same length under both ISAs: 6/6 on zvm32, 8/8 on zvm64).
+func (r *reassembler) instLen(n *ir.Instruction) int { return r.arch.InstLen(n.Inst) }
 
 // layChunk assigns addresses to insts starting at addr, records operand
 // placement requests, and (when cont is non-nil) a continuation jump
@@ -755,7 +886,7 @@ func instLen(n *ir.Instruction) int { return n.Inst.Len() }
 func (r *reassembler) layChunk(insts []*ir.Instruction, addr uint32, cont *ir.Instruction) uint32 {
 	for _, n := range insts {
 		r.m[n] = addr
-		addr += uint32(instLen(n))
+		addr += uint32(r.instLen(n))
 		if n.Target != nil {
 			if _, placed := r.m[n.Target]; !placed {
 				r.work = append(r.work, workItem{target: n.Target, hint: addr})
@@ -763,26 +894,26 @@ func (r *reassembler) layChunk(insts []*ir.Instruction, addr uint32, cont *ir.In
 		}
 	}
 	if cont != nil {
-		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: cont})
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: r.ref, target: cont})
 		if _, placed := r.m[cont]; !placed {
 			r.work = append(r.work, workItem{target: cont, hint: addr})
 		}
-		addr += 5
+		addr += uint32(r.ref)
 	}
 	return addr
 }
 
 // chunkFit returns how many instructions of insts fit in space bytes,
-// accounting for a 5-byte continuation jump unless the chain completes
-// with its terminator.
-func chunkFit(insts []*ir.Instruction, space uint32, chainEndsClean bool) (count int, used uint32) {
+// accounting for a reference-sized continuation jump unless the chain
+// completes with its terminator.
+func (r *reassembler) chunkFit(insts []*ir.Instruction, space uint32, chainEndsClean bool) (count int, used uint32) {
 	var sum uint32
 	for i, n := range insts {
-		l := uint32(instLen(n))
+		l := uint32(r.instLen(n))
 		isLast := i == len(insts)-1
 		need := sum + l
 		if !(isLast && chainEndsClean) {
-			need += 5 // room for a continuation jump after this one
+			need += uint32(r.ref) // room for a continuation jump after this one
 		}
 		if need > space {
 			break
@@ -807,10 +938,10 @@ func (r *reassembler) placeDollop(t *ir.Instruction, hint uint32) error {
 		endsClean := cont == nil
 		var want uint32
 		for _, n := range rest {
-			want += uint32(instLen(n))
+			want += uint32(r.instLen(n))
 		}
 		if !endsClean {
-			want += 5
+			want += uint32(r.ref)
 		}
 		if addr, ok := r.placer.Choose(r.fs, int(want), hint, rest[0].OrigAddr); ok {
 			if err := r.fs.Carve(ir.Range{Start: addr, End: addr + want}); err != nil {
@@ -831,9 +962,9 @@ func (r *reassembler) placeDollop(t *ir.Instruction, hint uint32) error {
 		// the policy whose interaction with heavily pinned binaries the
 		// paper's Figure-6 outlier discussion describes.
 		blk, found := r.fs.Largest()
-		minNeed := uint32(instLen(rest[0])) + 5
+		minNeed := uint32(r.instLen(rest[0])) + uint32(r.ref)
 		if len(rest) == 1 && endsClean {
-			minNeed = uint32(instLen(rest[0]))
+			minNeed = uint32(r.instLen(rest[0]))
 		}
 		if found && blk.Len() < 256 && uint64(blk.Len())*4 < uint64(want) {
 			found = false // fragment too small to be worth a split
@@ -847,7 +978,7 @@ func (r *reassembler) placeDollop(t *ir.Instruction, hint uint32) error {
 			r.layChunk(rest, addr, tail)
 			return nil
 		}
-		count, used := chunkFit(rest, blk.Len(), endsClean)
+		count, used := r.chunkFit(rest, blk.Len(), endsClean)
 		if count == 0 {
 			// Defensive: cannot happen given the minNeed check above.
 			return fmt.Errorf("core: split failed for dollop at hint %#x", hint)
@@ -857,17 +988,17 @@ func (r *reassembler) placeDollop(t *ir.Instruction, hint uint32) error {
 		var tail *ir.Instruction
 		if count < len(rest) {
 			tail = rest[count]
-			size += 5
+			size += uint32(r.ref)
 		} else if !endsClean {
 			tail = cont
-			size += 5
+			size += uint32(r.ref)
 		}
 		if err := r.fs.Carve(ir.Range{Start: blk.Start, End: blk.Start + size}); err != nil {
 			return err
 		}
 		end := r.layChunk(take, blk.Start, nil)
 		if tail != nil {
-			r.jmps = append(r.jmps, jmpWrite{at: end, size: 5, target: tail})
+			r.jmps = append(r.jmps, jmpWrite{at: end, size: r.ref, target: tail})
 			if _, placed := r.m[tail]; !placed {
 				r.work = append(r.work, workItem{target: tail, hint: end})
 			}
@@ -915,7 +1046,7 @@ func (r *reassembler) placeInline(reg *inlineRegion) error {
 	}
 	lay := func(n *ir.Instruction) {
 		r.m[n] = addr
-		addr += uint32(instLen(n))
+		addr += uint32(r.instLen(n))
 		if n.Target != nil {
 			if _, placed := r.m[n.Target]; !placed {
 				r.work = append(r.work, workItem{target: n.Target, hint: addr})
@@ -934,12 +1065,12 @@ func (r *reassembler) placeInline(reg *inlineRegion) error {
 			r.stats.InlinePins++
 		}
 		n := insts[idx]
-		l := uint32(instLen(n))
+		l := uint32(r.instLen(n))
 		isLast := idx == len(insts)-1
 		endsClean := isLast && cont == nil
 		need := addr + l
 		if !endsClean {
-			need += 5 // room for a continuation jump after this one
+			need += uint32(r.ref) // room for a continuation jump after this one
 		}
 		if need <= capEnd {
 			lay(n)
@@ -983,25 +1114,25 @@ func (r *reassembler) placeInline(reg *inlineRegion) error {
 	case idx == len(insts) && (cont == nil || contHandled):
 		// Whole chain laid; execution ends or crosses a seam.
 	case idx == len(insts):
-		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: cont})
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: r.ref, target: cont})
 		if _, placed := r.m[cont]; !placed {
 			r.work = append(r.work, workItem{target: cont, hint: addr})
 		}
-		addr += 5
+		addr += uint32(r.ref)
 	case idx == 0:
 		// Region cannot hold even the first instruction plus the
 		// continuation jump: degrade to a plain reference.
-		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: reg.target})
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: r.ref, target: reg.target})
 		r.work = append(r.work, workItem{target: reg.target, hint: addr})
 		r.stats.Stubs5++
 		r.stats.InlinePins--
-		r.fs.Release(ir.Range{Start: addr + 5, End: capEnd})
+		r.fs.Release(ir.Range{Start: addr + uint32(r.ref), End: capEnd})
 		return nil
 	default:
 		next := insts[idx]
-		r.jmps = append(r.jmps, jmpWrite{at: addr, size: 5, target: next})
+		r.jmps = append(r.jmps, jmpWrite{at: addr, size: r.ref, target: next})
 		r.work = append(r.work, workItem{target: next, hint: addr})
-		addr += 5
+		addr += uint32(r.ref)
 		r.stats.Splits++
 	}
 	if addr < capEnd {
@@ -1021,13 +1152,30 @@ func (r *reassembler) emit() (*binfmt.Binary, *ir.Layout, error) {
 	for _, w := range r.raw {
 		copy(r.image[w.at-r.text.Start:], w.bytes)
 	}
-	// Instructions.
+	// Instructions, in address order. Writes are disjoint, so order only
+	// matters on fixed-width ISAs, where encoding an out-of-reach branch
+	// allocates a veneer island: iterating the placement map directly
+	// would make island addresses depend on map iteration order.
+	type placedInst struct {
+		n    *ir.Instruction
+		addr uint32
+	}
+	order := make([]placedInst, 0, len(r.m))
 	for n, addr := range r.m {
-		enc, err := r.encodeAt(n, addr)
+		order = append(order, placedInst{n: n, addr: addr})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].addr != order[j].addr {
+			return order[i].addr < order[j].addr
+		}
+		return order[i].n.ID < order[j].n.ID
+	})
+	for _, pl := range order {
+		enc, err := r.encodeAt(pl.n, pl.addr)
 		if err != nil {
 			return nil, nil, err
 		}
-		copy(r.image[addr-r.text.Start:], enc)
+		copy(r.image[pl.addr-r.text.Start:], enc)
 	}
 	// Reference jumps.
 	for _, j := range r.jmps {
@@ -1040,19 +1188,31 @@ func (r *reassembler) emit() (*binfmt.Binary, *ir.Layout, error) {
 			dest = d
 		}
 		var in isa.Inst
-		switch j.size {
-		case 2:
+		switch {
+		case j.size == 2:
 			disp := int64(dest) - int64(j.at) - 2
 			if disp < -128 || disp > 127 {
 				return nil, nil, fmt.Errorf("core: constrained reference at %#x cannot reach %#x", j.at, dest)
 			}
 			in = isa.Inst{Op: isa.OpJmp8, Imm: int32(disp)}
-		case 5:
-			in = isa.Inst{Op: isa.OpJmp32, Imm: int32(int64(dest) - int64(j.at) - 5)}
+		case j.size == r.ref:
+			disp := int64(dest) - int64(j.at) - int64(r.ref)
+			if r.arch.BranchReach() != 0 && !r.arch.BranchDispOK(disp) {
+				v, err := r.veneerFor(dest, j.at, r.ref)
+				if err != nil {
+					return nil, nil, err
+				}
+				disp = int64(v) - int64(j.at) - int64(r.ref)
+			}
+			in = isa.Inst{Op: isa.OpJmp32, Imm: int32(disp)}
 		default:
 			return nil, nil, fmt.Errorf("core: bad reference size %d", j.size)
 		}
-		copy(r.image[j.at-r.text.Start:], isa.MustEncode(in))
+		enc, err := r.arch.Encode(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: reference at %#x: %w", j.at, err)
+		}
+		copy(r.image[j.at-r.text.Start:], enc)
 	}
 
 	layout := &ir.Layout{
@@ -1140,9 +1300,24 @@ func (r *reassembler) encodeAt(n *ir.Instruction, addr uint32) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			disp := int64(dest) - int64(addr) - int64(in.Len())
+			ilen := int64(r.arch.InstLen(in))
+			disp := int64(dest) - int64(addr) - ilen
 			if (in.Op == isa.OpJmp8 || in.Op == isa.OpJcc8) && (disp < -128 || disp > 127) {
 				return nil, fmt.Errorf("core: short branch %s out of range after placement", n)
+			}
+			if r.arch.BranchReach() != 0 && !r.arch.BranchDispOK(disp) {
+				switch in.Op {
+				case isa.OpJmp32, isa.OpJcc32, isa.OpCall:
+					// Route the branch through a range-extension island;
+					// the island forwards to dest with call/jcc semantics
+					// intact (loadpc is not a transfer and keeps its full
+					// rel32 immediate).
+					v, verr := r.veneerFor(dest, addr, int(ilen))
+					if verr != nil {
+						return nil, verr
+					}
+					disp = int64(v) - int64(addr) - ilen
+				}
 			}
 			in.Imm = int32(disp)
 		case isa.OpLea:
@@ -1154,7 +1329,7 @@ func (r *reassembler) encodeAt(n *ir.Instruction, addr uint32) ([]byte, error) {
 				// Materialize the rewritten code address (same length).
 				in = isa.Inst{Op: isa.OpMovI, Rd: in.Rd, Imm: int32(dest)}
 			} else {
-				in.Imm = int32(int64(dest) - int64(addr) - int64(in.Len()))
+				in.Imm = int32(int64(dest) - int64(addr) - int64(r.arch.InstLen(in)))
 			}
 		case isa.OpMovI, isa.OpPushI32, isa.OpCmpI:
 			dest, err := resolveDest()
@@ -1166,7 +1341,7 @@ func (r *reassembler) encodeAt(n *ir.Instruction, addr uint32) ([]byte, error) {
 			return nil, fmt.Errorf("core: %s has a target but is not patchable", n)
 		}
 	}
-	enc, err := isa.Encode(in)
+	enc, err := r.arch.Encode(in)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode %s: %w", n, err)
 	}

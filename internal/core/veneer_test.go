@@ -1,0 +1,210 @@
+package core
+
+// Range-extension veneer unit tests, pinned at the reassembler level
+// where addresses can be controlled to the byte: the encodable-reach
+// boundary at exactly ±1 MiB, island sharing between branch sites with
+// the same destination, the overflow-area fallback when fragmentation
+// leaves no in-reach free slot, and the fail-closed exhaustion when
+// even the image end is out of reach.
+
+import (
+	"errors"
+	"testing"
+
+	"zipr/internal/binfmt"
+	"zipr/internal/ir"
+	"zipr/internal/isa"
+	"zipr/internal/vm"
+	"zipr/internal/zerr"
+)
+
+// bigTestBin builds a minimal executable whose text segment is large
+// enough to hold branch spans around the ZVM-64 reach, with the data
+// segment parked past any possible text growth.
+func bigTestBin(base uint32, size int, entry uint32) *binfmt.Binary {
+	return &binfmt.Binary{
+		Type:  binfmt.Exec,
+		Entry: entry,
+		Segments: []binfmt.Segment{
+			{Kind: binfmt.Text, VAddr: base, Data: make([]byte, size)},
+			{Kind: binfmt.Data, VAddr: 0x00400000, Data: make([]byte, 64)},
+		},
+	}
+}
+
+// runBin64 loads and executes a rewritten fixed-width binary.
+func runBin64(t *testing.T, bin *binfmt.Binary) vm.Result {
+	t.Helper()
+	m := vm.New(vm.WithMaxSteps(100_000), vm.WithArch(isa.ZVM64))
+	for _, seg := range bin.Segments {
+		perm := vm.PermR
+		if seg.Kind == binfmt.Text {
+			perm |= vm.PermX
+		} else {
+			perm |= vm.PermW
+		}
+		if err := m.Map(seg.VAddr, len(seg.Data), perm); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteMem(seg.VAddr, seg.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetPC(bin.Entry)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	return res
+}
+
+// TestVeneerReachBoundary pins the exact encodability edge: a forward
+// branch whose displacement is ZVM64Reach-4 encodes directly (zero
+// islands), while one word further needs exactly one island — and both
+// programs still run to the right exit.
+func TestVeneerReachBoundary(t *testing.T) {
+	const base = 0x00100000
+	cases := []struct {
+		name        string
+		farOff      uint32 // far chain's pin, relative to base
+		wantVeneers int
+	}{
+		// Branch at base: displacement = farOff - 4.
+		{"last-encodable", isa.ZVM64Reach, 0},
+		{"first-out-of-reach", isa.ZVM64Reach + 4, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := ir.NewProgram(bigTestBin(base, isa.ZVM64Reach+0x1000, base))
+			p.Arch = isa.ZVM64
+			far := p.AddOrig(base+tc.farOff, isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 7})
+			far.Pinned = true
+			f2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+			f3 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+			far.Fallthrough = f2
+			f2.Fallthrough = f3
+			entry := p.AddOrig(base, isa.Inst{Op: isa.OpJmp32})
+			entry.Pinned = true
+			entry.Target = far
+			p.Entry = entry
+
+			res, err := Reassemble(p, Options{Placer: optPlacer{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Veneers != tc.wantVeneers {
+				t.Fatalf("veneers = %d, want %d", res.Stats.Veneers, tc.wantVeneers)
+			}
+			if out := runBin64(t, res.Binary); out.ExitCode != 7 {
+				t.Fatalf("exit = %d, want 7", out.ExitCode)
+			}
+		})
+	}
+}
+
+// TestVeneerIslandReuse: two branch sites starved for the same
+// destination must share one island, not mint one each.
+func TestVeneerIslandReuse(t *testing.T) {
+	const base = 0x00100000
+	p := ir.NewProgram(bigTestBin(base, isa.ZVM64Reach+0x2000, base))
+	p.Arch = isa.ZVM64
+	// far sits out of reach of both branch sites below.
+	far := p.AddOrig(base+isa.ZVM64Reach+12, isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 7})
+	far.Pinned = true
+	f2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+	f3 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	far.Fallthrough = f2
+	f2.Fallthrough = f3
+	// entry: cmp r0,r0 (sets Z); jcc Z far (taken); jmp far (patched,
+	// never executed).
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpCmp, Rd: 0, Rs: 0})
+	entry.Pinned = true
+	jcc := p.NewInst(isa.Inst{Op: isa.OpJcc32, Cc: isa.CcZ})
+	jcc.Target = far
+	jmp := p.NewInst(isa.Inst{Op: isa.OpJmp32})
+	jmp.Target = far
+	entry.Fallthrough = jcc
+	jcc.Fallthrough = jmp
+	p.Entry = entry
+
+	res, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Veneers != 1 {
+		t.Fatalf("veneers = %d, want 1 (island must be shared between sites)", res.Stats.Veneers)
+	}
+	if out := runBin64(t, res.Binary); out.ExitCode != 7 {
+		t.Fatalf("exit = %d, want 7", out.ExitCode)
+	}
+}
+
+// TestVeneerOverflowFallback: when fixed regions leave no in-reach free
+// slot for an island but the image end is still within reach of the
+// branch, the island must land in the overflow area and the program
+// must keep working.
+func TestVeneerOverflowFallback(t *testing.T) {
+	const base = 0x00100000
+	const entryAddr = base + isa.ZVM64Reach + 4
+	size := int(isa.ZVM64Reach) + 8
+	p := ir.NewProgram(bigTestBin(base, size, entryAddr))
+	p.Arch = isa.ZVM64
+	// far chain at the bottom: movi(8) movi(8) syscall(4) = 20 bytes.
+	far := p.AddOrig(base, isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 9})
+	far.Pinned = true
+	f2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+	f3 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	far.Fallthrough = f2
+	f2.Fallthrough = f3
+	entry := p.AddOrig(entryAddr, isa.Inst{Op: isa.OpJmp32})
+	entry.Pinned = true
+	entry.Target = far
+	p.Entry = entry
+	// Everything between the two chains is immovable: no free block can
+	// host an island.
+	p.Fixed = []ir.Range{{Start: base + 20, End: entryAddr}}
+
+	res, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Veneers != 1 {
+		t.Fatalf("veneers = %d, want 1", res.Stats.Veneers)
+	}
+	if res.Stats.OverflowUsed < isa.ZVM64.VeneerLen() {
+		t.Fatalf("overflow = %d bytes, island should have landed there", res.Stats.OverflowUsed)
+	}
+	if out := runBin64(t, res.Binary); out.ExitCode != 9 {
+		t.Fatalf("exit = %d, want 9", out.ExitCode)
+	}
+}
+
+// TestVeneerExhaustionFailsClosed: no in-reach free slot AND an image
+// end beyond reach must surface ErrExhausted — the reassembler must
+// never emit a branch it cannot encode.
+func TestVeneerExhaustionFailsClosed(t *testing.T) {
+	const base = 0x00100000
+	const farAddr = base + isa.ZVM64Reach + 4
+	size := int(isa.ZVM64Reach) + 4 + 20
+	p := ir.NewProgram(bigTestBin(base, size, base))
+	p.Arch = isa.ZVM64
+	far := p.AddOrig(farAddr, isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 9})
+	far.Pinned = true
+	f2 := p.NewInst(isa.Inst{Op: isa.OpMovI, Rd: 0, Imm: 1})
+	f3 := p.NewInst(isa.Inst{Op: isa.OpSyscall})
+	far.Fallthrough = f2
+	f2.Fallthrough = f3
+	entry := p.AddOrig(base, isa.Inst{Op: isa.OpJmp32})
+	entry.Pinned = true
+	entry.Target = far
+	p.Entry = entry
+	p.Fixed = []ir.Range{{Start: base + 4, End: farAddr}}
+
+	_, err := Reassemble(p, Options{Placer: optPlacer{}})
+	if err == nil {
+		t.Fatal("expected exhaustion, reassembly succeeded")
+	}
+	if !errors.Is(err, zerr.ErrExhausted) {
+		t.Fatalf("error is not ErrExhausted: %v", err)
+	}
+}

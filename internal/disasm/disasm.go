@@ -64,29 +64,40 @@ type Result struct {
 // LinearSweep decodes text from its first byte onward, resynchronizing
 // one byte at a time after undecodable bytes, the way objdump -D works.
 func LinearSweep(text []byte, base uint32) Result {
+	return LinearSweepArch(text, base, nil)
+}
+
+// LinearSweepArch is LinearSweep under an explicit ISA (nil means the
+// default). Fixed-width ISAs resynchronize at the next aligned address
+// instead of the next byte — misaligned starts can never be fetched.
+func LinearSweepArch(text []byte, base uint32, arch isa.Arch) Result {
 	res := Result{
 		Insts:   NewInstMap(base, len(text)),
 		Classes: make([]Class, len(text)),
 	}
-	linearSweepInto(&res, text, base)
+	linearSweepInto(&res, text, base, isa.Of(arch))
 	return res
 }
 
 // linearSweepInto runs the sweep into pre-sized result buffers.
-func linearSweepInto(res *Result, text []byte, base uint32) {
+func linearSweepInto(res *Result, text []byte, base uint32, arch isa.Arch) {
+	step := int(arch.Align())
 	off := 0
 	for off < len(text) {
-		in, err := isa.Decode(text[off:])
+		in, err := arch.Decode(text[off:], base+uint32(off))
 		if err != nil {
-			res.Classes[off] = Data
-			off++
+			for i := 0; i < step && off+i < len(text); i++ {
+				res.Classes[off+i] = Data
+			}
+			off += step
 			continue
 		}
+		n := arch.InstLen(in)
 		res.Insts.Put(base+uint32(off), in)
-		for i := 0; i < in.Len(); i++ {
+		for i := 0; i < n; i++ {
 			res.Classes[off+i] = Code
 		}
-		off += in.Len()
+		off += n
 	}
 }
 
@@ -124,7 +135,7 @@ func RecursiveTraversal(bin *binfmt.Binary) Result {
 		Classes: make([]Class, len(text.Data)),
 	}
 	st := &recState{visited: make([]uint8, len(text.Data))}
-	recursiveInto(&res, bin, st, nil)
+	recursiveInto(&res, bin, st, nil, isa.DefaultArch())
 	return res
 }
 
@@ -134,7 +145,7 @@ func RecursiveTraversal(bin *binfmt.Binary) Result {
 // reach become "decode but are not provably reached", which downstream
 // phases must handle with the paper's case-3 policy (bytes fixed in
 // place, targets pinned via the ambiguous set).
-func recursiveInto(res *Result, bin *binfmt.Binary, st *recState, inj *fault.Injector) {
+func recursiveInto(res *Result, bin *binfmt.Binary, st *recState, inj *fault.Injector, arch isa.Arch) {
 	text := bin.Text()
 	inText := func(a uint32) bool { return text.Contains(a) }
 
@@ -176,14 +187,14 @@ func recursiveInto(res *Result, bin *binfmt.Binary, st *recState, inj *fault.Inj
 	// worklist; weak traversal never overrides strong coverage.
 	step := func(addr uint32, isStrong bool) {
 		off := addr - text.VAddr
-		in, err := isa.Decode(text.Data[off:])
+		in, err := arch.Decode(text.Data[off:], addr)
 		if err != nil {
 			return // a supposed entry that does not decode: leave unknown
 		}
 		flow := seedWeak
 		if isStrong {
 			res.Insts.Put(addr, in)
-			for i := 0; i < in.Len(); i++ {
+			for i := 0; i < arch.InstLen(in); i++ {
 				res.Classes[int(off)+i] = Code
 			}
 			flow = seedStrong
@@ -191,9 +202,9 @@ func recursiveInto(res *Result, bin *binfmt.Binary, st *recState, inj *fault.Inj
 			res.Weak.Put(addr, in)
 		}
 		if in.HasFallthrough() {
-			flow(addr + uint32(in.Len()))
+			flow(addr + uint32(arch.InstLen(in)))
 		}
-		if t, ok := in.TargetAddr(addr); ok {
+		if t, ok := arch.TargetAddr(in, addr); ok {
 			switch in.Op {
 			case isa.OpLea:
 				seedWeak(t) // address formation: maybe code, maybe data
@@ -259,6 +270,9 @@ type Aggregated struct {
 	// Disputed counts demotions vetoed by infer-rule-disagree fault
 	// injection (the candidate kept its conservative pin treatment).
 	Disputed int
+	// Arch is the ISA the binary was disassembled under; nil means the
+	// default. CFG construction copies it into the Program.
+	Arch isa.Arch
 
 	// warnCands lists the linear-origin ambiguous direct branches, in
 	// ascending order; finishAggregate turns the survivors into
@@ -271,7 +285,7 @@ type Aggregated struct {
 // ambiguous set and the warning list come out deterministic (the old
 // hash-map walk emitted warnings in random order).
 func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
-	agg := aggregateCore(bin, linear, recursive)
+	agg := aggregateCore(bin, linear, recursive, isa.DefaultArch())
 	finishAggregate(&agg, bin)
 	return agg
 }
@@ -280,13 +294,14 @@ func Aggregate(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 // instruction set. Fixed ranges and warnings are derived afterwards by
 // finishAggregate, so an arbitration pass can prune the ambiguous set
 // in between.
-func aggregateCore(bin *binfmt.Binary, linear, recursive Result) Aggregated {
+func aggregateCore(bin *binfmt.Binary, linear, recursive Result, arch isa.Arch) Aggregated {
 	text := bin.Text()
 	n := len(text.Data)
 	agg := Aggregated{
 		Insts:      recursive.Insts,
 		AmbigInsts: NewInstMap(text.VAddr, n),
 		Classes:    make([]Class, n),
+		Arch:       arch,
 	}
 	// Case 1: recursive coverage is authoritative code.
 	copy(agg.Classes, recursive.Classes)
@@ -326,7 +341,7 @@ func aggregateCore(bin *binfmt.Binary, linear, recursive Result) Aggregated {
 			return true
 		}
 		agg.AmbigInsts.Put(addr, in)
-		for i := 0; i < in.Len() && int(off)+i < n; i++ {
+		for i := 0; i < arch.InstLen(in) && int(off)+i < n; i++ {
 			if agg.Classes[int(off)+i] != Code {
 				agg.Classes[int(off)+i] = Ambig
 			}
@@ -394,11 +409,12 @@ func applyArbitration(agg *Aggregated, bin *binfmt.Binary, res *infer.Result, in
 		coverKept uint8 = 1 << iota
 		coverDemoted
 	)
+	arch := isa.Of(agg.Arch)
 	cover := make([]uint8, n)
 	var demote []uint32
 	agg.AmbigInsts.All(func(addr uint32, in isa.Inst) bool {
 		off := int(addr - text.VAddr)
-		verdict, _ := res.Verdict(addr, in.Len())
+		verdict, _ := res.Verdict(addr, arch.InstLen(in))
 		bit := coverKept
 		if verdict == infer.VerdictData {
 			if inj.Fires(fault.InferRuleDisagree, addr) {
@@ -410,7 +426,7 @@ func applyArbitration(agg *Aggregated, bin *binfmt.Binary, res *infer.Result, in
 				bit = coverDemoted
 			}
 		}
-		for i := 0; i < in.Len() && off+i < n; i++ {
+		for i := 0; i < arch.InstLen(in) && off+i < n; i++ {
 			cover[off+i] |= bit
 		}
 		return true
@@ -490,6 +506,9 @@ type Options struct {
 	// disagreement, truncated linear decode, vetoed inference
 	// demotions); nil disables it.
 	Inject *fault.Injector
+	// Arch selects the ISA to disassemble under; nil means the default
+	// (ZVM-32). All three disassemblers and the aggregation use it.
+	Arch isa.Arch
 }
 
 // Disassemble runs both disassemblers on bin and aggregates the result.
@@ -510,6 +529,7 @@ func DisassembleTraced(bin *binfmt.Binary, tr *obs.Trace) (Aggregated, error) {
 // begins only after both complete.
 func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 	tr := opts.Trace
+	arch := isa.Of(opts.Arch)
 	text := bin.Text()
 	if text == nil {
 		return Aggregated{}, fmt.Errorf("disasm: binary has no text segment")
@@ -542,14 +562,14 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 
 	if opts.Serial {
 		sp := tr.Start("linear-sweep")
-		linearSweepInto(&lin, text.Data, text.VAddr)
+		linearSweepInto(&lin, text.Data, text.VAddr, arch)
 		sp.End()
 		sp = tr.Start("recursive-traversal")
-		recursiveInto(&rec, bin, &sc.rec, opts.Inject)
+		recursiveInto(&rec, bin, &sc.rec, opts.Inject, arch)
 		sp.End()
 		if opts.Arbitration == ArbWeighted {
 			sp = tr.Start("inference")
-			inf = infer.Analyze(bin)
+			inf = infer.AnalyzeArch(bin, arch)
 			sp.End()
 		}
 	} else {
@@ -567,18 +587,18 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			linearSweepInto(&lin, text.Data, text.VAddr)
+			linearSweepInto(&lin, text.Data, text.VAddr, arch)
 			linSp.End()
 		}()
 		if opts.Arbitration == ArbWeighted {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				inf = infer.Analyze(bin)
+				inf = infer.AnalyzeArch(bin, arch)
 				infSp.End()
 			}()
 		}
-		recursiveInto(&rec, bin, &sc.rec, opts.Inject)
+		recursiveInto(&rec, bin, &sc.rec, opts.Inject, arch)
 		recSp.End()
 		wg.Wait()
 	}
@@ -600,7 +620,7 @@ func DisassembleOpts(bin *binfmt.Binary, opts Options) (Aggregated, error) {
 	}
 
 	sp := tr.Start("disambiguate")
-	agg := aggregateCore(bin, lin, rec)
+	agg := aggregateCore(bin, lin, rec, arch)
 	if opts.Arbitration == ArbWeighted && inf != nil {
 		applyArbitration(&agg, bin, inf, opts.Inject)
 	}

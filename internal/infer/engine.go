@@ -47,7 +47,7 @@ func (r *Result) refuteDeadEnds(bin *binfmt.Binary) {
 		}
 		r.viable[off] = true
 		var ok bool
-		succs, ok = flowSuccs(bin, in, off, n, r.base, succs[:0])
+		succs, ok = r.flowSuccs(bin, in, off, n, succs[:0])
 		if !ok {
 			r.viable[off] = false
 			dead = append(dead, int32(off))
@@ -161,7 +161,7 @@ func (r *Result) propagateCode(bin *binfmt.Binary) {
 			next = codeFloor
 		}
 		var ok bool
-		succs, ok = flowSuccs(bin, in, off, n, r.base, succs[:0])
+		succs, ok = r.flowSuccs(bin, in, off, n, succs[:0])
 		if !ok {
 			continue
 		}

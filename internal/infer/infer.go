@@ -137,6 +137,7 @@ type Stats struct {
 type Result struct {
 	base uint32
 	text []byte
+	arch isa.Arch
 
 	cand      []isa.Inst // candidate decode at each offset (OpInvalid: none)
 	strongCov []bool     // byte is covered by a provably-reached instruction
@@ -221,9 +222,18 @@ func (r *Result) Verdict(addr uint32, length int) (Verdict, RuleID) {
 }
 
 // Analyze runs fact extraction and the weighted fixed point over bin's
-// text segment. It is a pure function of the binary: no shared state,
-// safe to run concurrently with the other two disassemblers.
+// text segment under the default ISA. It is a pure function of the
+// binary: no shared state, safe to run concurrently with the other two
+// disassemblers.
 func Analyze(bin *binfmt.Binary) *Result {
+	return AnalyzeArch(bin, nil)
+}
+
+// AnalyzeArch is Analyze under an explicit ISA (nil means the default).
+// Fixed-width ISAs restrict the candidate relation to aligned offsets —
+// the decoder rejects everything else — which shrinks the fact base but
+// leaves every rule unchanged.
+func AnalyzeArch(bin *binfmt.Binary, arch isa.Arch) *Result {
 	text := bin.Text()
 	if text == nil {
 		return &Result{}
@@ -232,6 +242,7 @@ func Analyze(bin *binfmt.Binary) *Result {
 	r := &Result{
 		base:      text.VAddr,
 		text:      text.Data,
+		arch:      isa.Of(arch),
 		cand:      make([]isa.Inst, n),
 		strongCov: make([]bool, n),
 		strong:    make([]bool, n),
@@ -258,7 +269,7 @@ func (r *Result) extractFacts(bin *binfmt.Binary) {
 
 	// Candidate instruction starts: a decode attempt at every offset.
 	for off := 0; off < n; off++ {
-		in, err := isa.Decode(r.text[off:])
+		in, err := r.arch.Decode(r.text[off:], r.base+uint32(off))
 		if err != nil {
 			continue
 		}
@@ -305,13 +316,13 @@ func (r *Result) extractFacts(bin *binfmt.Binary) {
 		}
 		r.strong[off] = true
 		r.stats.StrongStarts++
-		for i := 0; i < in.Len() && int(off)+i < n; i++ {
+		for i := 0; i < r.arch.InstLen(in) && int(off)+i < n; i++ {
 			r.strongCov[int(off)+i] = true
 		}
 		if in.HasFallthrough() {
-			seed(addr + uint32(in.Len()))
+			seed(addr + uint32(r.arch.InstLen(in)))
 		}
-		if t, ok := in.TargetAddr(addr); ok {
+		if t, ok := r.arch.TargetAddr(in, addr); ok {
 			switch in.Op {
 			case isa.OpLea, isa.OpLoadPC:
 				// Address formation / data reference, not a code edge.
@@ -341,7 +352,7 @@ func (r *Result) extractFacts(bin *binfmt.Binary) {
 		if in.Op != isa.OpLoadPC {
 			continue
 		}
-		if t, ok := in.TargetAddr(r.base + uint32(off)); ok && text.Contains(t) {
+		if t, ok := r.arch.TargetAddr(in, r.base+uint32(off)); ok && text.Contains(t) {
 			for i := 0; i < 4; i++ {
 				markData(int(t-r.base)+i, WeightDataAccess, RuleDataAccess)
 			}
@@ -429,7 +440,7 @@ func (r *Result) extractFacts(bin *binfmt.Binary) {
 		if in.Op == isa.OpInvalid || r.strong[off] {
 			continue
 		}
-		for i := 0; i < in.Len() && off+i < n; i++ {
+		for i := 0; i < r.arch.InstLen(in) && off+i < n; i++ {
 			if r.strongCov[off+i] {
 				r.junkW[off], r.junkRule[off] = WeightOverlap, RuleOverlap
 				break
@@ -446,15 +457,16 @@ func printable(b byte) bool { return b >= 0x20 && b <= 0x7E }
 // impossible (falls off the end of text, branches outside text, or
 // forms a PC-relative address outside every segment) and the candidate
 // is refuted outright.
-func flowSuccs(bin *binfmt.Binary, in isa.Inst, off int, n int, base uint32, dst []int) (_ []int, ok bool) {
+func (r *Result) flowSuccs(bin *binfmt.Binary, in isa.Inst, off int, n int, dst []int) (_ []int, ok bool) {
+	base := r.base
 	if in.HasFallthrough() {
-		ft := off + in.Len()
+		ft := off + r.arch.InstLen(in)
 		if ft >= n {
 			return dst, false // execution would run off the end of text
 		}
 		dst = append(dst, ft)
 	}
-	if t, tok := in.TargetAddr(base + uint32(off)); tok {
+	if t, tok := r.arch.TargetAddr(in, base+uint32(off)); tok {
 		switch in.Op {
 		case isa.OpLea, isa.OpLoadPC:
 			// A PC-relative address pointing into no segment at all is a

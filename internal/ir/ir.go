@@ -115,6 +115,11 @@ type Deferred struct {
 type Program struct {
 	// Bin is the original binary (never mutated).
 	Bin *binfmt.Binary
+	// Arch is the instruction-set architecture the program's bytes are
+	// expressed in; nil means the default (ZVM-32), so IR built before
+	// the architecture abstraction keeps working unchanged. Read it
+	// through ISA().
+	Arch isa.Arch
 	// Insts lists every IR instruction, in creation order.
 	Insts []*Instruction
 	// ByAddr maps original addresses to relocatable instructions.
@@ -141,6 +146,9 @@ type Program struct {
 
 	nextID int64
 }
+
+// ISA returns the program's architecture, defaulting to ZVM-32.
+func (p *Program) ISA() isa.Arch { return isa.Of(p.Arch) }
 
 // NewProgram creates an empty IR for bin.
 func NewProgram(bin *binfmt.Binary) *Program {

@@ -92,7 +92,13 @@ func (d *Diversity) Choose(space core.Space, size int, hint, origin uint32) (uin
 	slack := int(b.Len()) - size
 	off := 0
 	if slack > 0 {
+		// The draw happens unconditionally so the random sequence (and
+		// with it every pinned variable-width layout) is unchanged by
+		// the alignment rounding fixed-width ISAs need.
 		off = d.rng.Intn(slack + 1)
+		if al := int(space.Align()); al > 1 {
+			off -= off % al
+		}
 	}
 	return b.Start + uint32(off), true
 }

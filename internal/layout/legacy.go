@@ -108,6 +108,9 @@ func (d *LegacyDiversity) Choose(space core.Space, size int, hint, origin uint32
 	off := 0
 	if slack > 0 {
 		off = d.rng.Intn(slack + 1)
+		if al := int(space.Align()); al > 1 {
+			off -= off % al // keep fixed-width placements fetchable
+		}
 	}
 	return b.Start + uint32(off), true
 }

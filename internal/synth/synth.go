@@ -24,6 +24,7 @@ import (
 
 	"zipr/internal/asm"
 	"zipr/internal/binfmt"
+	"zipr/internal/isa"
 )
 
 // Profile describes the shape of a generated program.
@@ -83,6 +84,7 @@ type gen struct {
 	rng    *rand.Rand
 	sb     strings.Builder
 	p      Profile
+	arch   isa.Arch
 	label  int
 	called map[int]bool // functions referenced by direct calls
 }
@@ -96,8 +98,19 @@ func (g *gen) newLabel(kind string) string {
 	return fmt.Sprintf("%s_%s%d", g.p.Name, kind, g.label)
 }
 
-// Generate renders the program's assembly source.
+// Generate renders the program's assembly source for the default
+// (ZVM-32) instruction set.
 func Generate(seed int64, p Profile) string {
+	return GenerateArch(seed, p, isa.DefaultArch())
+}
+
+// GenerateArch renders the program's assembly source targeting the
+// given instruction set. The random stream is consumed identically for
+// every ISA, so the same seed and profile yield structurally identical
+// programs; only ISA-dependent mnemonic choices differ (fixed-width
+// ISAs have no rel8 branch forms, so short branches are emitted long).
+// For the default ISA the output is byte-identical to Generate.
+func GenerateArch(seed int64, p Profile, arch isa.Arch) string {
 	if p.NumFuncs <= 0 {
 		p.NumFuncs = 10
 	}
@@ -125,15 +138,23 @@ func Generate(seed int64, p Profile) string {
 	if p.Name == "" {
 		p.Name = "prog"
 	}
-	g := &gen{rng: rand.New(rand.NewSource(seed)), p: p, called: map[int]bool{}}
+	g := &gen{
+		rng: rand.New(rand.NewSource(seed)), p: p,
+		arch: isa.Of(arch), called: map[int]bool{},
+	}
 	g.program()
 	return g.sb.String()
 }
 
-// Build generates and assembles the program.
+// Build generates and assembles the program for the default ISA.
 func Build(seed int64, p Profile) (*binfmt.Binary, error) {
-	src := Generate(seed, p)
-	bin, err := asm.Assemble(src)
+	return BuildArch(seed, p, isa.DefaultArch())
+}
+
+// BuildArch generates and assembles the program for the given ISA.
+func BuildArch(seed int64, p Profile, arch isa.Arch) (*binfmt.Binary, error) {
+	src := GenerateArch(seed, p, arch)
+	bin, err := asm.AssembleArch(src, arch)
 	if err != nil {
 		return nil, fmt.Errorf("synth %s: %w", p.Name, err)
 	}
@@ -493,10 +514,14 @@ func (g *gen) bodyOp(i, frame int, exit string, tableOnly map[int]bool, called *
 		} else {
 			g.emit("    not r8")
 		}
-	case 9: // local short branch (rel8 forms exercised)
+	case 9: // local short branch (rel8 forms exercised where the ISA has them)
 		lab := g.newLabel("near")
+		jz := "jz.s"
+		if g.arch.InstLen(isa.Inst{Op: isa.OpJcc8}) == 0 {
+			jz = "jz" // fixed-width ISAs have no rel8 branches
+		}
 		g.emit("    cmpi8 r8, 0")
-		g.emit("    jz.s %s", lab)
+		g.emit("    %s %s", jz, lab)
 		g.emit("    inc r8")
 		g.emit("%s:", lab)
 	}

@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"zipr/internal/asm"
+	"zipr/internal/binfmt"
+	"zipr/internal/isa"
+)
+
+// Veneer-stress program: a handwritten layout engineered so that, on a
+// bounded-reach ISA (ZVM-64, ±1 MiB branch displacement), rewriting
+// under an instrumenting stack *must* emit at least one range-extension
+// island (veneer).
+//
+// The shape:
+//
+//	0x00100000  vn_main:          ; entry: 28 bytes, then a data word
+//	            vn_f1/f2/f3:      ; three 32-byte helpers, data-separated
+//	            vn_fb:            ; one 240-byte straight-line function
+//	            vn_blob:          ; fixed in-text data, > branch reach
+//	~0x00218xxx vn_start:         ; the real main, plus helpers
+//
+// Every relocatable byte sits before the blob; everything after it is
+// reached only indirectly (jmpr/callr through registers and the data
+// table), so it classifies as fixed and never moves. The zone's free
+// blocks are fenced into fragments by interleaved data words: three
+// 32-byte blocks and one 240-byte block.
+//
+// Why this forces a veneer under CFI: the shared CFI thunk is pure
+// extra demand (it has no original bytes) and fits only the 240-byte
+// block, evicting vn_fb. Evicted, vn_fb finds every remaining fragment
+// smaller than a quarter of its size, so the placer refuses to shred it
+// and spills it whole to the overflow area — which lies beyond the blob,
+// more than a branch reach from the zone. The entry's `call vn_fb` must
+// then go through a veneer island carved from the zone's leftover
+// fragments (the thunk leaves ~32 spare bytes in the zone by
+// construction). Under the null stack the demand exactly matches the
+// supply, every chain re-packs within the zone, and no veneer is needed
+// — giving the per-ISA golden matrix both behaviors from one program.
+//
+// The functions are deliberately canary-proof (each ends with a
+// never-taken conditional branch back to its own entry, which marks the
+// entry as a plain branch target) so their sizes stay stable across
+// stacks; only NopElide (shrink) and Stir (extra jumps) perturb them,
+// both with slack to spare. No direct branch in the original program
+// crosses the blob, so the source assembles on the bounded-reach ISA.
+
+// VeneerStressName names the veneer-stress program in golden corpora.
+const VeneerStressName = "veneer"
+
+// VeneerBlobSize is the in-text data wall in bytes: comfortably past
+// the ±1 MiB ZVM-64 branch reach, so the overflow area past the image
+// stays out of reach of the pre-blob zone too.
+const VeneerBlobSize = 0x118000
+
+// VeneerInputLen is the poller input length the program consumes.
+const VeneerInputLen = 16
+
+// VeneerSeed keys the veneer program's poller rng (the program itself
+// is handwritten, not seed-derived).
+const VeneerSeed int64 = 0x7EE5
+
+// BuildVeneer assembles the veneer-stress program for arch.
+func BuildVeneer(arch isa.Arch) (*binfmt.Binary, error) {
+	return asm.AssembleArch(VeneerStressSource(), arch)
+}
+
+// VeneerStressSource renders the program's assembly. The source is
+// ISA-portable (no short branches, instruction starts stay 4-aligned),
+// but only bounded-reach ISAs need veneers to rewrite it.
+func VeneerStressSource() string {
+	var sb strings.Builder
+	emit := func(format string, args ...any) {
+		fmt.Fprintf(&sb, format+"\n", args...)
+	}
+	emit(".type exec")
+	emit(".text 0x00100000")
+	emit(".entry vn_main")
+	// Entry: 28 bytes, bounded by a data word, so the optimized layout
+	// lays it back in place (the null body fits exactly; CFI's +4 from
+	// jmpr splits off an 8-byte tail dollop). The startup calls fold the
+	// helpers' arithmetic into r1, which vn_start captures into the
+	// output digest — so a mis-relocated helper shows up in the
+	// transcript, not just in a crash.
+	emit("vn_main:")
+	emit("    movi r5, vn_start")
+	emit("    call vn_fb")
+	emit("    call vn_f1")
+	emit("    call vn_f2")
+	emit("    call vn_f3")
+	emit("    jmpr r5")
+	emit("    .word 0")
+	// Three 32-byte helpers. The trailing `jnz` back to the entry never
+	// fires (cmp r6, r6 always sets Z) but makes each entry a plain
+	// branch target, which keeps Canary's prologue/epilogue growth away.
+	// The nops give NopElide shrink-slack under the full stack.
+	for i := 1; i <= 3; i++ {
+		emit("vn_f%d:", i)
+		emit("    nop")
+		emit("    nop")
+		emit("    nop")
+		emit("    inc r1")
+		switch i {
+		case 1:
+			emit("    add r1, r2")
+		case 2:
+			emit("    xor r1, r2")
+		default:
+			emit("    inc r2")
+		}
+		emit("    cmp r6, r6")
+		emit("    jnz vn_f%d", i)
+		emit("    ret")
+		emit("    .word 0")
+	}
+	// The eviction target: 240 bytes (60 instructions), the only block
+	// the CFI thunk fits. Straight-line arithmetic, same canary guard.
+	// Every third instruction is a nop: under the full stack NopElide
+	// reclaims them, handing back the slack that Stir's spliced jumps
+	// and the chunked repacking consume — without the nops the full
+	// stack packs the zone solid and veneer islands have nowhere to go.
+	emit("vn_fb:")
+	for i := 0; i < 57; i++ {
+		switch i % 3 {
+		case 0:
+			emit("    nop")
+		case 1:
+			emit("    add r1, r2")
+		default:
+			if i%2 == 0 {
+				emit("    xor r1, r2")
+			} else {
+				emit("    inc r1")
+			}
+		}
+	}
+	emit("    cmp r6, r6")
+	emit("    jnz vn_fb")
+	emit("    ret")
+	// The wall: fixed in-text data longer than the branch reach.
+	emit("vn_blob: .space %d", VeneerBlobSize)
+	emit("    .align 4")
+	// The real program, out of reach of everything before the wall. It
+	// is reached only via jmpr, so it classifies as fixed code and runs
+	// in place — its callr dispatch and call/ret pairs stay raw.
+	emit("vn_start:")
+	emit("    mov r9, r1") // capture the startup digest from the zone calls
+	emit("    movi r0, 3") // receive(0, inbuf, VeneerInputLen)
+	emit("    movi r1, 0")
+	emit("    movi r2, vn_inbuf")
+	emit("    movi r3, %d", VeneerInputLen)
+	emit("    syscall")
+	emit("    mov r10, r0")
+	emit("    movi r8, 0")
+	emit("vn_loop:")
+	emit("    cmp r8, r10")
+	emit("    jae vn_done")
+	emit("    movi r2, vn_inbuf")
+	emit("    add r2, r8")
+	emit("    loadb r1, [r2]")
+	emit("    xor r1, r8")
+	emit("    call vn_after")
+	emit("    add r9, r1")
+	emit("    mov r4, r9") // table dispatch: index by running digest
+	emit("    movi r5, 2")
+	emit("    mod r4, r5")
+	emit("    shli r4, 2")
+	emit("    movi r5, vn_tab")
+	emit("    add r5, r4")
+	emit("    load r5, [r5]")
+	emit("    callr r5")
+	emit("    add r9, r1")
+	emit("    inc r8")
+	emit("    jmp vn_loop")
+	emit("vn_done:")
+	emit("    movi r2, vn_outbuf") // transmit(1, outbuf, 8)
+	emit("    store [r2], r9")
+	emit("    mov r3, r9")
+	emit("    xori r3, 0x5a5a5a5a")
+	emit("    store [r2+4], r3")
+	emit("    movi r0, 2")
+	emit("    movi r1, 1")
+	emit("    movi r3, 8")
+	emit("    syscall")
+	emit("    mov r1, r9") // terminate(digest & 0x3f)
+	emit("    andi r1, 0x3f")
+	emit("    movi r0, 1")
+	emit("    syscall")
+	emit("    hlt")
+	emit("vn_after:")
+	emit("    push r2")
+	emit("    mov r2, r1")
+	emit("    shri r2, 3")
+	emit("    xor r1, r2")
+	emit("    inc r1")
+	emit("    pop r2")
+	emit("    ret")
+	// The table-dispatched helpers carry the same never-taken self-branch
+	// guard as the zone functions: they are reachable as function roots
+	// through vn_tab, and an instrumenting transform that grew them would
+	// add placed demand (plus a cross-blob violation branch) behind the
+	// zone's back.
+	emit("vn_e0:")
+	emit("    inc r1")
+	emit("    inc r1")
+	emit("    cmp r6, r6")
+	emit("    jnz vn_e0")
+	emit("    ret")
+	emit("vn_e1:")
+	emit("    push r2")
+	emit("    mov r2, r1")
+	emit("    shli r2, 2")
+	emit("    xor r1, r2")
+	emit("    pop r2")
+	emit("    cmp r6, r6")
+	emit("    jnz vn_e1")
+	emit("    ret")
+	emit(".data 0x00400000")
+	emit("vn_inbuf: .space %d", VeneerInputLen)
+	emit("vn_outbuf: .space 64")
+	emit("vn_tab: .word vn_e0, vn_e1")
+	return sb.String()
+}

@@ -268,7 +268,7 @@ func fillCFITable(p *ir.Program, l *ir.Layout, slots, log2 int) ([]byte, error) 
 		// dollop was split right after the call — so mark M[call]+len.
 		if n.Inst.Op == isa.OpCall {
 			if a, ok := l.AddrOf(n); ok {
-				if err := insert(a + uint32(n.Inst.Len())); err != nil {
+				if err := insert(a + uint32(p.ISA().InstLen(n.Inst))); err != nil {
 					return nil, err
 				}
 			}

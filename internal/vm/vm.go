@@ -67,13 +67,16 @@ type page struct {
 	perm Perm
 }
 
-// Machine is a single ZVM-32 hart plus its address space and OS state.
+// Machine is a single ZVM hart plus its address space and OS state.
+// The machine model (registers, flags, memory, syscalls) is shared by
+// both ISAs; WithArch selects the instruction codec used by fetch.
 type Machine struct {
 	pages      map[uint32]*page // keyed by addr >> 12
 	touched    map[uint32]struct{}
 	regs       [isa.NumRegs]uint32
 	pc         uint32
 	zf, lt, bf bool
+	arch       isa.Arch
 
 	stdin    io.Reader
 	stdout   []byte
@@ -107,6 +110,11 @@ func WithTrace(n int) Option {
 	return func(m *Machine) { m.trace = make([]uint32, n) }
 }
 
+// WithArch selects the ISA the machine decodes (nil/default: ZVM-32).
+// On fixed-width ISAs a misaligned PC is a fetch fault, exactly like a
+// non-executable one.
+func WithArch(a isa.Arch) Option { return func(m *Machine) { m.arch = isa.Of(a) } }
+
 // WithRandomSeed seeds the deterministic random() syscall stream.
 func WithRandomSeed(seed uint64) Option {
 	return func(m *Machine) {
@@ -122,6 +130,7 @@ func New(opts ...Option) *Machine {
 	m := &Machine{
 		pages:    make(map[uint32]*page),
 		touched:  make(map[uint32]struct{}),
+		arch:     isa.DefaultArch(),
 		rngState: 0x5DEECE66D,
 		maxSteps: 200_000_000,
 		heapNext: HeapBase,
@@ -312,9 +321,11 @@ func (m *Machine) pop() (uint32, error) {
 // fetch decodes the instruction at PC, checking execute permission on
 // every byte consumed.
 func (m *Machine) fetch() (isa.Inst, error) {
-	var buf [isa.MaxLen]byte
+	// Sized for the longest encoding of any registered ISA.
+	var buf [isa.ZVM64MaxLen]byte
+	maxLen := m.arch.MaxLen()
 	n := 0
-	for ; n < isa.MaxLen; n++ {
+	for ; n < maxLen; n++ {
 		a := m.pc + uint32(n)
 		pg, ok := m.pages[a/PageSize]
 		if !ok || pg.perm&PermX == 0 {
@@ -325,11 +336,11 @@ func (m *Machine) fetch() (isa.Inst, error) {
 	if n == 0 {
 		return isa.Inst{}, m.fault("execute from non-executable address %#x", m.pc)
 	}
-	in, err := isa.Decode(buf[:n])
+	in, err := m.arch.Decode(buf[:n], m.pc)
 	if err != nil {
 		return isa.Inst{}, m.fault("decode: %v (bytes % x)", err, buf[:n])
 	}
-	for i := 0; i < in.Len(); i++ {
+	for i := 0; i < m.arch.InstLen(in); i++ {
 		m.touch(m.pc + uint32(i))
 	}
 	return in, nil
@@ -396,7 +407,7 @@ func (m *Machine) step() error {
 		return err
 	}
 	m.steps++
-	next := m.pc + uint32(in.Len())
+	next := m.pc + uint32(m.arch.InstLen(in))
 	rd := &m.regs[in.Rd]
 	rs := m.regs[in.Rs]
 

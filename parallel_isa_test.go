@@ -1,0 +1,116 @@
+package zipr
+
+// Fixed-width determinism: the parallel pipeline's byte-identity
+// guarantees (parallel_test.go) restated under ZVM-64, where the dual
+// disassembly decodes 4-byte-aligned words and reassembly takes the
+// aligned-carve/veneer paths the default ISA never exercises. Both
+// fan-out levels are covered: concurrent dual disassembly against the
+// serial run, and the full rewrite repeated across goroutines against a
+// single serial reference.
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"zipr/internal/cgcsim"
+	"zipr/internal/disasm"
+	"zipr/internal/isa"
+	"zipr/internal/synth"
+)
+
+func TestDisassembleSerialMatchesParallelZVM64(t *testing.T) {
+	for _, idx := range []int{0, 5, 10, synth.PathologicalCB} {
+		seed, profile := synth.CBProfile(idx)
+		bin, err := synth.BuildArch(seed, profile, isa.ZVM64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := disasm.DisassembleOpts(bin, disasm.Options{Serial: true, Arch: isa.ZVM64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := disasm.DisassembleOpts(bin, disasm.Options{Arch: isa.ZVM64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sI, sA := dumpAgg(serial)
+		pI, pA := dumpAgg(par)
+		if !reflect.DeepEqual(sI, pI) {
+			t.Fatalf("cb%d: instruction sets differ (serial %d, parallel %d)", idx, len(sI), len(pI))
+		}
+		if !reflect.DeepEqual(sA, pA) {
+			t.Fatalf("cb%d: ambiguous sets differ", idx)
+		}
+		if !reflect.DeepEqual(serial.Fixed, par.Fixed) {
+			t.Fatalf("cb%d: fixed ranges differ: %v vs %v", idx, serial.Fixed, par.Fixed)
+		}
+		if !bytes.Equal(classBytes(serial.Classes), classBytes(par.Classes)) {
+			t.Fatalf("cb%d: byte classifications differ", idx)
+		}
+		if !reflect.DeepEqual(serial.Warnings, par.Warnings) {
+			t.Fatalf("cb%d: warnings differ:\n%v\nvs\n%v", idx, serial.Warnings, par.Warnings)
+		}
+	}
+}
+
+// TestRewriteConcurrentDeterministicZVM64 rewrites the same fixed-width
+// inputs from eight goroutines at once and demands every result be
+// byte-identical (and Stats-identical) to a serial reference rewrite —
+// the property the sharded daemon and the corpus evaluator rely on,
+// here pinned for the ISA whose reassembler shares veneer and alignment
+// state across a rewrite.
+func TestRewriteConcurrentDeterministicZVM64(t *testing.T) {
+	cbs := make([]cgcsim.CB, 0, 3)
+	for _, idx := range []int{1, 4, 9} {
+		cb, err := cgcsim.CBArch(idx, isa.ZVM64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbs = append(cbs, cb)
+	}
+	for _, lay := range []LayoutKind{LayoutOptimized, LayoutDiversity} {
+		for _, cb := range cbs {
+			input, err := cb.Bin.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := func() Config {
+				return Config{Transforms: []Transform{CFI()}, Layout: lay, Seed: 42, ISA: "zvm64"}
+			}
+			refOut, refRep, err := Rewrite(input, cfg())
+			if err != nil {
+				t.Fatalf("%s/%s: serial reference: %v", cb.Name, lay, err)
+			}
+			var wg sync.WaitGroup
+			outs := make([][]byte, 8)
+			stats := make([]Stats, 8)
+			errs := make([]error, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					out, rep, err := Rewrite(input, cfg())
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					outs[g], stats[g] = out, rep.Stats
+				}(g)
+			}
+			wg.Wait()
+			for g := 0; g < 8; g++ {
+				if errs[g] != nil {
+					t.Fatalf("%s/%s: goroutine %d: %v", cb.Name, lay, g, errs[g])
+				}
+				if !bytes.Equal(outs[g], refOut) {
+					t.Fatalf("%s/%s: goroutine %d produced different bytes than the serial reference", cb.Name, lay, g)
+				}
+				if stats[g] != refRep.Stats {
+					t.Fatalf("%s/%s: goroutine %d Stats differ:\n%+v\nvs\n%+v", cb.Name, lay, g, stats[g], refRep.Stats)
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"zipr/internal/fault"
 	"zipr/internal/ir"
 	"zipr/internal/irdb"
+	"zipr/internal/isa"
 	"zipr/internal/layout"
 	"zipr/internal/obs"
 	"zipr/internal/par"
@@ -163,6 +164,7 @@ func hotRanges(prog *ir.Program, hotFuncs []uint32) []ir.Range {
 	for _, a := range hotFuncs {
 		hotSet[a] = true
 	}
+	arch := prog.ISA()
 	extents := make([]ir.Range, len(prog.Functions))
 	workers := par.ScaledWorkers(len(prog.Functions), 64)
 	par.Chunks(workers, len(prog.Functions), func(_, lo, hi int) {
@@ -179,7 +181,7 @@ func hotRanges(prog *ir.Program, hotFuncs []uint32) []ir.Range {
 				if n.OrigAddr < r.Start {
 					r.Start = n.OrigAddr
 				}
-				if end := n.OrigAddr + uint32(n.Inst.Len()); end > r.End {
+				if end := n.OrigAddr + uint32(arch.InstLen(n.Inst)); end > r.End {
 					r.End = end
 				}
 			}
@@ -240,6 +242,11 @@ type Config struct {
 	// Arbitration selects the disassembly arbitration policy; default
 	// ArbitrationTwoWay.
 	Arbitration ArbitrationKind
+	// ISA selects the instruction-set architecture the input is decoded
+	// and re-encoded under: "zvm32" (the default; the empty string means
+	// the same) or "zvm64" (fixed-width 4-byte encoding, ±1 MiB branch
+	// reach, range-extension veneers instead of chains and sleds).
+	ISA string
 	// Seed drives LayoutDiversity's randomness.
 	Seed int64
 	// HotFuncs lists original function-entry addresses to treat as hot
@@ -333,6 +340,12 @@ func (c Config) Fingerprint() string {
 		// addresses get pinned and therefore the output bytes.
 		fmt.Fprintf(&sb, "|arb=%s", c.Arbitration)
 	}
+	if c.ISA != "" && c.ISA != "zvm32" {
+		// Same default-elision rule: every pre-abstraction fingerprint was
+		// produced under zvm32, and folding the default in would orphan
+		// all existing cache entries and golden digests.
+		fmt.Fprintf(&sb, "|isa=%s", c.ISA)
+	}
 	for _, t := range c.Transforms {
 		fmt.Fprintf(&sb, "|t:%s", t.Name())
 		if p, ok := t.(transform.Parametric); ok {
@@ -360,6 +373,7 @@ type Stats struct {
 	OverflowUsed int // bytes appended past the original text
 	TextGrowth   int // rewritten minus original text bytes
 	FreeLeft     int // unused bytes left inside the original text range
+	Veneers      int // range-extension islands (fixed-width ISAs only)
 }
 
 // Report describes a completed rewrite.
@@ -539,9 +553,13 @@ func rewriteBinaryPlacer(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Pro
 
 // rewriteOnce runs the three-phase pipeline under one arbitration mode.
 func rewriteOnce(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Program) core.Placer, arb disasm.Arbitration, tr *Trace, inj *FaultInjector) (*binfmt.Binary, *Report, error) {
+	arch, err := isa.ByName(cfgv.ISA)
+	if err != nil {
+		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrDisasm, err))
+	}
 	// Phase 1: IR construction (disassembly, CFG, pinned addresses).
 	sp := tr.Start("disassemble")
-	agg, err := disasm.DisassembleOpts(bin, disasm.Options{Trace: tr, Inject: inj, Arbitration: arb})
+	agg, err := disasm.DisassembleOpts(bin, disasm.Options{Trace: tr, Inject: inj, Arbitration: arb, Arch: arch})
 	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("zipr: %w", zerr.Tag(zerr.ErrDisasm, err))
@@ -602,7 +620,7 @@ func rewriteOnce(bin *binfmt.Binary, cfgv Config, newPlacer func(*ir.Program) co
 	}
 	report.Stats = Stats(res.Stats)
 	report.Layout = placer.Name()
-	if cfgv.CaptureSnapshot && newPlacer == nil && !inj.ArmedPipeline() {
+	if cfgv.CaptureSnapshot && newPlacer == nil && !inj.ArmedPipeline() && isa.IsDefault(arch) {
 		// Snapshot capture is best-effort: any ineligibility (custom
 		// transforms, no text, pipeline chaos) just leaves Snapshot nil.
 		if safe, frameSensitive := snapshotSafeTransforms(cfgv.Transforms); safe {
